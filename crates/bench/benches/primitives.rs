@@ -1,0 +1,158 @@
+//! Criterion micro-benchmarks of the synchronization primitives.
+//!
+//! These quantify the paper's core cost argument: RW-LE's uninstrumented
+//! read entry (two clock stores + one lock check) versus a full HTM
+//! begin/commit pair, and the relative costs of the HTM, ROT and
+//! non-speculative write paths.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use htm::{HtmConfig, HtmRuntime, TxMode};
+use locks::{BrLock, PthreadRwLock, SpinMutex, TicketLock};
+use rwle::{RwLe, RwLeConfig};
+use simmem::{SharedMem, SimAlloc};
+use stats::ThreadStats;
+
+fn bench_read_side(c: &mut Criterion) {
+    let mem = Arc::new(SharedMem::new_lines(1024));
+    let rt = HtmRuntime::new(Arc::clone(&mem), HtmConfig::default());
+    let alloc = SimAlloc::new(Arc::clone(&mem));
+    let rwle = RwLe::new(&alloc, 4, RwLeConfig::opt()).unwrap();
+    let hle = hle::Hle::new(alloc.alloc(1).unwrap());
+    let data = alloc.alloc(1).unwrap();
+    let mut ctx = rt.register();
+    let mut st = ThreadStats::new();
+
+    let mut g = c.benchmark_group("read_side");
+    g.bench_function("rwle_uninstrumented_read_cs", |b| {
+        b.iter(|| rwle.read_cs(&mut ctx, &mut st, &mut |acc| acc.read(data)))
+    });
+    g.bench_function("hle_htm_read_cs", |b| {
+        b.iter(|| hle.execute(&mut ctx, &mut st, &mut |acc| acc.read(data)))
+    });
+    g.bench_function("raw_nt_read", |b| b.iter(|| ctx.read_nt(data)));
+    g.finish();
+}
+
+fn bench_write_paths(c: &mut Criterion) {
+    let mem = Arc::new(SharedMem::new_lines(1024));
+    let rt = HtmRuntime::new(Arc::clone(&mem), HtmConfig::default());
+    let alloc = SimAlloc::new(Arc::clone(&mem));
+    let opt = RwLe::new(&alloc, 4, RwLeConfig::opt()).unwrap();
+    let pes = RwLe::new(&alloc, 4, RwLeConfig::pes()).unwrap();
+    let ns_only = RwLe::new(&alloc, 4, RwLeConfig::opt().with_retries(0, 0)).unwrap();
+    let data = alloc.alloc(1).unwrap();
+    let mut ctx = rt.register();
+    let mut st = ThreadStats::new();
+
+    let mut g = c.benchmark_group("write_paths");
+    g.bench_function("rwle_htm_write_cs", |b| {
+        b.iter(|| {
+            opt.write_cs(&mut ctx, &mut st, &mut |acc| {
+                let v = acc.read(data)?;
+                acc.write(data, v + 1)
+            })
+        })
+    });
+    g.bench_function("rwle_rot_write_cs", |b| {
+        b.iter(|| {
+            pes.write_cs(&mut ctx, &mut st, &mut |acc| {
+                let v = acc.read(data)?;
+                acc.write(data, v + 1)
+            })
+        })
+    });
+    g.bench_function("rwle_ns_write_cs", |b| {
+        b.iter(|| {
+            ns_only.write_cs(&mut ctx, &mut st, &mut |acc| {
+                let v = acc.read(data)?;
+                acc.write(data, v + 1)
+            })
+        })
+    });
+    g.finish();
+}
+
+fn bench_htm_engine(c: &mut Criterion) {
+    let mem = Arc::new(SharedMem::new_lines(4096));
+    let rt = HtmRuntime::new(Arc::clone(&mem), HtmConfig::default());
+    let mut ctx = rt.register();
+
+    let mut g = c.benchmark_group("htm_engine");
+    g.bench_function("htm_begin_commit_empty", |b| {
+        b.iter(|| ctx.begin(TxMode::Htm).commit().unwrap())
+    });
+    g.bench_function("rot_begin_commit_empty", |b| {
+        b.iter(|| ctx.begin(TxMode::Rot).commit().unwrap())
+    });
+    g.bench_function("htm_1r1w_commit", |b| {
+        b.iter(|| {
+            let mut tx = ctx.begin(TxMode::Htm);
+            let v = tx.read(simmem::Addr(0)).unwrap();
+            tx.write(simmem::Addr(0), v + 1).unwrap();
+            tx.commit().unwrap();
+        })
+    });
+    g.bench_function("htm_32line_read_commit", |b| {
+        b.iter(|| {
+            let mut tx = ctx.begin(TxMode::Htm);
+            for i in 0..32u32 {
+                tx.read(simmem::Addr(i * 8)).unwrap();
+            }
+            tx.commit().unwrap();
+        })
+    });
+    g.finish();
+}
+
+fn bench_quiescence(c: &mut Criterion) {
+    let mut g = c.benchmark_group("quiescence");
+    for n in [8usize, 32, 128] {
+        let epochs = epoch::EpochSet::new(n);
+        g.bench_function(format!("synchronize_idle_{n}_threads"), |b| {
+            b.iter(|| epochs.synchronize(Some(0)))
+        });
+        g.bench_function(format!("single_pass_idle_{n}_threads"), |b| {
+            b.iter(|| epochs.synchronize_blocked_readers(Some(0)))
+        });
+    }
+    let epochs = epoch::EpochSet::new(16);
+    g.bench_function("enter_exit_pair", |b| {
+        b.iter(|| {
+            epochs.enter(3);
+            epochs.exit(3);
+        })
+    });
+    g.finish();
+}
+
+fn bench_locks(c: &mut Criterion) {
+    let mut g = c.benchmark_group("locks_uncontended");
+    let spin = SpinMutex::new();
+    g.bench_function("spin_mutex", |b| b.iter(|| drop(spin.lock())));
+    let ticket = TicketLock::new();
+    g.bench_function("ticket_lock", |b| b.iter(|| drop(ticket.lock())));
+    let rwl = PthreadRwLock::new();
+    g.bench_function("pthread_rwlock_read", |b| b.iter(|| drop(rwl.read_lock())));
+    g.bench_function("pthread_rwlock_write", |b| {
+        b.iter(|| drop(rwl.write_lock()))
+    });
+    let br = BrLock::new(16);
+    g.bench_function("brlock_read", |b| b.iter(|| drop(br.read_lock(0))));
+    g.bench_function("brlock_write_16_slots", |b| {
+        b.iter(|| drop(br.write_lock()))
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_read_side,
+    bench_write_paths,
+    bench_htm_engine,
+    bench_quiescence,
+    bench_locks
+);
+criterion_main!(benches);

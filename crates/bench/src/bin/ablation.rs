@@ -1,0 +1,173 @@
+//! §3.3 ablations (not a paper figure): each RW-LE optimization toggled
+//! independently, plus the retry-budget sweep behind the paper's "5 is
+//! best on average" claim.
+//!
+//! ```text
+//! cargo run --release -p bench --bin ablation
+//! ```
+
+use bench::{average, print_header, print_row, Args};
+use rwle::RwLeConfig;
+use workloads::driver::{run_threads, Scenario};
+use workloads::hashmap::SimHashMap;
+use workloads::{Scheme, SchemeKind};
+
+use htm::{HtmConfig, HtmRuntime};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use simmem::{Addr, SharedMem, SimAlloc};
+use stats::StatsSummary;
+use std::sync::Arc;
+use workloads::driver::RunResult;
+
+/// Runs the hc-hc sensitivity workload under an arbitrary RW-LE config.
+fn run_custom(
+    cfg: RwLeConfig,
+    scenario: Scenario,
+    write_pct: u32,
+    threads: usize,
+    ops_per_thread: u64,
+    seed: u64,
+) -> RunResult {
+    let n_items = scenario.buckets() as u64 * scenario.items_per_bucket() as u64;
+    let total_writes = threads as u64 * ops_per_thread * write_pct as u64 / 100;
+    let lines = (n_items + total_writes + 8192) * 9 / 8;
+    let mem = Arc::new(SharedMem::new_lines(lines as u32));
+    let rt = HtmRuntime::new(
+        Arc::clone(&mem),
+        HtmConfig::default()
+            .with_page_faults(scenario.page_fault_prob())
+            .with_seed(seed),
+    );
+    let alloc = SimAlloc::new(Arc::clone(&mem));
+    let scheme = Scheme::build_rwle(&alloc, threads, cfg).expect("lock allocation");
+    let map = SimHashMap::create(&alloc, scenario.buckets()).expect("buckets");
+    map.populate(&alloc, n_items).expect("population");
+    let key_range = n_items * 2;
+    let (wall, stats) = run_threads(&rt, threads, |t, ctx, st| {
+        let mut rng =
+            SmallRng::seed_from_u64(seed ^ (t as u64 + 1).wrapping_mul(0x9e37_79b9_7f4a_7c15));
+        let mut spare: Option<Addr> = None;
+        for _ in 0..ops_per_thread {
+            let key = rng.gen_range(0..key_range);
+            if rng.gen_range(0..100) >= write_pct {
+                scheme.read_cs(ctx, st, &mut |acc| map.lookup(acc, key));
+            } else if rng.gen_bool(0.5) {
+                let node = match spare.take() {
+                    Some(n) => {
+                        mem.store(n, key);
+                        mem.store(n.offset(1), key);
+                        mem.store(n.offset(2), Addr::NULL.to_word());
+                        n
+                    }
+                    None => map.make_node(&alloc, key, key).expect("node"),
+                };
+                if !scheme.write_cs(ctx, st, &mut |acc| map.insert(acc, node)) {
+                    spare = Some(node);
+                }
+            } else {
+                let _ = scheme.write_cs(ctx, st, &mut |acc| map.remove(acc, key));
+            }
+        }
+    });
+    RunResult {
+        wall,
+        summary: StatsSummary::from_threads(&stats),
+        threads,
+    }
+}
+
+fn main() {
+    let args = Args::parse();
+    let threads: usize = args.get_or("threads", 4);
+    let ops: u64 = args.get_or("ops", 300);
+    let runs: usize = args.get_or("runs", 1);
+    let seed: u64 = args.get_or("seed", 42);
+    let w: u32 = args.get_or("writes", 10);
+    let csv = args.flag("csv");
+
+    println!("# §3.3 optimization ablations (hc-hc hashmap, w={w}%, {threads} threads)");
+    let variants: Vec<(&str, RwLeConfig)> = vec![
+        ("full-OPT", RwLeConfig::opt()),
+        (
+            "no-split-locks",
+            RwLeConfig {
+                split_locks: false,
+                ..RwLeConfig::opt()
+            },
+        ),
+        (
+            "two-pass-NS-quiesce",
+            RwLeConfig {
+                single_pass_quiesce: false,
+                ..RwLeConfig::opt()
+            },
+        ),
+        (
+            "slow-read-entry",
+            RwLeConfig {
+                fast_read_entry: false,
+                ..RwLeConfig::opt()
+            },
+        ),
+        (
+            "fair",
+            RwLeConfig {
+                fair: true,
+                split_locks: false,
+                fast_read_entry: false,
+                ..RwLeConfig::opt()
+            },
+        ),
+    ];
+    print_header(csv);
+    for (name, cfg) in &variants {
+        let results: Vec<_> = (0..runs)
+            .map(|r| run_custom(*cfg, Scenario::HcHc, w, threads, ops, seed + r as u64))
+            .collect();
+        let (secs, tput, summary) = average(&results);
+        if !csv {
+            println!("--- {name}");
+        }
+        print_row(csv, SchemeKind::RwLeOpt, threads, w, secs, tput, &summary);
+    }
+
+    // The paper's conclusion argues other vendors should adopt POWER8's
+    // suspend/resume and ROTs. Quantify what each feature buys RW-LE:
+    // without suspend/resume the delayed-commit trick is impossible for
+    // regular transactions (writers lose the HTM path → PES); without
+    // ROTs capacity-hostile writers land on the global lock; without
+    // both, every writer serializes.
+    println!("\n# Hardware-feature ablation (what suspend/resume and ROTs buy)");
+    let features: Vec<(&str, RwLeConfig)> = vec![
+        ("both features (OPT)", RwLeConfig::opt()),
+        ("no suspend/resume (→ROT only)", RwLeConfig::pes()),
+        ("no ROTs (→HTM+NS)", RwLeConfig::htm_only()),
+        ("neither (→NS only)", RwLeConfig::opt().with_retries(0, 0)),
+    ];
+    print_header(csv);
+    for (name, cfg) in &features {
+        let results: Vec<_> = (0..runs)
+            .map(|r| run_custom(*cfg, Scenario::HcHc, w, threads, ops, seed + r as u64))
+            .collect();
+        let (secs, tput, summary) = average(&results);
+        if !csv {
+            println!("--- {name}");
+        }
+        print_row(csv, SchemeKind::RwLeOpt, threads, w, secs, tput, &summary);
+    }
+
+    println!("\n# Retry-budget sweep (the paper settled on 5/5)");
+    print_header(csv);
+    for budget in [1u32, 2, 5, 10, 20] {
+        let cfg = RwLeConfig::opt().with_retries(budget, budget);
+        let results: Vec<_> = (0..runs)
+            .map(|r| run_custom(cfg, Scenario::HcHc, w, threads, ops, seed + r as u64))
+            .collect();
+        let (secs, tput, summary) = average(&results);
+        if !csv {
+            println!("--- retries={budget}");
+        }
+        print_row(csv, SchemeKind::RwLeOpt, threads, w, secs, tput, &summary);
+    }
+}

@@ -1,0 +1,60 @@
+//! Extensions beyond the paper's figures: the HLE conflict-management
+//! variants from its related-work section (§2) — SCM-managed HLE and
+//! self-tuning adaptive HLE — compared against plain HLE and RW-LE on the
+//! sensitivity workloads.
+//!
+//! ```text
+//! cargo run --release -p bench --bin extensions
+//! ```
+
+use bench::{average, print_header, print_row, Args};
+use workloads::driver::{run_sensitivity, Scenario, SensitivityParams};
+use workloads::SchemeKind;
+
+fn main() {
+    let args = Args::parse();
+    let threads = args.thread_list(&[2, 4, 8]);
+    let ops: u64 = args.get_or("ops", 300);
+    let runs: usize = args.get_or("runs", 1);
+    let seed: u64 = args.get_or("seed", 42);
+    let w: u32 = args.get_or("writes", 50);
+    let csv = args.flag("csv");
+    let schemes = [
+        SchemeKind::Hle,
+        SchemeKind::ScmHle,
+        SchemeKind::AdaptiveHle,
+        SchemeKind::RwLeOpt,
+    ];
+
+    for scenario in [Scenario::HcHc, Scenario::LcHc] {
+        println!(
+            "# HLE conflict-management extensions — {} ({} bucket(s) × {} items), w={w}%",
+            scenario.name(),
+            scenario.buckets(),
+            scenario.items_per_bucket()
+        );
+        print_header(csv);
+        for &t in &threads {
+            for scheme in schemes {
+                let results: Vec<_> = (0..runs)
+                    .map(|r| {
+                        run_sensitivity(&SensitivityParams {
+                            scheme,
+                            scenario,
+                            write_pct: w,
+                            threads: t,
+                            ops_per_thread: ops,
+                            seed: seed + r as u64,
+                            smt_group_size: 1,
+                        })
+                    })
+                    .collect();
+                let (secs, tput, summary) = average(&results);
+                print_row(csv, scheme, t, w, secs, tput, &summary);
+            }
+            if !csv {
+                println!();
+            }
+        }
+    }
+}

@@ -1,0 +1,194 @@
+//! RLU vs. lock elision on the canonical sorted-list set (§2 extension).
+//!
+//! The paper argues RW-LE gets RCU/RLU-class read performance *without*
+//! tailored data-structure code. This harness runs the same sorted-list
+//! workload (identical node layout, identical op mix) three ways:
+//!
+//! * **RLU** — the tailored implementation (`rlu::RluList`);
+//! * **RW-LE** — plain list code under an elided read-write lock;
+//! * **HLE / SGL** — the same plain code under classic elision / a lock.
+//!
+//! ```text
+//! cargo run --release -p bench --bin rlu_compare
+//! ```
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use bench::Args;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use rlu::{RluList, RluRuntime};
+use simmem::{Addr, SharedMem, SimAlloc};
+use stats::ThreadStats;
+use workloads::driver::run_threads;
+use workloads::sortedlist::SortedList;
+use workloads::{Scheme, SchemeKind};
+
+use htm::{HtmConfig, HtmRuntime};
+
+struct Config {
+    threads: usize,
+    ops: u64,
+    write_pct: u32,
+    initial: u64,
+    key_range: u64,
+    seed: u64,
+    /// Fine-grained RLU (concurrent writers) instead of coarse.
+    fine: bool,
+}
+
+fn run_rlu(cfg: &Config) -> f64 {
+    let mem = Arc::new(SharedMem::new_lines(1 << 18));
+    let alloc = Arc::new(SimAlloc::new(Arc::clone(&mem)));
+    let rt = RluRuntime::new(mem, alloc);
+    let list = Arc::new(RluList::new(&rt).unwrap());
+    {
+        let mut t = rt.register();
+        let mut w = t.writer();
+        for k in (1..=cfg.initial).map(|i| i * 2) {
+            list.add(&mut w, k).unwrap();
+        }
+        w.commit();
+    }
+    let barrier = std::sync::Barrier::new(cfg.threads);
+    let t0 = Instant::now();
+    std::thread::scope(|s| {
+        for t in 0..cfg.threads {
+            let rt = Arc::clone(&rt);
+            let list = Arc::clone(&list);
+            let barrier = &barrier;
+            let cfg = &cfg;
+            s.spawn(move || {
+                let mut th = rt.register();
+                let mut rng = SmallRng::seed_from_u64(cfg.seed ^ ((t as u64 + 1) * 0x9e37));
+                barrier.wait();
+                for _ in 0..cfg.ops {
+                    let key = rng.gen_range(1..cfg.key_range);
+                    if rng.gen_range(0..100) < cfg.write_pct {
+                        loop {
+                            let mut w = if cfg.fine {
+                                th.writer_fine()
+                            } else {
+                                th.writer()
+                            };
+                            let res = if rng.gen_bool(0.5) {
+                                list.add(&mut w, key)
+                            } else {
+                                list.remove(&mut w, key)
+                            };
+                            match res {
+                                Ok(_) => {
+                                    w.commit();
+                                    break;
+                                }
+                                Err(rlu::RluError::Conflict) => {
+                                    w.abort();
+                                    std::thread::yield_now();
+                                }
+                                Err(e) => panic!("alloc failure: {e}"),
+                            }
+                        }
+                    } else {
+                        let r = th.reader();
+                        let _ = list.contains(&r, key);
+                    }
+                }
+            });
+        }
+    });
+    (cfg.threads as u64 * cfg.ops) as f64 / t0.elapsed().as_secs_f64()
+}
+
+fn run_elision(kind: SchemeKind, cfg: &Config) -> f64 {
+    let mem = Arc::new(SharedMem::new_lines(1 << 18));
+    let rt = HtmRuntime::new(Arc::clone(&mem), HtmConfig::default().with_seed(cfg.seed));
+    let alloc = SimAlloc::new(Arc::clone(&mem));
+    // One extra slot: the setup context below registers before workers.
+    let scheme = Scheme::build(kind, &alloc, cfg.threads + 1).unwrap();
+    let list = SortedList::new(&alloc).unwrap();
+    {
+        let ctx = rt.register();
+        let mut nt = ctx.non_tx();
+        for k in (1..=cfg.initial).map(|i| i * 2) {
+            let n = list.make_node(&alloc, k).unwrap();
+            list.add(&mut nt, n).unwrap();
+        }
+    }
+    let (wall, _stats) = run_threads(&rt, cfg.threads, |t, ctx, st| {
+        let mut rng = SmallRng::seed_from_u64(cfg.seed ^ ((t as u64 + 1) * 0x9e37));
+        let mut spare: Option<Addr> = None;
+        let mut local = ThreadStats::new();
+        for _ in 0..cfg.ops {
+            let key = rng.gen_range(1..cfg.key_range);
+            if rng.gen_range(0..100) < cfg.write_pct {
+                if rng.gen_bool(0.5) {
+                    let node = match spare.take() {
+                        Some(n) => {
+                            mem.store(n, key);
+                            mem.store(n.offset(1), Addr::NULL.to_word());
+                            n
+                        }
+                        None => list.make_node(&alloc, key).unwrap(),
+                    };
+                    if !scheme.write_cs(ctx, &mut local, &mut |acc| list.add(acc, node)) {
+                        spare = Some(node);
+                    }
+                } else {
+                    // Removed nodes leak until run end (deferred).
+                    let _ = scheme.write_cs(ctx, &mut local, &mut |acc| list.remove(acc, key));
+                }
+            } else {
+                scheme.read_cs(ctx, &mut local, &mut |acc| list.contains(acc, key));
+            }
+        }
+        *st = local;
+    });
+    (cfg.threads as u64 * cfg.ops) as f64 / wall.as_secs_f64()
+}
+
+fn main() {
+    let args = Args::parse();
+    let threads_list = args.thread_list(&[1, 2, 4]);
+    let ops: u64 = args.get_or("ops", 500);
+    let initial: u64 = args.get_or("initial", 128);
+    let seed: u64 = args.get_or("seed", 42);
+    let fine = args.flag("fine");
+    println!(
+        "# RLU vs lock elision — sorted-list set ({initial} initial keys, RLU mode: {})",
+        if fine { "fine-grained" } else { "coarse" }
+    );
+    println!("{:<10} {:>4} {:>4} {:>12}", "scheme", "thr", "w%", "ops/s");
+    for &threads in &threads_list {
+        for write_pct in [2u32, 20, 50] {
+            let cfg = Config {
+                threads,
+                ops,
+                write_pct,
+                initial,
+                key_range: initial * 4,
+                seed,
+                fine,
+            };
+            let rlu_tput = run_rlu(&cfg);
+            println!(
+                "{:<10} {:>4} {:>4} {:>12.0}",
+                if fine { "RLU-fine" } else { "RLU" },
+                threads,
+                write_pct,
+                rlu_tput
+            );
+            for kind in [SchemeKind::RwLeOpt, SchemeKind::Hle, SchemeKind::Sgl] {
+                let tput = run_elision(kind, &cfg);
+                println!(
+                    "{:<10} {:>4} {:>4} {:>12.0}",
+                    kind.label(),
+                    threads,
+                    write_pct,
+                    tput
+                );
+            }
+        }
+        println!();
+    }
+}

@@ -1,0 +1,76 @@
+//! Figures 3–6: the §4.1 sensitivity study.
+//!
+//! Sweeps scheme × thread count × write ratio over one (or all) of the
+//! four capacity × contention scenarios and prints the three panels of
+//! the corresponding figure (execution time, abort breakdown, commit
+//! breakdown) as one table.
+//!
+//! ```text
+//! cargo run --release -p bench --bin sensitivity -- --scenario hc-hc
+//! cargo run --release -p bench --bin sensitivity -- --full --runs 3
+//! ```
+
+use bench::{average, print_header, print_row, Args};
+use workloads::driver::{run_sensitivity, Scenario, SensitivityParams};
+use workloads::SchemeKind;
+
+fn main() {
+    let args = Args::parse();
+    let scenarios: Vec<Scenario> = match args.get("scenario") {
+        Some(name) => vec![Scenario::parse(name).unwrap_or_else(|| {
+            eprintln!("unknown scenario {name:?} (hc-hc, hc-lc, lc-hc, lc-lc)");
+            std::process::exit(2);
+        })],
+        None => Scenario::ALL.to_vec(),
+    };
+    let threads = args.thread_list(&[1, 2, 4, 8]);
+    let schemes = args.scheme_list(&SchemeKind::SENSITIVITY);
+    let write_pcts: Vec<u32> = match args.get("writes") {
+        Some(v) => v.split(',').map(|s| s.trim().parse().unwrap()).collect(),
+        None => vec![1, 10, 90],
+    };
+    let ops: u64 = args.get_or("ops", 300);
+    let runs: usize = args.get_or("runs", 1);
+    let seed: u64 = args.get_or("seed", 42);
+    // SMT resource sharing (paper footnote 4): --smt 8 models the
+    // paper's 8-way POWER8 cores; default 1 (independent threads).
+    let smt: u32 = args.get_or("smt", 1);
+    let csv = args.flag("csv");
+
+    for scenario in scenarios {
+        println!(
+            "# {} — sensitivity {} ({} bucket(s) × {} items, page-fault p={})",
+            scenario.figure(),
+            scenario.name(),
+            scenario.buckets(),
+            scenario.items_per_bucket(),
+            scenario.page_fault_prob()
+        );
+        println!("# ops/thread={ops} runs={runs} seed={seed} smt-group={smt}");
+        print_header(csv);
+        for &w in &write_pcts {
+            for &t in &threads {
+                for &scheme in &schemes {
+                    let results: Vec<_> = (0..runs)
+                        .map(|r| {
+                            run_sensitivity(&SensitivityParams {
+                                scheme,
+                                scenario,
+                                write_pct: w,
+                                threads: t,
+                                ops_per_thread: ops,
+                                seed: seed + r as u64,
+                                smt_group_size: smt,
+                            })
+                        })
+                        .collect();
+                    let (secs, tput, summary) = average(&results);
+                    print_row(csv, scheme, t, w, secs, tput, &summary);
+                }
+            }
+            if !csv {
+                println!();
+            }
+        }
+    }
+}

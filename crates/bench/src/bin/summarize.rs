@@ -1,0 +1,116 @@
+//! Post-processes figure-harness output into paper-style comparisons.
+//!
+//! Reads one or more result files produced by the other binaries (text
+//! table format) and prints, per (section, w, threads), each scheme's
+//! speedup over the baselines the paper compares against (HLE and SGL).
+//!
+//! ```text
+//! cargo run --release -p bench --bin summarize -- --file results/sensitivity_full.txt
+//! ```
+
+use std::collections::BTreeMap;
+
+use bench::Args;
+
+#[derive(Debug, Clone)]
+struct Row {
+    scheme: String,
+    threads: u32,
+    w: u32,
+    ops_per_s: f64,
+    abort_pct: f64,
+}
+
+/// Parses a harness text table, tracking `# ...` section headers.
+fn parse(path: &str) -> Vec<(String, Row)> {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("cannot read {path}: {e}");
+        std::process::exit(2);
+    });
+    let mut section = String::from("(top)");
+    let mut rows = Vec::new();
+    for line in text.lines() {
+        if let Some(h) = line.strip_prefix("# ") {
+            if !h.starts_with("ops/thread") {
+                section = h.to_string();
+            }
+            continue;
+        }
+        let cols: Vec<&str> = line.split_whitespace().collect();
+        // scheme thr w time ops/s abort% | ... — rows start with a scheme
+        // label followed by at least five numeric fields.
+        if cols.len() < 6 || cols[0] == "scheme" {
+            continue;
+        }
+        let (Ok(threads), Ok(w)) = (cols[1].parse(), cols[2].parse()) else {
+            continue;
+        };
+        let (Ok(ops_per_s), Ok(abort_pct)) = (cols[4].parse::<f64>(), cols[5].parse::<f64>())
+        else {
+            continue;
+        };
+        rows.push((
+            section.clone(),
+            Row {
+                scheme: cols[0].to_string(),
+                threads,
+                w,
+                ops_per_s,
+                abort_pct,
+            },
+        ));
+    }
+    rows
+}
+
+fn main() {
+    let args = Args::parse();
+    let Some(path) = args.get("file") else {
+        eprintln!("usage: summarize --file <results.txt> [--baseline HLE]");
+        std::process::exit(2);
+    };
+    let baseline = args.get("baseline").unwrap_or("HLE").to_string();
+    let rows = parse(path);
+    if rows.is_empty() {
+        eprintln!("no result rows found in {path}");
+        std::process::exit(1);
+    }
+
+    // Group by (section, w, threads).
+    let mut groups: BTreeMap<(String, u32, u32), Vec<Row>> = BTreeMap::new();
+    for (section, row) in rows {
+        groups
+            .entry((section, row.w, row.threads))
+            .or_default()
+            .push(row);
+    }
+
+    println!("# Speedups vs {baseline} (from {path})");
+    println!(
+        "{:<55} {:>4} {:>4}  scheme:speedup(abort%)",
+        "section", "w", "thr"
+    );
+    for ((section, w, threads), rows) in &groups {
+        let Some(base) = rows.iter().find(|r| r.scheme == baseline) else {
+            continue;
+        };
+        if base.ops_per_s <= 0.0 {
+            continue;
+        }
+        let mut cells: Vec<String> = rows
+            .iter()
+            .filter(|r| r.scheme != baseline)
+            .map(|r| {
+                format!(
+                    "{}:{:.2}x({:.0}%)",
+                    r.scheme,
+                    r.ops_per_s / base.ops_per_s,
+                    r.abort_pct
+                )
+            })
+            .collect();
+        cells.sort();
+        let short: String = section.chars().take(55).collect();
+        println!("{short:<55} {w:>4} {threads:>4}  {}", cells.join(" "));
+    }
+}

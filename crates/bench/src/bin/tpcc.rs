@@ -1,0 +1,73 @@
+//! Figure 10: TPC-C on an in-memory store.
+//!
+//! Prints throughput plus, as in the paper, speedup relative to a
+//! single-threaded SGL execution of the same configuration.
+//!
+//! ```text
+//! cargo run --release -p bench --bin tpcc
+//! ```
+
+use bench::{average, print_header, print_row, Args};
+use workloads::driver::{run_tpcc, TpccParams};
+use workloads::tpcc::TpccScale;
+use workloads::SchemeKind;
+
+fn main() {
+    let args = Args::parse();
+    let threads = args.thread_list(&[1, 2, 4, 8]);
+    let schemes = args.scheme_list(&SchemeKind::SENSITIVITY);
+    let write_pcts: Vec<u32> = match args.get("writes") {
+        Some(v) => v.split(',').map(|s| s.trim().parse().unwrap()).collect(),
+        None => vec![1, 10, 50],
+    };
+    let ops: u64 = args.get_or("ops", 200);
+    let runs: usize = args.get_or("runs", 1);
+    let seed: u64 = args.get_or("seed", 42);
+    let csv = args.flag("csv");
+    let scale = TpccScale::default();
+
+    println!(
+        "# Figure 10 — TPC-C ({} warehouses, {} items); speedup vs SGL @ 1 thread",
+        scale.warehouses, scale.items
+    );
+    println!("# ops/thread={ops} runs={runs} seed={seed}");
+    for &w in &write_pcts {
+        // Paper baseline: single-threaded SGL.
+        let base: Vec<_> = (0..runs)
+            .map(|r| {
+                run_tpcc(&TpccParams {
+                    scheme: SchemeKind::Sgl,
+                    write_pct: w,
+                    threads: 1,
+                    ops_per_thread: ops,
+                    scale,
+                    seed: seed + r as u64,
+                })
+            })
+            .collect();
+        let (_, base_tput, _) = average(&base);
+        println!("\n## w={w}% — SGL@1thr baseline: {base_tput:.0} tx/s");
+        print_header(csv);
+        for &t in &threads {
+            for &scheme in &schemes {
+                let results: Vec<_> = (0..runs)
+                    .map(|r| {
+                        run_tpcc(&TpccParams {
+                            scheme,
+                            write_pct: w,
+                            threads: t,
+                            ops_per_thread: ops,
+                            scale,
+                            seed: seed + r as u64,
+                        })
+                    })
+                    .collect();
+                let (secs, tput, summary) = average(&results);
+                print_row(csv, scheme, t, w, secs, tput, &summary);
+                if !csv {
+                    println!("{:>44} speedup vs SGL@1: {:.2}x", "", tput / base_tput);
+                }
+            }
+        }
+    }
+}

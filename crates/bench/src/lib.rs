@@ -1,0 +1,203 @@
+//! Shared infrastructure for the figure-regeneration binaries.
+//!
+//! Each binary in `src/bin/` regenerates one figure (or figure family) of
+//! the paper, printing the same three panels per configuration — execution
+//! time/throughput, abort-cause breakdown, commit-type breakdown — as
+//! aligned text tables (or CSV with `--csv`).
+//!
+//! Common flags:
+//!
+//! * `--threads 1,2,4,8` — thread counts to sweep;
+//! * `--ops N` — operations per thread;
+//! * `--runs N` — repetitions averaged per configuration;
+//! * `--seed N` — base RNG seed;
+//! * `--csv` — machine-readable output;
+//! * `--full` — the paper's full grid (thread counts up to 80).
+
+#![warn(missing_docs)]
+
+use std::collections::HashMap;
+
+use stats::{AbortBucket, CommitKind, StatsSummary};
+use workloads::driver::RunResult;
+use workloads::SchemeKind;
+
+/// A minimal `--flag value` / `--flag` argument parser.
+pub struct Args {
+    named: HashMap<String, String>,
+    flags: Vec<String>,
+}
+
+impl Args {
+    /// Parses `std::env::args()` (skipping the binary name).
+    pub fn parse() -> Args {
+        let mut named = HashMap::new();
+        let mut flags = Vec::new();
+        let mut it = std::env::args().skip(1).peekable();
+        while let Some(arg) = it.next() {
+            if let Some(name) = arg.strip_prefix("--") {
+                match it.peek() {
+                    Some(v) if !v.starts_with("--") => {
+                        named.insert(name.to_string(), it.next().unwrap());
+                    }
+                    _ => flags.push(name.to_string()),
+                }
+            } else {
+                eprintln!("ignoring stray argument {arg:?}");
+            }
+        }
+        Args { named, flags }
+    }
+
+    /// Named value, if present.
+    pub fn get(&self, name: &str) -> Option<&str> {
+        self.named.get(name).map(|s| s.as_str())
+    }
+
+    /// Bare flag presence.
+    pub fn flag(&self, name: &str) -> bool {
+        self.flags.iter().any(|f| f == name) || self.named.contains_key(name)
+    }
+
+    /// Named value parsed, with a default.
+    pub fn get_or<T: std::str::FromStr>(&self, name: &str, default: T) -> T {
+        match self.get(name) {
+            Some(v) => v.parse().unwrap_or_else(|_| {
+                eprintln!("bad value for --{name}: {v:?}");
+                std::process::exit(2);
+            }),
+            None => default,
+        }
+    }
+
+    /// Comma-separated list of thread counts (`--threads`), with a
+    /// default, capped by `--full`'s paper grid.
+    pub fn thread_list(&self, default: &[usize]) -> Vec<usize> {
+        if let Some(v) = self.get("threads") {
+            return v
+                .split(',')
+                .map(|s| s.trim().parse().expect("bad thread count"))
+                .collect();
+        }
+        if self.flag("full") {
+            // The paper's grid (80-way POWER8).
+            vec![1, 2, 4, 8, 16, 32, 64, 80]
+        } else {
+            default.to_vec()
+        }
+    }
+
+    /// Comma-separated scheme list (`--schemes`), defaulting to the
+    /// sensitivity set.
+    pub fn scheme_list(&self, default: &[SchemeKind]) -> Vec<SchemeKind> {
+        match self.get("schemes") {
+            Some(v) => v
+                .split(',')
+                .map(|s| {
+                    SchemeKind::parse(s.trim()).unwrap_or_else(|| {
+                        eprintln!("unknown scheme {s:?}");
+                        std::process::exit(2);
+                    })
+                })
+                .collect(),
+            None => default.to_vec(),
+        }
+    }
+}
+
+/// Averages repeated runs of one configuration: mean wall-clock and
+/// throughput, breakdown counters summed across runs.
+pub fn average(results: &[RunResult]) -> (f64, f64, StatsSummary) {
+    assert!(!results.is_empty());
+    let mean_secs =
+        results.iter().map(|r| r.wall.as_secs_f64()).sum::<f64>() / results.len() as f64;
+    let mean_tput = results.iter().map(|r| r.throughput()).sum::<f64>() / results.len() as f64;
+    let mut commits = [0u64; 4];
+    let mut aborts = [0u64; 6];
+    let mut ops = 0;
+    for r in results {
+        for (i, k) in CommitKind::ALL.iter().enumerate() {
+            commits[i] += r.summary.commits(*k);
+        }
+        for (i, b) in AbortBucket::ALL.iter().enumerate() {
+            aborts[i] += r.summary.aborts(*b);
+        }
+        ops += r.summary.ops;
+    }
+    (
+        mean_secs,
+        mean_tput,
+        StatsSummary::from_raw(commits, aborts, ops),
+    )
+}
+
+/// Prints the table header for one figure panel set.
+pub fn print_header(csv: bool) {
+    if csv {
+        println!(
+            "scheme,threads,w,time_s,ops_per_s,abort_pct,htm_tx,htm_nontx,htm_cap,lock,rot_cf,rot_cap,c_htm,c_rot,c_sgl,c_uninstr"
+        );
+    } else {
+        println!(
+            "{:<11} {:>3} {:>4} {:>9} {:>12} {:>7} | {:>6} {:>7} {:>7} {:>6} {:>6} {:>7} | {:>6} {:>6} {:>6} {:>8}",
+            "scheme", "thr", "w%", "time(s)", "ops/s", "abort%",
+            "HTMtx", "HTMntx", "HTMcap", "Lock", "ROTcf", "ROTcap",
+            "HTM%", "ROT%", "SGL%", "Uninstr%"
+        );
+    }
+}
+
+/// Prints one result row.
+pub fn print_row(
+    csv: bool,
+    scheme: SchemeKind,
+    threads: usize,
+    w: u32,
+    secs: f64,
+    tput: f64,
+    s: &StatsSummary,
+) {
+    use AbortBucket as B;
+    use CommitKind as C;
+    if csv {
+        println!(
+            "{},{},{},{:.6},{:.1},{:.2},{:.2},{:.2},{:.2},{:.2},{:.2},{:.2},{:.2},{:.2},{:.2},{:.2}",
+            scheme.label(),
+            threads,
+            w,
+            secs,
+            tput,
+            s.abort_rate_pct(),
+            s.abort_share_pct(B::HtmTx),
+            s.abort_share_pct(B::HtmNonTx),
+            s.abort_share_pct(B::HtmCapacity),
+            s.abort_share_pct(B::LockAborts),
+            s.abort_share_pct(B::RotConflicts),
+            s.abort_share_pct(B::RotCapacity),
+            s.commit_share_pct(C::Htm),
+            s.commit_share_pct(C::Rot),
+            s.commit_share_pct(C::Sgl),
+            s.commit_share_pct(C::Uninstrumented),
+        );
+    } else {
+        println!(
+            "{:<11} {:>3} {:>4} {:>9.4} {:>12.0} {:>7.1} | {:>6.1} {:>7.1} {:>7.1} {:>6.1} {:>6.1} {:>7.1} | {:>6.1} {:>6.1} {:>6.1} {:>8.1}",
+            scheme.label(),
+            threads,
+            w,
+            secs,
+            tput,
+            s.abort_rate_pct(),
+            s.abort_share_pct(B::HtmTx),
+            s.abort_share_pct(B::HtmNonTx),
+            s.abort_share_pct(B::HtmCapacity),
+            s.abort_share_pct(B::LockAborts),
+            s.abort_share_pct(B::RotConflicts),
+            s.abort_share_pct(B::RotCapacity),
+            s.commit_share_pct(C::Htm),
+            s.commit_share_pct(C::Rot),
+            s.commit_share_pct(C::Sgl),
+            s.commit_share_pct(C::Uninstrumented),
+        );
+    }
+}

@@ -1,0 +1,298 @@
+//! RCU-like per-thread epoch clocks and quiescence barriers.
+//!
+//! RW-LE readers do not execute inside hardware transactions; instead each
+//! reader maintains a per-thread logical clock that is incremented when
+//! entering and leaving a read-side critical section — odd means "inside".
+//! A writer about to commit runs a *quiescence barrier*: it snapshots all
+//! clocks and waits for every odd clock to change, guaranteeing that every
+//! reader that might have observed pre-commit state has left its critical
+//! section (paper §3.1, `RWLE_SYNCHRONIZE`).
+//!
+//! The crate provides:
+//!
+//! * [`EpochSet`] — the clock array with [`EpochSet::synchronize`] (the
+//!   general two-pass barrier) and
+//!   [`EpochSet::synchronize_blocked_readers`] (the §3.3 single-pass
+//!   optimization, valid when new readers are blocked by a lock).
+//! * Per-thread *lock-version snapshots* used by the fair variant of RW-LE
+//!   (§3.3): [`EpochSet::record_version`] / [`EpochSet::synchronize_fair`],
+//!   which only waits for readers that entered before a given writer
+//!   version.
+//!
+//! # Examples
+//!
+//! ```
+//! use epoch::EpochSet;
+//!
+//! let epochs = EpochSet::new(4);
+//! epochs.enter(2);
+//! assert!(epochs.is_active(2));
+//! epochs.exit(2);
+//! epochs.synchronize(None); // no active readers: returns immediately
+//! ```
+
+#![warn(missing_docs)]
+
+mod reclaim;
+
+pub use reclaim::Reclaimer;
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A cache-line-padded atomic counter.
+///
+/// Each reader clock gets its own line so reader entry/exit (the paper's
+/// "almost free" fast path) never false-shares with other threads.
+#[repr(align(64))]
+struct PaddedU64(AtomicU64);
+
+/// Per-thread epoch clocks plus fair-variant version snapshots.
+pub struct EpochSet {
+    clocks: Box<[PaddedU64]>,
+    /// Fair variant: version of the global lock observed at reader entry.
+    versions: Box<[PaddedU64]>,
+}
+
+impl EpochSet {
+    /// Creates a set of `n` clocks, all initially even (outside).
+    pub fn new(n: usize) -> Self {
+        let mk = |_| PaddedU64(AtomicU64::new(0));
+        EpochSet {
+            clocks: (0..n).map(mk).collect(),
+            versions: (0..n).map(mk).collect(),
+        }
+    }
+
+    /// Number of tracked threads.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.clocks.len()
+    }
+
+    /// Returns `true` if no threads are tracked.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.clocks.is_empty()
+    }
+
+    /// Marks thread `tid` as inside a read-side critical section.
+    ///
+    /// Uses sequentially-consistent ordering: the paper's `MEM_FENCE`
+    /// after the increment, making the odd clock visible to writers before
+    /// any data read.
+    #[inline]
+    pub fn enter(&self, tid: usize) {
+        let c = &self.clocks[tid].0;
+        let v = c.load(Ordering::Relaxed);
+        debug_assert_eq!(v % 2, 0, "nested enter");
+        c.store(v + 1, Ordering::SeqCst);
+    }
+
+    /// Marks thread `tid` as outside its read-side critical section.
+    #[inline]
+    pub fn exit(&self, tid: usize) {
+        let c = &self.clocks[tid].0;
+        let v = c.load(Ordering::Relaxed);
+        debug_assert_eq!(v % 2, 1, "exit without enter");
+        c.store(v + 1, Ordering::SeqCst);
+    }
+
+    /// Returns `true` if thread `tid` is inside a critical section.
+    #[inline]
+    pub fn is_active(&self, tid: usize) -> bool {
+        self.clocks[tid].0.load(Ordering::SeqCst) % 2 == 1
+    }
+
+    /// Reads thread `tid`'s clock.
+    #[inline]
+    pub fn read_clock(&self, tid: usize) -> u64 {
+        self.clocks[tid].0.load(Ordering::SeqCst)
+    }
+
+    /// The general quiescence barrier (`RWLE_SYNCHRONIZE`, Algorithm 1).
+    ///
+    /// Snapshots every clock, then waits until each thread that was inside
+    /// a critical section (odd clock) has moved past that epoch. `skip`
+    /// names the caller's own slot, which must not be waited on.
+    ///
+    /// New readers entering *after* the snapshot are not waited for — they
+    /// are handled by conflict detection (they abort the suspended writer
+    /// if they touch its write set).
+    pub fn synchronize(&self, skip: Option<usize>) {
+        let snapshot: Vec<u64> = self
+            .clocks
+            .iter()
+            .map(|c| c.0.load(Ordering::SeqCst))
+            .collect();
+        for (tid, &snap) in snapshot.iter().enumerate() {
+            if Some(tid) == skip || snap % 2 == 0 {
+                continue;
+            }
+            while self.clocks[tid].0.load(Ordering::SeqCst) == snap {
+                std::thread::yield_now();
+            }
+        }
+    }
+
+    /// Single-pass quiescence (§3.3 optimization).
+    ///
+    /// Valid only when new readers are blocked (the caller holds the
+    /// global lock in a state readers wait on): each clock only needs to
+    /// be observed even once, with no snapshot pass.
+    pub fn synchronize_blocked_readers(&self, skip: Option<usize>) {
+        for tid in 0..self.clocks.len() {
+            if Some(tid) == skip {
+                continue;
+            }
+            while self.clocks[tid].0.load(Ordering::SeqCst) % 2 == 1 {
+                std::thread::yield_now();
+            }
+        }
+    }
+
+    /// Records the lock version a reader observed at entry (fair variant).
+    #[inline]
+    pub fn record_version(&self, tid: usize, version: u64) {
+        self.versions[tid].0.store(version, Ordering::SeqCst);
+    }
+
+    /// Fair quiescence: waits only for active readers whose recorded
+    /// version is older than `writer_version` (§3.3).
+    ///
+    /// Readers that observed the writer's own (or a newer) version are
+    /// serialized after it by construction and need not be waited for.
+    pub fn synchronize_fair(&self, skip: Option<usize>, writer_version: u64) {
+        let snapshot: Vec<u64> = self
+            .clocks
+            .iter()
+            .map(|c| c.0.load(Ordering::SeqCst))
+            .collect();
+        for (tid, &snap) in snapshot.iter().enumerate() {
+            if Some(tid) == skip || snap % 2 == 0 {
+                continue;
+            }
+            if self.versions[tid].0.load(Ordering::SeqCst) >= writer_version {
+                continue;
+            }
+            while self.clocks[tid].0.load(Ordering::SeqCst) == snap {
+                std::thread::yield_now();
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn enter_exit_toggles_activity() {
+        let e = EpochSet::new(2);
+        assert!(!e.is_active(0));
+        e.enter(0);
+        assert!(e.is_active(0));
+        assert!(!e.is_active(1));
+        e.exit(0);
+        assert!(!e.is_active(0));
+        assert_eq!(e.read_clock(0), 2);
+    }
+
+    #[test]
+    fn synchronize_with_no_readers_returns() {
+        let e = EpochSet::new(8);
+        e.synchronize(None);
+        e.synchronize_blocked_readers(None);
+        e.synchronize_fair(None, 1);
+    }
+
+    #[test]
+    fn synchronize_skips_self() {
+        let e = EpochSet::new(2);
+        e.enter(0);
+        // Would deadlock if slot 0 were waited on.
+        e.synchronize(Some(0));
+        e.synchronize_blocked_readers(Some(0));
+        e.exit(0);
+    }
+
+    #[test]
+    fn synchronize_waits_for_active_reader() {
+        let e = Arc::new(EpochSet::new(2));
+        e.enter(1);
+        let e2 = Arc::clone(&e);
+        let h = std::thread::spawn(move || {
+            std::thread::sleep(std::time::Duration::from_millis(20));
+            e2.exit(1);
+        });
+        let t0 = std::time::Instant::now();
+        e.synchronize(Some(0));
+        assert!(
+            t0.elapsed() >= std::time::Duration::from_millis(15),
+            "must have waited for the reader to drain"
+        );
+        h.join().unwrap();
+    }
+
+    #[test]
+    fn synchronize_does_not_wait_for_new_readers() {
+        // A reader that exits and re-enters crosses the snapshot barrier:
+        // the clock changed, which is all the barrier waits for.
+        let e = Arc::new(EpochSet::new(2));
+        e.enter(1);
+        let e2 = Arc::clone(&e);
+        let h = std::thread::spawn(move || {
+            std::thread::sleep(std::time::Duration::from_millis(10));
+            e2.exit(1);
+            e2.enter(1); // re-enter; barrier must not wait for this one
+        });
+        e.synchronize(Some(0));
+        h.join().unwrap();
+        assert!(e.is_active(1), "new critical section still running");
+    }
+
+    #[test]
+    fn fair_synchronize_ignores_newer_readers() {
+        let e = EpochSet::new(2);
+        e.enter(1);
+        e.record_version(1, 5);
+        // Writer at version 5: reader recorded version 5 (>= 5) → no wait.
+        e.synchronize_fair(Some(0), 5);
+        // Writer at version 6: reader version 5 < 6 → must wait.
+        let waited = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        std::thread::scope(|s| {
+            let e = &e;
+            let w = Arc::clone(&waited);
+            s.spawn(move || {
+                std::thread::sleep(std::time::Duration::from_millis(10));
+                w.store(true, Ordering::SeqCst);
+                e.exit(1);
+            });
+            e.synchronize_fair(Some(0), 6);
+            assert!(waited.load(Ordering::SeqCst), "waited for older reader");
+        });
+    }
+
+    #[test]
+    fn blocked_readers_barrier_waits_until_even() {
+        let e = Arc::new(EpochSet::new(3));
+        e.enter(2);
+        let e2 = Arc::clone(&e);
+        let h = std::thread::spawn(move || {
+            std::thread::sleep(std::time::Duration::from_millis(10));
+            e2.exit(2);
+        });
+        e.synchronize_blocked_readers(Some(0));
+        assert!(!e.is_active(2));
+        h.join().unwrap();
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "nested enter")]
+    fn nested_enter_panics_in_debug() {
+        let e = EpochSet::new(1);
+        e.enter(0);
+        e.enter(0);
+    }
+}

@@ -1,0 +1,280 @@
+//! Classic hardware lock elision (HLE) over the simulated HTM.
+//!
+//! This is the paper's primary competitor (§2, Rajwar & Goodman): every
+//! critical section — reader or writer alike — first runs as a hardware
+//! transaction that *subscribes* the elided lock (reads it transactionally
+//! and aborts if busy, so a pessimistic acquirer kills all speculative
+//! executions). After a bounded number of failed attempts, or immediately
+//! on a persistent failure such as a capacity overflow, the section falls
+//! back to physically acquiring the lock, serializing everyone.
+//!
+//! The elided lock word lives in *simulated* memory so that subscription
+//! works through the HTM conflict machinery itself: the fallback path's
+//! compare-and-swap dooms every transaction that has the lock's line in
+//! its read set.
+//!
+//! # Examples
+//!
+//! ```
+//! use std::sync::Arc;
+//! use htm::{HtmConfig, HtmRuntime};
+//! use simmem::{Addr, SharedMem, SimAlloc};
+//! use stats::ThreadStats;
+//! use hle::Hle;
+//!
+//! let mem = Arc::new(SharedMem::new_lines(64));
+//! let rt = HtmRuntime::new(Arc::clone(&mem), HtmConfig::default());
+//! let alloc = SimAlloc::with_base(Arc::clone(&mem), Addr(8));
+//! let hle = Hle::new(Addr(0)); // line 0 reserved for the lock word
+//! let data = alloc.alloc(1).unwrap();
+//!
+//! let mut ctx = rt.register();
+//! let mut st = ThreadStats::new();
+//! let v = hle.execute(&mut ctx, &mut st, &mut |acc| {
+//!     let v = acc.read(data)?;
+//!     acc.write(data, v + 1)?;
+//!     Ok(v + 1)
+//! });
+//! assert_eq!(v, 1);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod adaptive;
+pub mod scm;
+
+pub use adaptive::AdaptiveHle;
+pub use scm::ScmHle;
+
+use simmem::Addr;
+
+use htm::{AbortCause, MemAccess, ThreadCtx, TxMode, ABORT_LOCK_BUSY};
+use stats::{CommitKind, ThreadStats};
+
+/// Lock-word value when free.
+pub const LOCK_FREE: u64 = 0;
+/// Lock-word value when held by the non-speculative fallback path.
+pub const LOCK_HELD: u64 = 1;
+
+/// Default transactional retry budget (the paper found 5 best on average).
+pub const DEFAULT_MAX_RETRIES: u32 = 5;
+
+/// A single-global-lock elision wrapper.
+///
+/// The lock word must be a reserved word of simulated memory whose cache
+/// line holds no workload data (lest every data access conflict with the
+/// subscription).
+pub struct Hle {
+    lock: Addr,
+    max_retries: u32,
+}
+
+impl Hle {
+    /// Creates an HLE wrapper around the lock word at `lock`.
+    pub fn new(lock: Addr) -> Self {
+        Self::with_retries(lock, DEFAULT_MAX_RETRIES)
+    }
+
+    /// Creates an HLE wrapper with a custom transactional retry budget.
+    pub fn with_retries(lock: Addr, max_retries: u32) -> Self {
+        Hle { lock, max_retries }
+    }
+
+    /// Address of the elided lock word.
+    pub fn lock_addr(&self) -> Addr {
+        self.lock
+    }
+
+    /// Executes `body` as an elided critical section.
+    ///
+    /// The body runs speculatively up to the retry budget, then under the
+    /// physical lock. It must be idempotent up to its [`MemAccess`]
+    /// effects (it may run several times; only the final run's effects
+    /// survive).
+    pub fn execute<R>(
+        &self,
+        ctx: &mut ThreadCtx,
+        stats: &mut ThreadStats,
+        body: &mut dyn FnMut(&mut dyn MemAccess) -> Result<R, AbortCause>,
+    ) -> R {
+        let mut attempts = 0;
+        while attempts < self.max_retries {
+            // Standard HLE: do not even start while the lock is held.
+            while ctx.read_nt(self.lock) != LOCK_FREE {
+                std::thread::yield_now();
+            }
+            let mut tx = ctx.begin(TxMode::Htm);
+            let lock = self.lock;
+            let result = (|| -> Result<R, AbortCause> {
+                // Eager subscription: the lock joins the read set, so a
+                // fallback acquirer dooms us through conflict detection.
+                if tx.read(lock)? != LOCK_FREE {
+                    return Err(AbortCause::Explicit(ABORT_LOCK_BUSY));
+                }
+                body(&mut tx)
+            })();
+            match result {
+                Ok(r) => match tx.commit() {
+                    Ok(()) => {
+                        stats.commit(CommitKind::Htm);
+                        return r;
+                    }
+                    Err(cause) => {
+                        stats.abort(TxMode::Htm, cause);
+                        attempts += 1;
+                        if cause.is_persistent() {
+                            break;
+                        }
+                    }
+                },
+                Err(cause) => {
+                    drop(tx); // roll back any speculative state
+                    stats.abort(TxMode::Htm, cause);
+                    attempts += 1;
+                    if cause.is_persistent() {
+                        break;
+                    }
+                }
+            }
+            std::thread::yield_now();
+        }
+        // Non-speculative fallback: acquire the lock for real. The
+        // successful CAS dooms every subscribed transaction.
+        loop {
+            if ctx.cas_nt(self.lock, LOCK_FREE, LOCK_HELD).is_ok() {
+                break;
+            }
+            std::thread::yield_now();
+        }
+        let mut nt = ctx.non_tx();
+        let r = body(&mut nt).expect("non-transactional execution cannot abort");
+        ctx.write_nt(self.lock, LOCK_FREE);
+        stats.commit(CommitKind::Sgl);
+        r
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use htm::{HtmConfig, HtmRuntime};
+    use simmem::{SharedMem, SimAlloc};
+    use std::sync::Arc;
+
+    fn setup(lines: u32, cfg: HtmConfig) -> (Arc<SharedMem>, Arc<HtmRuntime>, SimAlloc, Hle) {
+        let mem = Arc::new(SharedMem::new_lines(lines));
+        let rt = HtmRuntime::new(Arc::clone(&mem), cfg);
+        // Line 0 is reserved for the HLE lock word.
+        let alloc = SimAlloc::with_base(Arc::clone(&mem), Addr(8));
+        let hle = Hle::new(Addr(0));
+        (mem, rt, alloc, hle)
+    }
+
+    #[test]
+    fn single_thread_commits_in_htm() {
+        let (_mem, rt, alloc, hle) = setup(64, HtmConfig::default());
+        let data = alloc.alloc(1).unwrap();
+        let mut ctx = rt.register();
+        let mut st = ThreadStats::new();
+        for _ in 0..10 {
+            hle.execute(&mut ctx, &mut st, &mut |acc| {
+                let v = acc.read(data)?;
+                acc.write(data, v + 1)?;
+                Ok(())
+            });
+        }
+        assert_eq!(st.commits(CommitKind::Htm), 10);
+        assert_eq!(st.commits(CommitKind::Sgl), 0);
+        assert_eq!(rt.mem().load(data), 10);
+    }
+
+    #[test]
+    fn capacity_failure_falls_back_to_lock() {
+        let cfg = HtmConfig {
+            htm_read_capacity: 4,
+            ..HtmConfig::default()
+        };
+        let (_mem, rt, alloc, hle) = setup(256, cfg);
+        let base = alloc.alloc(8 * 16).unwrap();
+        let mut ctx = rt.register();
+        let mut st = ThreadStats::new();
+        hle.execute(&mut ctx, &mut st, &mut |acc| {
+            // Read 16 distinct lines: exceeds the 4-line budget.
+            let mut sum = 0;
+            for i in 0..16u32 {
+                sum += acc.read(base.offset(i * 8))?;
+            }
+            Ok(sum)
+        });
+        assert_eq!(st.commits(CommitKind::Sgl), 1, "must use the fallback");
+        assert_eq!(
+            st.aborts(stats::AbortBucket::HtmCapacity),
+            1,
+            "persistent cause short-circuits the retry budget"
+        );
+    }
+
+    #[test]
+    fn fallback_aborts_concurrent_speculation() {
+        // Thread A starts a transaction subscribed to the lock; thread B
+        // takes the fallback; A must observe a doom.
+        let (_mem, rt, alloc, hle) = setup(64, HtmConfig::default());
+        let data = alloc.alloc(1).unwrap();
+        let mut a = rt.register();
+        let b = rt.register();
+        let mut tx = a.begin(TxMode::Htm);
+        assert_eq!(tx.read(hle.lock_addr()).unwrap(), LOCK_FREE);
+        tx.write(data, 7).unwrap();
+        // B acquires the lock pessimistically (CAS on the lock line).
+        assert!(b.cas_nt(hle.lock_addr(), LOCK_FREE, LOCK_HELD).is_ok());
+        assert_eq!(tx.commit(), Err(AbortCause::ConflictNonTx));
+        b.write_nt(hle.lock_addr(), LOCK_FREE);
+    }
+
+    #[test]
+    fn concurrent_increments_are_correct() {
+        let (mem, rt, _alloc, hle) = setup(64, HtmConfig::default());
+        let data = Addr(8); // line 1
+        let hle = Arc::new(hle);
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let rt = Arc::clone(&rt);
+                let hle = Arc::clone(&hle);
+                s.spawn(move || {
+                    let mut ctx = rt.register();
+                    let mut st = ThreadStats::new();
+                    for _ in 0..250 {
+                        hle.execute(&mut ctx, &mut st, &mut |acc| {
+                            let v = acc.read(data)?;
+                            acc.write(data, v + 1)?;
+                            Ok(())
+                        });
+                    }
+                });
+            }
+        });
+        assert_eq!(mem.load(data), 1000);
+    }
+
+    #[test]
+    fn lock_busy_subscription_aborts_and_retries() {
+        let (_mem, rt, alloc, hle) = setup(64, HtmConfig::default());
+        let data = alloc.alloc(1).unwrap();
+        let holder = rt.register();
+        let mut worker = rt.register();
+        // Hold the lock non-speculatively, release it shortly after.
+        assert!(holder.cas_nt(hle.lock_addr(), LOCK_FREE, LOCK_HELD).is_ok());
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                std::thread::sleep(std::time::Duration::from_millis(10));
+                holder.write_nt(hle.lock_addr(), LOCK_FREE);
+            });
+            let mut st = ThreadStats::new();
+            hle.execute(&mut worker, &mut st, &mut |acc| {
+                acc.write(data, 1)?;
+                Ok(())
+            });
+            assert_eq!(st.commits(CommitKind::Htm), 1, "commits once lock frees");
+        });
+    }
+}

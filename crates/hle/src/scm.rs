@@ -1,0 +1,213 @@
+//! Software-assisted conflict management for HLE (Afek, Levy & Morrison,
+//! PODC '14 — paper §2).
+//!
+//! Plain HLE wastes its retry budget when transactions keep colliding
+//! with each other and then falls back to the serial lock, killing *all*
+//! concurrency. SCM inserts an **auxiliary lock**: a transaction that
+//! aborts due to a *conflict* retries while holding the auxiliary lock —
+//! still as a hardware transaction subscribed to the main lock, so it
+//! runs concurrently with non-conflicting transactions, but serialized
+//! against the other conflictors. Only persistent failures (capacity)
+//! still take the pessimistic fallback.
+
+use locks::SpinMutex;
+use simmem::Addr;
+
+use htm::{AbortCause, MemAccess, ThreadCtx, TxMode, ABORT_LOCK_BUSY};
+use stats::{CommitKind, ThreadStats};
+
+use crate::{LOCK_FREE, LOCK_HELD};
+
+/// HLE with software-assisted conflict management.
+pub struct ScmHle {
+    lock: Addr,
+    /// Auxiliary serialization lock — software-side only, never elided.
+    aux: SpinMutex,
+    max_retries: u32,
+    max_aux_retries: u32,
+}
+
+impl ScmHle {
+    /// Creates an SCM-managed HLE around the lock word at `lock`.
+    pub fn new(lock: Addr) -> Self {
+        ScmHle {
+            lock,
+            aux: SpinMutex::new(),
+            max_retries: crate::DEFAULT_MAX_RETRIES,
+            max_aux_retries: crate::DEFAULT_MAX_RETRIES,
+        }
+    }
+
+    /// Address of the elided lock word.
+    pub fn lock_addr(&self) -> Addr {
+        self.lock
+    }
+
+    /// One transactional attempt (with eager main-lock subscription).
+    fn attempt<R>(
+        &self,
+        ctx: &mut ThreadCtx,
+        body: &mut dyn FnMut(&mut dyn MemAccess) -> Result<R, AbortCause>,
+    ) -> Result<R, AbortCause> {
+        while ctx.read_nt(self.lock) != LOCK_FREE {
+            std::thread::yield_now();
+        }
+        let mut tx = ctx.begin(TxMode::Htm);
+        let result = (|| -> Result<R, AbortCause> {
+            if tx.read(self.lock)? != LOCK_FREE {
+                return Err(AbortCause::Explicit(ABORT_LOCK_BUSY));
+            }
+            body(&mut tx)
+        })();
+        match result {
+            Ok(r) => {
+                tx.commit()?;
+                Ok(r)
+            }
+            Err(cause) => {
+                drop(tx);
+                Err(cause)
+            }
+        }
+    }
+
+    /// Executes `body` as an elided critical section under SCM.
+    pub fn execute<R>(
+        &self,
+        ctx: &mut ThreadCtx,
+        stats: &mut ThreadStats,
+        body: &mut dyn FnMut(&mut dyn MemAccess) -> Result<R, AbortCause>,
+    ) -> R {
+        // Phase 1: optimistic attempts, no auxiliary serialization.
+        let mut saw_conflict = false;
+        for _ in 0..self.max_retries {
+            match self.attempt(ctx, body) {
+                Ok(r) => {
+                    stats.commit(CommitKind::Htm);
+                    return r;
+                }
+                Err(cause) => {
+                    stats.abort(TxMode::Htm, cause);
+                    if cause.is_persistent() {
+                        saw_conflict = false;
+                        break;
+                    }
+                    saw_conflict =
+                        matches!(cause, AbortCause::ConflictTx | AbortCause::ConflictNonTx)
+                            || saw_conflict;
+                    if saw_conflict {
+                        break; // escalate to the auxiliary lock
+                    }
+                }
+            }
+            std::thread::yield_now();
+        }
+        // Phase 2: serialize conflictors behind the auxiliary lock while
+        // still running in hardware.
+        if saw_conflict {
+            let _aux = self.aux.lock();
+            for _ in 0..self.max_aux_retries {
+                match self.attempt(ctx, body) {
+                    Ok(r) => {
+                        stats.commit(CommitKind::Htm);
+                        return r;
+                    }
+                    Err(cause) => {
+                        stats.abort(TxMode::Htm, cause);
+                        if cause.is_persistent() {
+                            break;
+                        }
+                    }
+                }
+                std::thread::yield_now();
+            }
+        }
+        // Phase 3: pessimistic fallback (serializes everyone).
+        loop {
+            if ctx.cas_nt(self.lock, LOCK_FREE, LOCK_HELD).is_ok() {
+                break;
+            }
+            std::thread::yield_now();
+        }
+        let mut nt = ctx.non_tx();
+        let r = body(&mut nt).expect("non-transactional execution cannot abort");
+        ctx.write_nt(self.lock, LOCK_FREE);
+        stats.commit(CommitKind::Sgl);
+        r
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use htm::{HtmConfig, HtmRuntime};
+    use simmem::{SharedMem, SimAlloc};
+    use std::sync::Arc;
+
+    #[test]
+    fn single_thread_commits_in_htm() {
+        let mem = Arc::new(SharedMem::new_lines(64));
+        let rt = HtmRuntime::new(Arc::clone(&mem), HtmConfig::default());
+        let alloc = SimAlloc::with_base(Arc::clone(&mem), Addr(8));
+        let scm = ScmHle::new(Addr(0));
+        let data = alloc.alloc(1).unwrap();
+        let mut ctx = rt.register();
+        let mut st = ThreadStats::new();
+        for _ in 0..5 {
+            scm.execute(&mut ctx, &mut st, &mut |acc| {
+                let v = acc.read(data)?;
+                acc.write(data, v + 1)
+            });
+        }
+        assert_eq!(st.commits(CommitKind::Htm), 5);
+        assert_eq!(rt.mem().load(data), 5);
+    }
+
+    #[test]
+    fn contended_counter_is_exact() {
+        let mem = Arc::new(SharedMem::new_lines(64));
+        let rt = HtmRuntime::new(Arc::clone(&mem), HtmConfig::default());
+        let scm = Arc::new(ScmHle::new(Addr(0)));
+        let data = Addr(8);
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let rt = Arc::clone(&rt);
+                let scm = Arc::clone(&scm);
+                s.spawn(move || {
+                    let mut ctx = rt.register();
+                    let mut st = ThreadStats::new();
+                    for _ in 0..200 {
+                        scm.execute(&mut ctx, &mut st, &mut |acc| {
+                            let v = acc.read(data)?;
+                            acc.write(data, v + 1)
+                        });
+                    }
+                });
+            }
+        });
+        assert_eq!(mem.load(Addr(8)), 800);
+    }
+
+    #[test]
+    fn capacity_still_falls_back_to_lock() {
+        let cfg = HtmConfig {
+            htm_read_capacity: 4,
+            ..HtmConfig::default()
+        };
+        let mem = Arc::new(SharedMem::new_lines(256));
+        let rt = HtmRuntime::new(Arc::clone(&mem), cfg);
+        let alloc = SimAlloc::with_base(Arc::clone(&mem), Addr(8));
+        let scm = ScmHle::new(Addr(0));
+        let base = alloc.alloc(8 * 16).unwrap();
+        let mut ctx = rt.register();
+        let mut st = ThreadStats::new();
+        scm.execute(&mut ctx, &mut st, &mut |acc| {
+            let mut sum = 0;
+            for i in 0..16u32 {
+                sum += acc.read(base.offset(i * 8))?;
+            }
+            Ok(sum)
+        });
+        assert_eq!(st.commits(CommitKind::Sgl), 1);
+    }
+}

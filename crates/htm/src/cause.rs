@@ -1,0 +1,118 @@
+//! Transaction modes and abort causes.
+
+use core::fmt;
+
+/// The kind of hardware transaction in progress.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TxMode {
+    /// A regular hardware transaction: both loads and stores are tracked,
+    /// both are subject to capacity limits, and conflicts on either abort
+    /// the transaction.
+    Htm,
+    /// A rollback-only transaction (ROT): stores are tracked and buffered
+    /// speculatively, loads are *not* tracked (unbounded read footprint,
+    /// no read-side conflict detection). Matches the POWER8 `tbegin.` with
+    /// the ROT bit set, including aggregate-store commit appearance.
+    Rot,
+}
+
+/// Why a transaction aborted.
+///
+/// Mirrors the failure classes the paper distinguishes in its abort-rate
+/// breakdowns (§4): conflicts with transactional code, conflicts with
+/// non-transactional code (which on real hardware also covers VM-subsystem
+/// interrupts like paging), capacity overflow, and explicit aborts (used by
+/// lock elision when a subscribed lock turns out to be busy).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AbortCause {
+    /// Doomed by a conflicting access from another transaction.
+    ConflictTx,
+    /// Doomed by a conflicting access from non-transactional code.
+    ConflictNonTx,
+    /// The read- or write-set exceeded the hardware tracking capacity.
+    Capacity,
+    /// A transient interrupt (simulated page fault / scheduler interrupt).
+    TransientInterrupt,
+    /// The program aborted the transaction itself, with a user code.
+    Explicit(u8),
+}
+
+/// Explicit-abort code used by elision layers when a subscribed lock is
+/// observed busy inside the transaction.
+pub const ABORT_LOCK_BUSY: u8 = 1;
+
+impl AbortCause {
+    /// Whether retrying the same transaction is likely to fail again.
+    ///
+    /// This drives the paper's `PATH` policy: persistent failures skip the
+    /// remaining retry budget of the current path (§3.2). Capacity is the
+    /// canonical persistent cause; everything else is transient.
+    #[inline]
+    pub fn is_persistent(self) -> bool {
+        matches!(self, AbortCause::Capacity)
+    }
+
+    pub(crate) fn encode(self) -> (u8, u8) {
+        match self {
+            AbortCause::ConflictTx => (1, 0),
+            AbortCause::ConflictNonTx => (2, 0),
+            AbortCause::Capacity => (3, 0),
+            AbortCause::TransientInterrupt => (4, 0),
+            AbortCause::Explicit(code) => (5, code),
+        }
+    }
+
+    pub(crate) fn decode(tag: u8, code: u8) -> Self {
+        match tag {
+            1 => AbortCause::ConflictTx,
+            2 => AbortCause::ConflictNonTx,
+            3 => AbortCause::Capacity,
+            4 => AbortCause::TransientInterrupt,
+            5 => AbortCause::Explicit(code),
+            _ => unreachable!("invalid abort cause tag {tag}"),
+        }
+    }
+}
+
+impl fmt::Display for AbortCause {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AbortCause::ConflictTx => write!(f, "conflict with transaction"),
+            AbortCause::ConflictNonTx => write!(f, "conflict with non-transactional access"),
+            AbortCause::Capacity => write!(f, "capacity exceeded"),
+            AbortCause::TransientInterrupt => write!(f, "transient interrupt"),
+            AbortCause::Explicit(code) => write!(f, "explicit abort (code {code})"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let causes = [
+            AbortCause::ConflictTx,
+            AbortCause::ConflictNonTx,
+            AbortCause::Capacity,
+            AbortCause::TransientInterrupt,
+            AbortCause::Explicit(0),
+            AbortCause::Explicit(ABORT_LOCK_BUSY),
+            AbortCause::Explicit(255),
+        ];
+        for c in causes {
+            let (tag, code) = c.encode();
+            assert_eq!(AbortCause::decode(tag, code), c);
+        }
+    }
+
+    #[test]
+    fn persistence_classification() {
+        assert!(AbortCause::Capacity.is_persistent());
+        assert!(!AbortCause::ConflictTx.is_persistent());
+        assert!(!AbortCause::ConflictNonTx.is_persistent());
+        assert!(!AbortCause::TransientInterrupt.is_persistent());
+        assert!(!AbortCause::Explicit(1).is_persistent());
+    }
+}

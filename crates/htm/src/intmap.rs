@@ -1,0 +1,314 @@
+//! Small open-addressing hash containers for `u32` keys.
+//!
+//! Transactional read/write sets are touched on every simulated memory
+//! access, so the engine uses these purpose-built containers instead of
+//! `std::collections` (whose SipHash default dominates the hot path).
+//! Keys are word/line indices, which never reach `u32::MAX` (the allocator
+//! caps memory below it), so the all-ones pattern serves as the empty slot
+//! marker. Deletion is not supported — transaction sets are only ever
+//! cleared wholesale.
+
+const EMPTY: u32 = u32::MAX;
+
+#[inline]
+fn hash32(mut x: u32) -> u32 {
+    // Finalizer from MurmurHash3: cheap, good avalanche for dense indices.
+    x ^= x >> 16;
+    x = x.wrapping_mul(0x85eb_ca6b);
+    x ^= x >> 13;
+    x = x.wrapping_mul(0xc2b2_ae35);
+    x ^= x >> 16;
+    x
+}
+
+/// An insert-only set of `u32` keys (no `u32::MAX`).
+pub struct IntSet {
+    slots: Vec<u32>,
+    mask: usize,
+    len: usize,
+}
+
+impl IntSet {
+    /// Creates a set with capacity for at least `cap` keys before growth.
+    pub fn with_capacity(cap: usize) -> Self {
+        let size = (cap.max(8) * 2).next_power_of_two();
+        IntSet {
+            slots: vec![EMPTY; size],
+            mask: size - 1,
+            len: 0,
+        }
+    }
+
+    /// Number of keys in the set.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Returns `true` if the set is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Inserts `key`; returns `true` if it was not already present.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `key == u32::MAX` (reserved).
+    #[inline]
+    pub fn insert(&mut self, key: u32) -> bool {
+        debug_assert_ne!(key, EMPTY, "u32::MAX is reserved");
+        if (self.len + 1) * 4 >= self.slots.len() * 3 {
+            self.grow();
+        }
+        let mut i = hash32(key) as usize & self.mask;
+        loop {
+            let s = self.slots[i];
+            if s == key {
+                return false;
+            }
+            if s == EMPTY {
+                self.slots[i] = key;
+                self.len += 1;
+                return true;
+            }
+            i = (i + 1) & self.mask;
+        }
+    }
+
+    /// Returns `true` if `key` is in the set.
+    #[inline]
+    pub fn contains(&self, key: u32) -> bool {
+        let mut i = hash32(key) as usize & self.mask;
+        loop {
+            let s = self.slots[i];
+            if s == key {
+                return true;
+            }
+            if s == EMPTY {
+                return false;
+            }
+            i = (i + 1) & self.mask;
+        }
+    }
+
+    /// Removes all keys, keeping the allocation.
+    pub fn clear(&mut self) {
+        self.slots.fill(EMPTY);
+        self.len = 0;
+    }
+
+    /// Iterates over the keys in unspecified order.
+    pub fn iter(&self) -> impl Iterator<Item = u32> + '_ {
+        self.slots.iter().copied().filter(|&k| k != EMPTY)
+    }
+
+    fn grow(&mut self) {
+        let new_size = self.slots.len() * 2;
+        let old = std::mem::replace(&mut self.slots, vec![EMPTY; new_size]);
+        self.mask = new_size - 1;
+        self.len = 0;
+        for k in old {
+            if k != EMPTY {
+                self.insert(k);
+            }
+        }
+    }
+}
+
+/// An insert-or-update map from `u32` keys (no `u32::MAX`) to `u64` values.
+pub struct IntMap {
+    keys: Vec<u32>,
+    vals: Vec<u64>,
+    mask: usize,
+    len: usize,
+}
+
+impl IntMap {
+    /// Creates a map with capacity for at least `cap` entries before growth.
+    pub fn with_capacity(cap: usize) -> Self {
+        let size = (cap.max(8) * 2).next_power_of_two();
+        IntMap {
+            keys: vec![EMPTY; size],
+            vals: vec![0; size],
+            mask: size - 1,
+            len: 0,
+        }
+    }
+
+    /// Number of entries in the map.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Returns `true` if the map is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Inserts or updates `key`.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `key == u32::MAX` (reserved).
+    #[inline]
+    pub fn insert(&mut self, key: u32, val: u64) {
+        debug_assert_ne!(key, EMPTY, "u32::MAX is reserved");
+        if (self.len + 1) * 4 >= self.keys.len() * 3 {
+            self.grow();
+        }
+        let mut i = hash32(key) as usize & self.mask;
+        loop {
+            let s = self.keys[i];
+            if s == key {
+                self.vals[i] = val;
+                return;
+            }
+            if s == EMPTY {
+                self.keys[i] = key;
+                self.vals[i] = val;
+                self.len += 1;
+                return;
+            }
+            i = (i + 1) & self.mask;
+        }
+    }
+
+    /// Looks up `key`.
+    #[inline]
+    pub fn get(&self, key: u32) -> Option<u64> {
+        let mut i = hash32(key) as usize & self.mask;
+        loop {
+            let s = self.keys[i];
+            if s == key {
+                return Some(self.vals[i]);
+            }
+            if s == EMPTY {
+                return None;
+            }
+            i = (i + 1) & self.mask;
+        }
+    }
+
+    /// Removes all entries, keeping the allocation.
+    pub fn clear(&mut self) {
+        self.keys.fill(EMPTY);
+        self.len = 0;
+    }
+
+    /// Iterates over `(key, value)` pairs in unspecified order.
+    pub fn iter(&self) -> impl Iterator<Item = (u32, u64)> + '_ {
+        self.keys
+            .iter()
+            .zip(self.vals.iter())
+            .filter(|(&k, _)| k != EMPTY)
+            .map(|(&k, &v)| (k, v))
+    }
+
+    fn grow(&mut self) {
+        let new_size = self.keys.len() * 2;
+        let old_keys = std::mem::replace(&mut self.keys, vec![EMPTY; new_size]);
+        let old_vals = std::mem::replace(&mut self.vals, vec![0; new_size]);
+        self.mask = new_size - 1;
+        self.len = 0;
+        for (k, v) in old_keys.into_iter().zip(old_vals) {
+            if k != EMPTY {
+                self.insert(k, v);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_insert_contains_clear() {
+        let mut s = IntSet::with_capacity(4);
+        assert!(s.insert(3));
+        assert!(s.insert(11));
+        assert!(!s.insert(3), "duplicate insert reports false");
+        assert!(s.contains(3));
+        assert!(s.contains(11));
+        assert!(!s.contains(7));
+        assert_eq!(s.len(), 2);
+        s.clear();
+        assert!(s.is_empty());
+        assert!(!s.contains(3));
+    }
+
+    #[test]
+    fn set_grows_past_initial_capacity() {
+        let mut s = IntSet::with_capacity(2);
+        for k in 0..10_000u32 {
+            assert!(s.insert(k * 7 + 1));
+        }
+        assert_eq!(s.len(), 10_000);
+        for k in 0..10_000u32 {
+            assert!(s.contains(k * 7 + 1));
+        }
+    }
+
+    #[test]
+    fn set_iter_yields_all_keys() {
+        let mut s = IntSet::with_capacity(8);
+        let keys = [5u32, 900, 42, 0, 77];
+        for &k in &keys {
+            s.insert(k);
+        }
+        let mut got: Vec<u32> = s.iter().collect();
+        got.sort_unstable();
+        let mut want = keys.to_vec();
+        want.sort_unstable();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn map_insert_get_update() {
+        let mut m = IntMap::with_capacity(4);
+        m.insert(1, 10);
+        m.insert(2, 20);
+        m.insert(1, 11); // update
+        assert_eq!(m.get(1), Some(11));
+        assert_eq!(m.get(2), Some(20));
+        assert_eq!(m.get(3), None);
+        assert_eq!(m.len(), 2);
+    }
+
+    #[test]
+    fn map_grows_and_preserves_entries() {
+        let mut m = IntMap::with_capacity(2);
+        for k in 0..5_000u32 {
+            m.insert(k, (k as u64) << 8);
+        }
+        for k in 0..5_000u32 {
+            assert_eq!(m.get(k), Some((k as u64) << 8));
+        }
+    }
+
+    #[test]
+    fn map_clear_keeps_working() {
+        let mut m = IntMap::with_capacity(4);
+        m.insert(9, 1);
+        m.clear();
+        assert!(m.is_empty());
+        assert_eq!(m.get(9), None);
+        m.insert(9, 2);
+        assert_eq!(m.get(9), Some(2));
+    }
+
+    #[test]
+    fn zero_key_works() {
+        // 0 must be a valid key (only u32::MAX is reserved).
+        let mut s = IntSet::with_capacity(4);
+        assert!(s.insert(0));
+        assert!(s.contains(0));
+        let mut m = IntMap::with_capacity(4);
+        m.insert(0, 99);
+        assert_eq!(m.get(0), Some(99));
+    }
+}

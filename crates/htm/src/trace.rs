@@ -1,0 +1,163 @@
+//! Optional event tracing for the HTM engine.
+//!
+//! When enabled (via [`TraceBuffer::new`] attached through
+//! [`crate::HtmRuntime::attach_tracer`]), the engine records transaction
+//! lifecycle events into a bounded ring buffer that can be rendered as a
+//! per-slot timeline — invaluable when debugging elision-layer
+//! interleavings.
+//!
+//! Tracing is off by default and costs one relaxed atomic load per event
+//! site when disabled.
+
+use std::fmt;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use crate::cause::AbortCause;
+
+/// A traced engine event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceEvent {
+    /// Transaction began (HTM = true, ROT = false).
+    Begin {
+        /// `true` for a regular HTM transaction, `false` for a ROT.
+        htm: bool,
+    },
+    /// Transaction committed.
+    Commit,
+    /// Transaction aborted with the recorded cause.
+    Abort(AbortCause),
+    /// This slot's transaction was doomed by `by_slot`.
+    DoomedBy {
+        /// Slot of the conflicting requester.
+        by_slot: usize,
+    },
+}
+
+impl fmt::Display for TraceEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceEvent::Begin { htm: true } => write!(f, "begin(HTM)"),
+            TraceEvent::Begin { htm: false } => write!(f, "begin(ROT)"),
+            TraceEvent::Commit => write!(f, "commit"),
+            TraceEvent::Abort(cause) => write!(f, "abort[{cause}]"),
+            TraceEvent::DoomedBy { by_slot } => write!(f, "doomed-by(slot {by_slot})"),
+        }
+    }
+}
+
+/// One trace record.
+#[derive(Debug, Clone, Copy)]
+pub struct TraceRecord {
+    /// Global sequence number (total order of recorded events).
+    pub index: u64,
+    /// Slot the event belongs to.
+    pub slot: usize,
+    /// The event.
+    pub event: TraceEvent,
+}
+
+/// A bounded ring buffer of engine events.
+pub struct TraceBuffer {
+    records: Mutex<Vec<TraceRecord>>,
+    capacity: usize,
+    next_index: AtomicUsize,
+}
+
+impl TraceBuffer {
+    /// Creates a buffer retaining the most recent `capacity` events.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0);
+        TraceBuffer {
+            records: Mutex::new(Vec::with_capacity(capacity)),
+            capacity,
+            next_index: AtomicUsize::new(0),
+        }
+    }
+
+    /// Records an event.
+    pub fn record(&self, slot: usize, event: TraceEvent) {
+        let index = self.next_index.fetch_add(1, Ordering::Relaxed) as u64;
+        let mut records = self.records.lock().expect("trace buffer poisoned");
+        if records.len() == self.capacity {
+            // Ring behaviour: drop the oldest (front). A VecDeque would
+            // avoid the shift, but trace capacity is small and tracing is
+            // a debug facility.
+            records.remove(0);
+        }
+        records.push(TraceRecord { index, slot, event });
+    }
+
+    /// Snapshot of the retained records, oldest first.
+    pub fn snapshot(&self) -> Vec<TraceRecord> {
+        self.records.lock().expect("trace buffer poisoned").clone()
+    }
+
+    /// Total events recorded (including evicted ones).
+    pub fn total_recorded(&self) -> u64 {
+        self.next_index.load(Ordering::Relaxed) as u64
+    }
+
+    /// Renders the retained events as a per-slot timeline.
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        for r in self.snapshot() {
+            let _ = writeln!(out, "[{:>6}] slot {:>3}: {}", r.index, r.slot, r.event);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_and_renders() {
+        let t = TraceBuffer::new(8);
+        t.record(0, TraceEvent::Begin { htm: true });
+        t.record(1, TraceEvent::Begin { htm: false });
+        t.record(0, TraceEvent::Abort(AbortCause::Capacity));
+        t.record(1, TraceEvent::Commit);
+        let snap = t.snapshot();
+        assert_eq!(snap.len(), 4);
+        assert_eq!(snap[0].slot, 0);
+        let rendered = t.render();
+        assert!(rendered.contains("begin(HTM)"));
+        assert!(rendered.contains("begin(ROT)"));
+        assert!(rendered.contains("abort[capacity exceeded]"));
+        assert!(rendered.contains("commit"));
+    }
+
+    #[test]
+    fn ring_evicts_oldest() {
+        let t = TraceBuffer::new(3);
+        for i in 0..5 {
+            t.record(i, TraceEvent::Commit);
+        }
+        let snap = t.snapshot();
+        assert_eq!(snap.len(), 3);
+        assert_eq!(snap[0].slot, 2, "two oldest evicted");
+        assert_eq!(t.total_recorded(), 5);
+        assert_eq!(snap[0].index, 2);
+    }
+
+    #[test]
+    fn concurrent_recording_is_safe() {
+        use std::sync::Arc;
+        let t = Arc::new(TraceBuffer::new(1000));
+        std::thread::scope(|s| {
+            for slot in 0..4 {
+                let t = Arc::clone(&t);
+                s.spawn(move || {
+                    for _ in 0..100 {
+                        t.record(slot, TraceEvent::Commit);
+                    }
+                });
+            }
+        });
+        assert_eq!(t.total_recorded(), 400);
+        assert_eq!(t.snapshot().len(), 400);
+    }
+}

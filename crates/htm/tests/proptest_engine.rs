@@ -1,0 +1,109 @@
+//! Property-based tests of the HTM engine and its hot-path containers.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use proptest::prelude::*;
+
+use htm::{HtmConfig, HtmRuntime, IntMap, IntSet, TxMode};
+use simmem::{Addr, SharedMem};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn intset_matches_std_hashset(keys in prop::collection::vec(0u32..10_000, 0..300)) {
+        let mut ours = IntSet::with_capacity(4);
+        let mut model = std::collections::HashSet::new();
+        for &k in &keys {
+            prop_assert_eq!(ours.insert(k), model.insert(k));
+        }
+        prop_assert_eq!(ours.len(), model.len());
+        for k in 0u32..100 {
+            prop_assert_eq!(ours.contains(k), model.contains(&k));
+        }
+        let mut collected: Vec<u32> = ours.iter().collect();
+        collected.sort_unstable();
+        let mut expected: Vec<u32> = model.into_iter().collect();
+        expected.sort_unstable();
+        prop_assert_eq!(collected, expected);
+    }
+
+    #[test]
+    fn intmap_matches_std_hashmap(
+        entries in prop::collection::vec((0u32..5_000, any::<u64>()), 0..300)
+    ) {
+        let mut ours = IntMap::with_capacity(4);
+        let mut model: HashMap<u32, u64> = HashMap::new();
+        for &(k, v) in &entries {
+            ours.insert(k, v);
+            model.insert(k, v);
+        }
+        prop_assert_eq!(ours.len(), model.len());
+        for &(k, _) in &entries {
+            prop_assert_eq!(ours.get(k), model.get(&k).copied());
+        }
+        prop_assert_eq!(ours.get(u32::MAX - 1), model.get(&(u32::MAX - 1)).copied());
+    }
+
+    #[test]
+    fn serial_transactions_apply_exactly_on_commit(
+        // Sequence of transactions, each a list of (addr, value) writes
+        // plus a commit/abort decision.
+        txs in prop::collection::vec(
+            (prop::collection::vec((0u32..256, any::<u64>()), 0..20), any::<bool>()),
+            0..30
+        ),
+        mode_rot in any::<bool>(),
+    ) {
+        let mem = Arc::new(SharedMem::new_lines(32));
+        let rt = HtmRuntime::new(Arc::clone(&mem), HtmConfig::default());
+        let mut ctx = rt.register();
+        let mut model: HashMap<u32, u64> = HashMap::new();
+        let mode = if mode_rot { TxMode::Rot } else { TxMode::Htm };
+        for (writes, commit) in &txs {
+            let mut tx = ctx.begin(mode);
+            let mut staged: HashMap<u32, u64> = HashMap::new();
+            for &(addr, val) in writes {
+                tx.write(Addr(addr), val).unwrap();
+                staged.insert(addr, val);
+                // Read-own-write must hold mid-transaction.
+                prop_assert_eq!(tx.read(Addr(addr)).unwrap(), val);
+            }
+            if *commit {
+                tx.commit().unwrap();
+                model.extend(staged);
+            } else {
+                drop(tx); // rollback
+            }
+            // After each transaction the memory matches the model exactly.
+            for a in 0u32..256 {
+                prop_assert_eq!(
+                    mem.load(Addr(a)),
+                    model.get(&a).copied().unwrap_or(0),
+                    "divergence at address {}", a
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn transactional_reads_see_committed_state(
+        seed_writes in prop::collection::vec((0u32..128, 1u64..1000), 1..40),
+    ) {
+        let mem = Arc::new(SharedMem::new_lines(16));
+        let rt = HtmRuntime::new(Arc::clone(&mem), HtmConfig::default());
+        let ctx0 = rt.register();
+        let mut model: HashMap<u32, u64> = HashMap::new();
+        for &(a, v) in &seed_writes {
+            ctx0.write_nt(Addr(a), v);
+            model.insert(a, v);
+        }
+        let mut ctx = rt.register();
+        let mut tx = ctx.begin(TxMode::Htm);
+        for &(a, _) in &seed_writes {
+            prop_assert_eq!(tx.read(Addr(a)).unwrap(), model[&a]);
+        }
+        tx.commit().unwrap();
+    }
+}

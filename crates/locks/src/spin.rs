@@ -1,0 +1,110 @@
+//! Test-and-test-and-set spin lock.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// A yielding test-and-test-and-set spin lock.
+///
+/// Used directly as the paper's **SGL** baseline (a single global mutex
+/// protecting every critical section) and as the building block of
+/// [`crate::BrLock`]. This lock carries no data: the simulated memory it
+/// protects lives elsewhere, as in the original C benchmarks.
+#[derive(Default)]
+pub struct SpinMutex {
+    locked: AtomicBool,
+}
+
+impl SpinMutex {
+    /// Creates an unlocked mutex.
+    pub const fn new() -> Self {
+        SpinMutex {
+            locked: AtomicBool::new(false),
+        }
+    }
+
+    /// Acquires the lock, spinning (with yields) until available.
+    pub fn lock(&self) -> SpinGuard<'_> {
+        loop {
+            // Test-and-test-and-set: spin on the cheap load first.
+            while self.locked.load(Ordering::Relaxed) {
+                std::thread::yield_now();
+            }
+            if self
+                .locked
+                .compare_exchange(false, true, Ordering::Acquire, Ordering::Relaxed)
+                .is_ok()
+            {
+                return SpinGuard { lock: self };
+            }
+        }
+    }
+
+    /// Tries to acquire without blocking.
+    pub fn try_lock(&self) -> Option<SpinGuard<'_>> {
+        if self
+            .locked
+            .compare_exchange(false, true, Ordering::Acquire, Ordering::Relaxed)
+            .is_ok()
+        {
+            Some(SpinGuard { lock: self })
+        } else {
+            None
+        }
+    }
+
+    /// Whether the lock is currently held.
+    pub fn is_locked(&self) -> bool {
+        self.locked.load(Ordering::Relaxed)
+    }
+}
+
+/// RAII guard; releases the [`SpinMutex`] on drop.
+pub struct SpinGuard<'a> {
+    lock: &'a SpinMutex,
+}
+
+impl Drop for SpinGuard<'_> {
+    fn drop(&mut self) {
+        self.lock.locked.store(false, Ordering::Release);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+    use std::sync::Arc;
+
+    #[test]
+    fn lock_unlock() {
+        let m = SpinMutex::new();
+        assert!(!m.is_locked());
+        {
+            let _g = m.lock();
+            assert!(m.is_locked());
+            assert!(m.try_lock().is_none());
+        }
+        assert!(!m.is_locked());
+        assert!(m.try_lock().is_some());
+    }
+
+    #[test]
+    fn mutual_exclusion_under_contention() {
+        let m = Arc::new(SpinMutex::new());
+        let counter = Arc::new(AtomicU64::new(0));
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let m = Arc::clone(&m);
+                let counter = Arc::clone(&counter);
+                s.spawn(move || {
+                    for _ in 0..1000 {
+                        let _g = m.lock();
+                        // Non-atomic read-modify-write protected by the lock.
+                        let v = counter.load(Ordering::Relaxed);
+                        counter.store(v + 1, Ordering::Relaxed);
+                    }
+                });
+            }
+        });
+        assert_eq!(counter.load(Ordering::Relaxed), 4000);
+    }
+}

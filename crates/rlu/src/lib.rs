@@ -1,0 +1,45 @@
+//! **Read-Log-Update (RLU)** — Matveev, Shavit, Felber & Marlier,
+//! SOSP 2015.
+//!
+//! The RW-LE paper's related-work section (§2) positions RLU (and RCU) as
+//! the *software* alternative for read-dominated workloads: readers and
+//! writers run concurrently, but — unlike lock elision — the technique
+//! "requires tailored code for each application to handle the copying or
+//! logging of modifications". This crate implements RLU's core so that
+//! contrast can be measured, not just cited.
+//!
+//! # The algorithm (single-version simplification)
+//!
+//! * A **global clock**. Readers snapshot it at critical-section entry
+//!   (their *local clock*) and flip an epoch counter (odd = active).
+//! * Every shared object carries a hidden **header word** that either is
+//!   null (unlocked) or points to a writer's private **log copy**.
+//! * A **writer** locks an object by installing a copy header
+//!   (copy-on-write into its log), then mutates the copy. At commit it
+//!   advertises `write_clock = global + 1`, increments the global clock,
+//!   waits for all readers with an older local clock to drain (RCU-style
+//!   quiescence), writes the copies back, and unlocks.
+//! * A **reader** dereferencing a locked object *steals* the log copy if
+//!   the locking writer's `write_clock ≤` the reader's local clock
+//!   (i.e. the writer committed logically before the reader started);
+//!   otherwise it reads the original — giving every reader a consistent
+//!   snapshot without ever blocking or retrying.
+//!
+//! Writers are serialized by a writer mutex (the paper's "coarse-grained
+//! RLU"; fine-grained RLU allows disjoint writers — the deferral variant
+//! is future work here). Objects live in `simmem` like every other
+//! structure in this repository, but RLU is pure software: it never
+//! touches the HTM runtime.
+//!
+//! [`RluList`] is the canonical RLU linked-list set built on
+//! this API — exactly the "tailored code" the RW-LE paper refers to.
+
+#![warn(missing_docs)]
+
+mod core;
+mod list;
+
+pub use crate::core::{
+    RluError, RluRuntime, RluSession, RluThread, OBJ_HEADER_WORDS, RLU_MAX_THREADS,
+};
+pub use list::RluList;

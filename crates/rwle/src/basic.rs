@@ -1,0 +1,190 @@
+//! The paper's **basic algorithm** (Algorithm 1): HTM-only RW-LE.
+//!
+//! Writers are serialized by a simple spin lock and always execute as
+//! regular hardware transactions, blindly retrying on abort; there is no
+//! ROT path and no non-speculative fallback. Readers are uninstrumented
+//! exactly as in the complete algorithm.
+//!
+//! This variant exists for exposition and testing: it isolates the
+//! suspend → quiesce → resume → commit mechanism from the `PATH` policy.
+//! Because there is no fallback, write bodies **must** fit within HTM
+//! capacity, or the writer retries forever.
+
+use std::sync::Arc;
+
+use epoch::EpochSet;
+use htm::{AbortCause, MemAccess, ThreadCtx, TxMode};
+use simmem::{Addr, AllocError, SimAlloc};
+use stats::{CommitKind, ThreadStats};
+
+const FREE: u64 = 0;
+const HTM_LOCKED: u64 = 1;
+
+/// Algorithm 1: basic RW-LE with HTM-serialized writers.
+pub struct BasicRwLe {
+    wlock: Addr,
+    epochs: Arc<EpochSet>,
+}
+
+impl BasicRwLe {
+    /// Creates a basic RW-LE lock for up to `max_threads` threads.
+    pub fn new(alloc: &SimAlloc, max_threads: usize) -> Result<Self, AllocError> {
+        Ok(BasicRwLe {
+            wlock: alloc.alloc(1)?,
+            epochs: Arc::new(EpochSet::new(max_threads)),
+        })
+    }
+
+    /// The epoch set used for quiescence.
+    pub fn epochs(&self) -> &Arc<EpochSet> {
+        &self.epochs
+    }
+
+    /// Read-side critical section (lines 11–15): flip the clock, run
+    /// uninstrumented, flip back.
+    pub fn read_cs<R>(
+        &self,
+        ctx: &mut ThreadCtx,
+        stats: &mut ThreadStats,
+        body: &mut dyn FnMut(&mut dyn MemAccess) -> Result<R, AbortCause>,
+    ) -> R {
+        let tid = ctx.slot();
+        self.epochs.enter(tid);
+        let mut nt = ctx.non_tx();
+        let r = body(&mut nt).expect("uninstrumented read cannot abort");
+        self.epochs.exit(tid);
+        stats.commit(CommitKind::Uninstrumented);
+        r
+    }
+
+    /// Write-side critical section (lines 16–26): serialize writers with
+    /// the spin lock, execute speculatively, then suspend — release the
+    /// lock early — quiesce, resume and commit.
+    pub fn write_cs<R>(
+        &self,
+        ctx: &mut ThreadCtx,
+        stats: &mut ThreadStats,
+        body: &mut dyn FnMut(&mut dyn MemAccess) -> Result<R, AbortCause>,
+    ) -> R {
+        let tid = ctx.slot();
+        loop {
+            // Lines 17–19: test-and-test-and-set writer lock.
+            loop {
+                while ctx.read_nt(self.wlock) != FREE {
+                    std::thread::yield_now();
+                }
+                if ctx.cas_nt(self.wlock, FREE, HTM_LOCKED).is_ok() {
+                    break;
+                }
+            }
+            // Line 20: blind-retry hardware transaction.
+            let mut tx = ctx.begin(TxMode::Htm);
+            match body(&mut tx) {
+                Ok(r) => {
+                    // Lines 22–26: suspend, release early, drain readers,
+                    // resume (implicit), commit.
+                    let epochs = Arc::clone(&self.epochs);
+                    let (wlock, _) = (self.wlock, ());
+                    tx.suspend(|nt| {
+                        nt.write(wlock, FREE); // release while suspended
+                        epochs.synchronize(Some(tid));
+                    });
+                    match tx.commit() {
+                        Ok(()) => {
+                            stats.commit(CommitKind::Htm);
+                            return r;
+                        }
+                        Err(cause) => stats.abort(TxMode::Htm, cause),
+                    }
+                }
+                Err(cause) => {
+                    drop(tx);
+                    ctx.write_nt(self.wlock, FREE);
+                    stats.abort(TxMode::Htm, cause);
+                }
+            }
+            std::thread::yield_now();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use htm::{HtmConfig, HtmRuntime};
+    use simmem::SharedMem;
+
+    fn setup() -> (Arc<HtmRuntime>, SimAlloc, Arc<BasicRwLe>) {
+        let mem = Arc::new(SharedMem::new_lines(256));
+        let rt = HtmRuntime::new(Arc::clone(&mem), HtmConfig::default());
+        let alloc = SimAlloc::new(Arc::clone(&mem));
+        let lock = Arc::new(BasicRwLe::new(&alloc, 16).unwrap());
+        (rt, alloc, lock)
+    }
+
+    #[test]
+    fn single_thread_roundtrip() {
+        let (rt, alloc, lock) = setup();
+        let data = alloc.alloc(1).unwrap();
+        let mut ctx = rt.register();
+        let mut st = ThreadStats::new();
+        lock.write_cs(&mut ctx, &mut st, &mut |acc| acc.write(data, 3));
+        let v = lock.read_cs(&mut ctx, &mut st, &mut |acc| acc.read(data));
+        assert_eq!(v, 3);
+        assert_eq!(st.commits(CommitKind::Htm), 1);
+    }
+
+    #[test]
+    fn lock_released_early_during_suspension() {
+        // After write_cs returns, the writer lock must be free (it was
+        // released inside the suspended section, before quiescence).
+        let (rt, alloc, lock) = setup();
+        let data = alloc.alloc(1).unwrap();
+        let mut ctx = rt.register();
+        let mut st = ThreadStats::new();
+        lock.write_cs(&mut ctx, &mut st, &mut |acc| acc.write(data, 1));
+        assert_eq!(ctx.read_nt(lock.wlock), FREE);
+    }
+
+    #[test]
+    fn invariant_under_concurrency() {
+        let (rt, alloc, lock) = setup();
+        let data = alloc.alloc(2).unwrap();
+        std::thread::scope(|s| {
+            for _ in 0..2 {
+                let rt = Arc::clone(&rt);
+                let lock = Arc::clone(&lock);
+                s.spawn(move || {
+                    let mut ctx = rt.register();
+                    let mut st = ThreadStats::new();
+                    for _ in 0..150 {
+                        lock.read_cs(&mut ctx, &mut st, &mut |acc| {
+                            let a = acc.read(data)?;
+                            let b = acc.read(data.offset(1))?;
+                            assert_eq!(a, b, "torn read under basic RW-LE");
+                            Ok(())
+                        });
+                    }
+                });
+            }
+            for _ in 0..2 {
+                let rt = Arc::clone(&rt);
+                let lock = Arc::clone(&lock);
+                s.spawn(move || {
+                    let mut ctx = rt.register();
+                    let mut st = ThreadStats::new();
+                    for _ in 0..75 {
+                        lock.write_cs(&mut ctx, &mut st, &mut |acc| {
+                            let v = acc.read(data)?;
+                            acc.write(data, v + 1)?;
+                            acc.write(data.offset(1), v + 1)?;
+                            Ok(())
+                        });
+                    }
+                });
+            }
+        });
+        assert_eq!(rt.mem().load(data), 150);
+        assert_eq!(rt.mem().load(data.offset(1)), 150);
+    }
+}

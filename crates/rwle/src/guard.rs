@@ -1,0 +1,189 @@
+//! RAII read-side guards with nesting support.
+//!
+//! The paper's Algorithm 1 (footnote 3) notes that nested read critical
+//! sections "can be supported using a simple counter to keep track of the
+//! nesting level". [`RwLe::read_lock`] implements exactly that: only the
+//! outermost guard flips the epoch clock and performs the lock check;
+//! inner guards are free.
+//!
+//! The closure API ([`RwLe::read_cs`]) remains the primary interface —
+//! guards exist for code whose critical sections do not nest lexically
+//! (e.g. iterator-style APIs) and for nested acquisition.
+
+use std::sync::atomic::{AtomicU32, Ordering};
+
+use htm::{NonTx, ThreadCtx};
+
+use crate::RwLe;
+
+/// Per-slot nesting depths. Each counter is only ever touched by its
+/// owning thread; atomics are used solely to make the array shareable.
+pub(crate) struct NestingDepths {
+    depths: Box<[AtomicU32]>,
+}
+
+impl NestingDepths {
+    pub(crate) fn new(n: usize) -> Self {
+        NestingDepths {
+            depths: (0..n).map(|_| AtomicU32::new(0)).collect(),
+        }
+    }
+
+    fn enter(&self, tid: usize) -> bool {
+        let d = self.depths[tid].load(Ordering::Relaxed);
+        self.depths[tid].store(d + 1, Ordering::Relaxed);
+        d == 0
+    }
+
+    fn exit(&self, tid: usize) -> bool {
+        let d = self.depths[tid].load(Ordering::Relaxed);
+        debug_assert!(d > 0, "guard imbalance");
+        self.depths[tid].store(d - 1, Ordering::Relaxed);
+        d == 1
+    }
+
+    /// Current nesting depth (used by tests).
+    #[cfg_attr(not(test), expect(dead_code))]
+    pub(crate) fn depth(&self, tid: usize) -> u32 {
+        self.depths[tid].load(Ordering::Relaxed)
+    }
+}
+
+/// An RAII read-side critical section (supports nesting).
+///
+/// Obtained from [`RwLe::read_lock`]; provides uninstrumented access via
+/// [`ReadGuard::access`]. Dropping the outermost guard exits the epoch.
+pub struct ReadGuard<'a> {
+    rwle: &'a RwLe,
+    ctx: &'a ThreadCtx,
+    tid: usize,
+    outermost: bool,
+}
+
+impl<'a> ReadGuard<'a> {
+    /// Non-transactional access handle for the protected data.
+    pub fn access(&self) -> NonTx<'a> {
+        self.ctx.non_tx()
+    }
+
+    /// Whether this is the outermost guard of the current nest.
+    pub fn is_outermost(&self) -> bool {
+        self.outermost
+    }
+}
+
+impl Drop for ReadGuard<'_> {
+    fn drop(&mut self) {
+        if self.rwle.nesting().exit(self.tid) {
+            debug_assert!(self.outermost);
+            self.rwle.epochs().exit(self.tid);
+        }
+    }
+}
+
+impl RwLe {
+    /// Enters a read-side critical section, returning an RAII guard.
+    ///
+    /// Re-entrant: nested calls from the same thread return immediately
+    /// (only the outermost call runs the entry protocol and only the
+    /// outermost guard's drop exits the epoch).
+    pub fn read_lock<'a>(&'a self, ctx: &'a ThreadCtx) -> ReadGuard<'a> {
+        let tid = ctx.slot();
+        let outermost = self.nesting().enter(tid);
+        if outermost {
+            if self.config().fair {
+                self.fair_read_enter(ctx, tid);
+            } else {
+                let _retreats = self.read_enter(ctx, tid);
+            }
+        }
+        ReadGuard {
+            rwle: self,
+            ctx,
+            tid,
+            outermost,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::RwLeConfig;
+    use htm::{HtmConfig, HtmRuntime};
+    use simmem::{SharedMem, SimAlloc};
+    use std::sync::Arc;
+
+    fn setup() -> (Arc<HtmRuntime>, SimAlloc, RwLe) {
+        let mem = Arc::new(SharedMem::new_lines(256));
+        let rt = HtmRuntime::new(Arc::clone(&mem), HtmConfig::default());
+        let alloc = SimAlloc::new(mem);
+        let rwle = RwLe::new(&alloc, 8, RwLeConfig::opt()).unwrap();
+        (rt, alloc, rwle)
+    }
+
+    #[test]
+    fn guard_flips_epoch_once() {
+        let (rt, _alloc, rwle) = setup();
+        let ctx = rt.register();
+        let tid = ctx.slot();
+        assert!(!rwle.epochs().is_active(tid));
+        {
+            let g1 = rwle.read_lock(&ctx);
+            assert!(g1.is_outermost());
+            assert!(rwle.epochs().is_active(tid));
+            let clock = rwle.epochs().read_clock(tid);
+            {
+                let g2 = rwle.read_lock(&ctx);
+                assert!(!g2.is_outermost());
+                // Nested entry must not move the clock.
+                assert_eq!(rwle.epochs().read_clock(tid), clock);
+                assert_eq!(rwle.nesting().depth(tid), 2);
+            }
+            // Inner drop keeps the epoch active.
+            assert!(rwle.epochs().is_active(tid));
+        }
+        assert!(!rwle.epochs().is_active(tid));
+        assert_eq!(rwle.nesting().depth(tid), 0);
+    }
+
+    #[test]
+    fn guard_reads_data() {
+        let (rt, alloc, rwle) = setup();
+        let data = alloc.alloc(1).unwrap();
+        rt.mem().store(data, 33);
+        let ctx = rt.register();
+        let g = rwle.read_lock(&ctx);
+        assert_eq!(g.access().read(data), 33);
+    }
+
+    #[test]
+    fn writer_waits_for_guard_holder() {
+        use std::sync::atomic::{AtomicBool, Ordering};
+        let (rt, alloc, rwle) = setup();
+        let rwle = Arc::new(rwle);
+        let data = alloc.alloc(2).unwrap();
+        let reader_ctx = rt.register();
+        let mut writer_ctx = rt.register();
+        let g = rwle.read_lock(&reader_ctx);
+        assert_eq!(g.access().read(data), 0);
+        let done = AtomicBool::new(false);
+        std::thread::scope(|s| {
+            let rwle2 = Arc::clone(&rwle);
+            let done = &done;
+            let h = s.spawn(move || {
+                let mut st = stats::ThreadStats::new();
+                rwle2.write_cs(&mut writer_ctx, &mut st, &mut |acc| {
+                    acc.write(data, 1)?;
+                    acc.write(data.offset(1), 1)
+                });
+                assert!(done.load(Ordering::SeqCst), "commit outran the guard");
+            });
+            std::thread::sleep(std::time::Duration::from_millis(20));
+            assert_eq!(g.access().read(data.offset(1)), 0);
+            done.store(true, Ordering::SeqCst);
+            drop(g);
+            h.join().unwrap();
+        });
+    }
+}

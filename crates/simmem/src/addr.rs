@@ -1,0 +1,143 @@
+//! Word addresses and cache-line geometry.
+
+use core::fmt;
+
+/// Number of 64-bit words per simulated cache line.
+pub const WORDS_PER_LINE: u32 = 8;
+
+/// Size of a simulated cache line in bytes.
+pub const LINE_BYTES: u32 = WORDS_PER_LINE * 8;
+
+/// A word address inside a [`crate::SharedMem`].
+///
+/// Addresses index 64-bit words, not bytes. The all-ones pattern is
+/// reserved as the null sentinel ([`Addr::NULL`]), which lets pointer-like
+/// words inside simulated memory represent "no node".
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Addr(pub u32);
+
+impl Addr {
+    /// The null address sentinel.
+    pub const NULL: Addr = Addr(u32::MAX);
+
+    /// Returns `true` if this is the null sentinel.
+    #[inline]
+    pub fn is_null(self) -> bool {
+        self == Self::NULL
+    }
+
+    /// Returns the cache line containing this address.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if called on [`Addr::NULL`].
+    #[inline]
+    pub fn line(self) -> LineId {
+        debug_assert!(!self.is_null(), "line() on null address");
+        LineId(self.0 / WORDS_PER_LINE)
+    }
+
+    /// Returns the address `offset` words past this one.
+    #[inline]
+    pub fn offset(self, offset: u32) -> Addr {
+        debug_assert!(!self.is_null(), "offset() on null address");
+        Addr(self.0 + offset)
+    }
+
+    /// Round-trips an address through a memory word.
+    ///
+    /// Pointer-like fields inside simulated memory store `Addr`s as raw
+    /// `u64` words; these helpers define that encoding (null maps to the
+    /// all-ones word).
+    #[inline]
+    pub fn to_word(self) -> u64 {
+        if self.is_null() {
+            u64::MAX
+        } else {
+            self.0 as u64
+        }
+    }
+
+    /// Decodes an address previously encoded with [`Addr::to_word`].
+    #[inline]
+    pub fn from_word(word: u64) -> Addr {
+        if word == u64::MAX {
+            Addr::NULL
+        } else {
+            Addr(word as u32)
+        }
+    }
+}
+
+impl fmt::Debug for Addr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_null() {
+            write!(f, "Addr(NULL)")
+        } else {
+            write!(f, "Addr({:#x})", self.0)
+        }
+    }
+}
+
+/// A cache-line identifier (line index within a [`crate::SharedMem`]).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct LineId(pub u32);
+
+impl LineId {
+    /// Returns the address of the first word of the line.
+    #[inline]
+    pub fn first_word(self) -> Addr {
+        Addr(self.0 * WORDS_PER_LINE)
+    }
+
+    /// Returns this line id as a `usize` index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for LineId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "LineId({:#x})", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn null_sentinel_roundtrip() {
+        assert!(Addr::NULL.is_null());
+        assert_eq!(Addr::from_word(Addr::NULL.to_word()), Addr::NULL);
+        assert_eq!(Addr::NULL.to_word(), u64::MAX);
+    }
+
+    #[test]
+    fn non_null_roundtrip() {
+        for a in [0u32, 1, 7, 8, 1023, 0xdead_beef] {
+            let addr = Addr(a);
+            assert!(!addr.is_null());
+            assert_eq!(Addr::from_word(addr.to_word()), addr);
+        }
+    }
+
+    #[test]
+    fn line_geometry() {
+        assert_eq!(Addr(0).line(), LineId(0));
+        assert_eq!(Addr(7).line(), LineId(0));
+        assert_eq!(Addr(8).line(), LineId(1));
+        assert_eq!(LineId(3).first_word(), Addr(24));
+        assert_eq!(LINE_BYTES, 64);
+    }
+
+    #[test]
+    fn offset_stays_in_line_when_small() {
+        let base = LineId(5).first_word();
+        for i in 0..WORDS_PER_LINE {
+            assert_eq!(base.offset(i).line(), LineId(5));
+        }
+        assert_eq!(base.offset(WORDS_PER_LINE).line(), LineId(6));
+    }
+}

@@ -1,0 +1,169 @@
+//! The simulated memory storage.
+
+use core::sync::atomic::{AtomicU64, Ordering};
+
+use crate::addr::{Addr, WORDS_PER_LINE};
+
+/// A flat, word-addressable simulated shared memory.
+///
+/// Storage is an array of `AtomicU64` words so that plain loads and stores
+/// are data-race free at the Rust level; the *transactional* semantics
+/// (speculation, conflict detection, capacity) are layered on top by the
+/// `htm` crate. Code that bypasses the HTM runtime (e.g. single-threaded
+/// initialization) may use [`SharedMem::load`] / [`SharedMem::store`]
+/// directly.
+pub struct SharedMem {
+    words: Box<[AtomicU64]>,
+}
+
+impl SharedMem {
+    /// Creates a memory of `lines` cache lines, zero-initialized.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lines` is 0 or the word count would overflow `u32`
+    /// address space (minus the null sentinel).
+    pub fn new_lines(lines: u32) -> Self {
+        assert!(lines > 0, "memory must have at least one line");
+        let words = lines
+            .checked_mul(WORDS_PER_LINE)
+            .expect("line count overflows address space");
+        assert!(words < u32::MAX, "word count overflows address space");
+        let mut v = Vec::with_capacity(words as usize);
+        v.resize_with(words as usize, || AtomicU64::new(0));
+        SharedMem {
+            words: v.into_boxed_slice(),
+        }
+    }
+
+    /// Number of words in the memory.
+    #[inline]
+    pub fn num_words(&self) -> u32 {
+        self.words.len() as u32
+    }
+
+    /// Number of cache lines in the memory.
+    #[inline]
+    pub fn num_lines(&self) -> u32 {
+        self.num_words() / WORDS_PER_LINE
+    }
+
+    /// Returns `true` if `addr` names a word inside this memory.
+    #[inline]
+    pub fn contains(&self, addr: Addr) -> bool {
+        !addr.is_null() && addr.0 < self.num_words()
+    }
+
+    #[inline]
+    fn word(&self, addr: Addr) -> &AtomicU64 {
+        debug_assert!(self.contains(addr), "address {addr:?} out of bounds");
+        &self.words[addr.0 as usize]
+    }
+
+    /// Plain (non-speculative) load with acquire ordering.
+    #[inline]
+    pub fn load(&self, addr: Addr) -> u64 {
+        self.word(addr).load(Ordering::Acquire)
+    }
+
+    /// Plain (non-speculative) store with release ordering.
+    #[inline]
+    pub fn store(&self, addr: Addr, value: u64) {
+        self.word(addr).store(value, Ordering::Release);
+    }
+
+    /// Plain load with an explicit memory ordering.
+    #[inline]
+    pub fn load_with(&self, addr: Addr, order: Ordering) -> u64 {
+        self.word(addr).load(order)
+    }
+
+    /// Plain store with an explicit memory ordering.
+    #[inline]
+    pub fn store_with(&self, addr: Addr, value: u64, order: Ordering) {
+        self.word(addr).store(value, order)
+    }
+
+    /// Atomic compare-exchange on a word (sequentially consistent).
+    ///
+    /// Returns `Ok(previous)` on success and `Err(actual)` on failure,
+    /// mirroring [`AtomicU64::compare_exchange`].
+    #[inline]
+    pub fn compare_exchange(&self, addr: Addr, current: u64, new: u64) -> Result<u64, u64> {
+        self.word(addr)
+            .compare_exchange(current, new, Ordering::SeqCst, Ordering::SeqCst)
+    }
+
+    /// Atomic fetch-add on a word (sequentially consistent).
+    #[inline]
+    pub fn fetch_add(&self, addr: Addr, delta: u64) -> u64 {
+        self.word(addr).fetch_add(delta, Ordering::SeqCst)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::addr::LineId;
+    use std::sync::Arc;
+
+    #[test]
+    fn zero_initialized() {
+        let mem = SharedMem::new_lines(4);
+        for w in 0..mem.num_words() {
+            assert_eq!(mem.load(Addr(w)), 0);
+        }
+    }
+
+    #[test]
+    fn store_load_roundtrip() {
+        let mem = SharedMem::new_lines(2);
+        mem.store(Addr(3), 0xdead_beef_cafe_babe);
+        assert_eq!(mem.load(Addr(3)), 0xdead_beef_cafe_babe);
+        assert_eq!(mem.load(Addr(4)), 0);
+    }
+
+    #[test]
+    fn geometry_accessors() {
+        let mem = SharedMem::new_lines(16);
+        assert_eq!(mem.num_lines(), 16);
+        assert_eq!(mem.num_words(), 16 * WORDS_PER_LINE);
+        assert!(mem.contains(Addr(0)));
+        assert!(mem.contains(LineId(15).first_word().offset(7)));
+        assert!(!mem.contains(Addr(16 * WORDS_PER_LINE)));
+        assert!(!mem.contains(Addr::NULL));
+    }
+
+    #[test]
+    fn compare_exchange_and_fetch_add() {
+        let mem = SharedMem::new_lines(1);
+        assert_eq!(mem.compare_exchange(Addr(0), 0, 7), Ok(0));
+        assert_eq!(mem.compare_exchange(Addr(0), 0, 9), Err(7));
+        assert_eq!(mem.fetch_add(Addr(0), 5), 7);
+        assert_eq!(mem.load(Addr(0)), 12);
+    }
+
+    #[test]
+    fn concurrent_counter_is_atomic() {
+        let mem = Arc::new(SharedMem::new_lines(1));
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let mem = Arc::clone(&mem);
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..1000 {
+                    mem.fetch_add(Addr(0), 1);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(mem.load(Addr(0)), 4000);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one line")]
+    fn zero_lines_panics() {
+        let _ = SharedMem::new_lines(0);
+    }
+}

@@ -1,0 +1,85 @@
+//! Property-based tests of the segregated free-list allocator: blocks
+//! never overlap, recycling preserves zeroing, and accounting balances.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use proptest::prelude::*;
+use simmem::{Addr, SharedMem, SimAlloc, WORDS_PER_LINE};
+
+#[derive(Debug, Clone)]
+enum Op {
+    /// Allocate a block of this many words.
+    Alloc(u32),
+    /// Free the i-th live block (modulo count).
+    Free(usize),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        3 => (1u32..100).prop_map(Op::Alloc),
+        1 => any::<usize>().prop_map(Op::Free),
+    ]
+}
+
+/// Block size class the allocator will round a request up to.
+fn rounded(words: u32) -> u32 {
+    let mut size = WORDS_PER_LINE;
+    while words > size {
+        size <<= 1;
+    }
+    size
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn live_blocks_never_overlap(ops in prop::collection::vec(op_strategy(), 1..120)) {
+        let mem = Arc::new(SharedMem::new_lines(16 * 1024));
+        let alloc = SimAlloc::new(Arc::clone(&mem));
+        // live: addr -> requested words
+        let mut live: HashMap<Addr, u32> = HashMap::new();
+        let mut order: Vec<Addr> = Vec::new();
+        for op in &ops {
+            match *op {
+                Op::Alloc(words) => {
+                    let addr = alloc.alloc(words).unwrap();
+                    prop_assert_eq!(addr.0 % WORDS_PER_LINE, 0, "not line aligned");
+                    // Overlap check against every live block.
+                    let new_end = addr.0 + rounded(words);
+                    for (&other, &ow) in &live {
+                        let other_end = other.0 + rounded(ow);
+                        prop_assert!(
+                            new_end <= other.0 || other_end <= addr.0,
+                            "block {:?}+{} overlaps {:?}+{}",
+                            addr, rounded(words), other, rounded(ow)
+                        );
+                    }
+                    // Fresh blocks read as zero.
+                    for i in 0..words {
+                        prop_assert_eq!(mem.load(addr.offset(i)), 0, "dirty block");
+                    }
+                    // Dirty it so recycling must re-zero.
+                    mem.store(addr, 0xDEAD_BEEF);
+                    if words > 1 {
+                        mem.store(addr.offset(words - 1), 0xFEED);
+                    }
+                    live.insert(addr, words);
+                    order.push(addr);
+                }
+                Op::Free(i) => {
+                    if order.is_empty() {
+                        continue;
+                    }
+                    let addr = order.swap_remove(i % order.len());
+                    let words = live.remove(&addr).unwrap();
+                    alloc.free_sized(addr, words);
+                }
+            }
+        }
+        let stats = alloc.stats();
+        prop_assert_eq!(stats.live_blocks, live.len() as u64);
+        prop_assert!(stats.words_allocated >= stats.words_freed);
+    }
+}

@@ -1,0 +1,450 @@
+//! A Kyoto-Cabinet-CacheDB-like in-memory store (§4.2).
+//!
+//! KyotoCacheDB shards its hash database into *slots*; each slot holds a
+//! bucket array whose buckets are binary search trees, protected by a
+//! per-slot mutex, all under one database-wide read-write lock. Ordinary
+//! record operations (`get`/`set`/`remove`) take the outer lock in *read*
+//! mode plus the slot mutex; database-wide operations take it in *write*
+//! mode.
+//!
+//! Following the paper, RW-LE elides only the **outer** lock (it knows
+//! the read-write semantics); the inner mutexes remain real locks,
+//! acquired through the [`MemAccess`] veneer so that:
+//!
+//! * in a read-side critical section they are plain compare-and-swap spin
+//!   locks;
+//! * inside a speculative write-side section they become buffered stores,
+//!   so a concurrent reader's CAS dooms the writer through coherence —
+//!   keeping slot data consistent without exposing speculation.
+
+use htm::{AbortCause, MemAccess, ABORT_LOCK_BUSY};
+use simmem::{Addr, AllocError, SimAlloc};
+
+/// Slot-header word offsets (one line per slot header).
+const H_MUTEX: u32 = 0;
+const H_BUCKETS: u32 = 1;
+const H_OPCOUNT: u32 = 2;
+
+/// BST node field offsets (one line per node).
+const N_KEY: u32 = 0;
+const N_VAL: u32 = 1;
+const N_LEFT: u32 = 2;
+const N_RIGHT: u32 = 3;
+
+/// Words per BST node.
+pub const NODE_WORDS: u32 = 4;
+
+/// Acquires a slot mutex through the access veneer.
+///
+/// Speculative contexts treat a busy mutex as an immediate lock-busy
+/// abort (spinning inside a transaction on a word whose release would
+/// conflict anyway is pointless); non-transactional contexts spin.
+pub fn lock_inner(acc: &mut dyn MemAccess, mutex: Addr) -> Result<(), AbortCause> {
+    if acc.is_speculative() {
+        if acc.read(mutex)? != 0 {
+            return Err(AbortCause::Explicit(ABORT_LOCK_BUSY));
+        }
+        acc.write(mutex, 1)?;
+        Ok(())
+    } else {
+        loop {
+            if acc.cas(mutex, 0, 1)?.is_ok() {
+                return Ok(());
+            }
+            std::thread::yield_now();
+        }
+    }
+}
+
+/// Releases a slot mutex acquired with [`lock_inner`].
+pub fn unlock_inner(acc: &mut dyn MemAccess, mutex: Addr) -> Result<(), AbortCause> {
+    acc.write(mutex, 0)
+}
+
+/// The slotted cache database.
+pub struct CacheDb {
+    headers: Addr,
+    n_slots: u32,
+    buckets_per_slot: u32,
+}
+
+impl CacheDb {
+    /// Builds a database with `n_slots` slots × `buckets_per_slot`
+    /// buckets, each bucket an initially empty BST.
+    pub fn create(
+        alloc: &SimAlloc,
+        n_slots: u32,
+        buckets_per_slot: u32,
+    ) -> Result<Self, AllocError> {
+        assert!(n_slots > 0 && buckets_per_slot > 0);
+        let mem = alloc.mem();
+        // One full line per slot header, so slot mutexes never false-share.
+        let headers = alloc.alloc(n_slots * 8)?;
+        for s in 0..n_slots {
+            let buckets = alloc.alloc(buckets_per_slot)?;
+            for b in 0..buckets_per_slot {
+                mem.store(buckets.offset(b), Addr::NULL.to_word());
+            }
+            mem.store(headers.offset(s * 8 + H_BUCKETS), buckets.to_word());
+        }
+        Ok(CacheDb {
+            headers,
+            n_slots,
+            buckets_per_slot,
+        })
+    }
+
+    /// Number of slots.
+    pub fn n_slots(&self) -> u32 {
+        self.n_slots
+    }
+
+    #[inline]
+    fn slot_of(&self, key: u64) -> u32 {
+        // Multiplicative mixing so nearby keys spread over slots.
+        ((key.wrapping_mul(0x9e37_79b9_7f4a_7c15) >> 32) % self.n_slots as u64) as u32
+    }
+
+    #[inline]
+    fn slot_mutex(&self, slot: u32) -> Addr {
+        self.headers.offset(slot * 8 + H_MUTEX)
+    }
+
+    fn bucket_of(&self, acc: &mut dyn MemAccess, slot: u32, key: u64) -> Result<Addr, AbortCause> {
+        let buckets = Addr::from_word(acc.read(self.headers.offset(slot * 8 + H_BUCKETS))?);
+        Ok(buckets.offset((key % self.buckets_per_slot as u64) as u32))
+    }
+
+    /// Allocates a detached node outside any critical section.
+    pub fn make_node(&self, alloc: &SimAlloc, key: u64, value: u64) -> Result<Addr, AllocError> {
+        let node = alloc.alloc(NODE_WORDS)?;
+        let mem = alloc.mem();
+        mem.store(node.offset(N_KEY), key);
+        mem.store(node.offset(N_VAL), value);
+        mem.store(node.offset(N_LEFT), Addr::NULL.to_word());
+        mem.store(node.offset(N_RIGHT), Addr::NULL.to_word());
+        Ok(node)
+    }
+
+    /// Record lookup. Runs under the outer lock in **read** mode; takes
+    /// the slot mutex internally.
+    pub fn get(&self, acc: &mut dyn MemAccess, key: u64) -> Result<Option<u64>, AbortCause> {
+        let slot = self.slot_of(key);
+        lock_inner(acc, self.slot_mutex(slot))?;
+        // On Err the transaction has already rolled back (its buffered
+        // lock acquisition evaporates with it): touching `acc` again
+        // would be an access after abort, so unlock only on success.
+        let value = self.get_locked(acc, slot, key)?;
+        unlock_inner(acc, self.slot_mutex(slot))?;
+        Ok(value)
+    }
+
+    fn get_locked(
+        &self,
+        acc: &mut dyn MemAccess,
+        slot: u32,
+        key: u64,
+    ) -> Result<Option<u64>, AbortCause> {
+        let bucket = self.bucket_of(acc, slot, key)?;
+        let mut cur = Addr::from_word(acc.read(bucket)?);
+        while !cur.is_null() {
+            let k = acc.read(cur.offset(N_KEY))?;
+            if k == key {
+                return Ok(Some(acc.read(cur.offset(N_VAL))?));
+            }
+            let next = if key < k { N_LEFT } else { N_RIGHT };
+            cur = Addr::from_word(acc.read(cur.offset(next))?);
+        }
+        Ok(None)
+    }
+
+    /// Record insert/update using the pre-built `node`. Runs under the
+    /// outer lock in **read** mode (the slot mutex serializes mutators of
+    /// one slot, as in KyotoCacheDB).
+    ///
+    /// Returns `true` if `node` was linked in, `false` if the key existed
+    /// (value updated in place; `node` stays free for reuse).
+    pub fn set(&self, acc: &mut dyn MemAccess, node: Addr) -> Result<bool, AbortCause> {
+        let key = acc.read(node.offset(N_KEY))?;
+        let slot = self.slot_of(key);
+        lock_inner(acc, self.slot_mutex(slot))?;
+        // See `get`: unlock only on success (abort already rolled back).
+        let linked = self.set_locked(acc, slot, key, node)?;
+        unlock_inner(acc, self.slot_mutex(slot))?;
+        Ok(linked)
+    }
+
+    fn set_locked(
+        &self,
+        acc: &mut dyn MemAccess,
+        slot: u32,
+        key: u64,
+        node: Addr,
+    ) -> Result<bool, AbortCause> {
+        let bucket = self.bucket_of(acc, slot, key)?;
+        let mut link = bucket;
+        loop {
+            let cur = Addr::from_word(acc.read(link)?);
+            if cur.is_null() {
+                acc.write(link, node.to_word())?;
+                return Ok(true);
+            }
+            let k = acc.read(cur.offset(N_KEY))?;
+            if k == key {
+                let v = acc.read(node.offset(N_VAL))?;
+                acc.write(cur.offset(N_VAL), v)?;
+                return Ok(false);
+            }
+            link = cur.offset(if key < k { N_LEFT } else { N_RIGHT });
+        }
+    }
+
+    /// Record removal (BST delete). Runs under the outer lock in **read**
+    /// mode. Returns the unlinked node for deferred reclamation.
+    pub fn remove(&self, acc: &mut dyn MemAccess, key: u64) -> Result<Option<Addr>, AbortCause> {
+        let slot = self.slot_of(key);
+        lock_inner(acc, self.slot_mutex(slot))?;
+        // See `get`: unlock only on success (abort already rolled back).
+        let removed = self.remove_locked(acc, slot, key)?;
+        unlock_inner(acc, self.slot_mutex(slot))?;
+        Ok(removed)
+    }
+
+    fn remove_locked(
+        &self,
+        acc: &mut dyn MemAccess,
+        slot: u32,
+        key: u64,
+    ) -> Result<Option<Addr>, AbortCause> {
+        let bucket = self.bucket_of(acc, slot, key)?;
+        // Find the node and the link pointing at it.
+        let mut link = bucket;
+        let mut cur = Addr::from_word(acc.read(link)?);
+        while !cur.is_null() {
+            let k = acc.read(cur.offset(N_KEY))?;
+            if k == key {
+                break;
+            }
+            link = cur.offset(if key < k { N_LEFT } else { N_RIGHT });
+            cur = Addr::from_word(acc.read(link)?);
+        }
+        if cur.is_null() {
+            return Ok(None);
+        }
+        let left = Addr::from_word(acc.read(cur.offset(N_LEFT))?);
+        let right = Addr::from_word(acc.read(cur.offset(N_RIGHT))?);
+        if left.is_null() {
+            acc.write(link, right.to_word())?;
+        } else if right.is_null() {
+            acc.write(link, left.to_word())?;
+        } else {
+            // Two children: splice in the minimum of the right subtree.
+            let mut min_link = cur.offset(N_RIGHT);
+            let mut min = right;
+            loop {
+                let l = Addr::from_word(acc.read(min.offset(N_LEFT))?);
+                if l.is_null() {
+                    break;
+                }
+                min_link = min.offset(N_LEFT);
+                min = l;
+            }
+            let min_right = acc.read(min.offset(N_RIGHT))?;
+            acc.write(min_link, min_right)?;
+            acc.write(min.offset(N_LEFT), left.to_word())?;
+            let cur_right = acc.read(cur.offset(N_RIGHT))?;
+            acc.write(min.offset(N_RIGHT), cur_right)?;
+            acc.write(link, min.to_word())?;
+        }
+        Ok(Some(cur))
+    }
+
+    /// Database-wide maintenance operation. Runs under the outer lock in
+    /// **write** mode: visits every slot, taking its mutex and bumping its
+    /// operation counter (standing in for Kyoto's whole-DB operations such
+    /// as `synchronize`/`iterate`).
+    pub fn touch_all_slots(&self, acc: &mut dyn MemAccess) -> Result<u64, AbortCause> {
+        let mut total = 0;
+        for s in 0..self.n_slots {
+            let mutex = self.slot_mutex(s);
+            lock_inner(acc, mutex)?;
+            let counter = self.headers.offset(s * 8 + H_OPCOUNT);
+            let v = acc.read(counter)?;
+            acc.write(counter, v + 1)?;
+            total += v + 1;
+            unlock_inner(acc, mutex)?;
+        }
+        Ok(total)
+    }
+
+    /// Counts all records (test helper).
+    pub fn count(&self, acc: &mut dyn MemAccess) -> Result<u64, AbortCause> {
+        let mut n = 0;
+        for s in 0..self.n_slots {
+            let buckets = Addr::from_word(acc.read(self.headers.offset(s * 8 + H_BUCKETS))?);
+            for b in 0..self.buckets_per_slot {
+                let root = Addr::from_word(acc.read(buckets.offset(b))?);
+                n += self.count_tree(acc, root)?;
+            }
+        }
+        Ok(n)
+    }
+
+    fn count_tree(&self, acc: &mut dyn MemAccess, root: Addr) -> Result<u64, AbortCause> {
+        if root.is_null() {
+            return Ok(0);
+        }
+        let l = Addr::from_word(acc.read(root.offset(N_LEFT))?);
+        let r = Addr::from_word(acc.read(root.offset(N_RIGHT))?);
+        Ok(1 + self.count_tree(acc, l)? + self.count_tree(acc, r)?)
+    }
+
+    /// Lines needed for `n_slots`/`buckets_per_slot` plus `items` records.
+    pub fn lines_needed(n_slots: u32, buckets_per_slot: u32, items: u64) -> u64 {
+        let bucket_lines = (buckets_per_slot as u64).div_ceil(8).next_power_of_two();
+        n_slots as u64 * (1 + bucket_lines) + items
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use htm::{HtmConfig, HtmRuntime};
+    use simmem::SharedMem;
+    use std::sync::Arc;
+
+    fn setup() -> (Arc<HtmRuntime>, SimAlloc, CacheDb) {
+        let mem = Arc::new(SharedMem::new_lines(8192));
+        let rt = HtmRuntime::new(Arc::clone(&mem), HtmConfig::default());
+        let alloc = SimAlloc::new(mem);
+        let db = CacheDb::create(&alloc, 4, 8).unwrap();
+        (rt, alloc, db)
+    }
+
+    #[test]
+    fn set_get_roundtrip() {
+        let (rt, alloc, db) = setup();
+        let ctx = rt.register();
+        let mut nt = ctx.non_tx();
+        for key in 0..50u64 {
+            let node = db.make_node(&alloc, key, key * 2).unwrap();
+            assert!(db.set(&mut nt, node).unwrap());
+        }
+        for key in 0..50u64 {
+            assert_eq!(db.get(&mut nt, key).unwrap(), Some(key * 2));
+        }
+        assert_eq!(db.get(&mut nt, 999).unwrap(), None);
+        assert_eq!(db.count(&mut nt).unwrap(), 50);
+    }
+
+    #[test]
+    fn set_existing_updates() {
+        let (rt, alloc, db) = setup();
+        let ctx = rt.register();
+        let mut nt = ctx.non_tx();
+        let n1 = db.make_node(&alloc, 7, 70).unwrap();
+        assert!(db.set(&mut nt, n1).unwrap());
+        let n2 = db.make_node(&alloc, 7, 71).unwrap();
+        assert!(!db.set(&mut nt, n2).unwrap());
+        assert_eq!(db.get(&mut nt, 7).unwrap(), Some(71));
+        assert_eq!(db.count(&mut nt).unwrap(), 1);
+    }
+
+    #[test]
+    fn remove_all_shapes() {
+        let (rt, alloc, db) = setup();
+        let ctx = rt.register();
+        let mut nt = ctx.non_tx();
+        // Build a tree with interesting shapes in one bucket: keys
+        // congruent mod buckets fall in the same bucket/slot only if the
+        // slot hash agrees, so just insert many and delete them all.
+        let keys: Vec<u64> = (0..60).map(|i| (i * 37 + 11) % 101).collect();
+        for &k in &keys {
+            let n = db.make_node(&alloc, k, k).unwrap();
+            db.set(&mut nt, n).unwrap();
+        }
+        let mut unique: Vec<u64> = keys.clone();
+        unique.sort_unstable();
+        unique.dedup();
+        assert_eq!(db.count(&mut nt).unwrap(), unique.len() as u64);
+        for &k in &unique {
+            assert!(db.remove(&mut nt, k).unwrap().is_some(), "missing {k}");
+            assert_eq!(db.get(&mut nt, k).unwrap(), None);
+        }
+        assert_eq!(db.count(&mut nt).unwrap(), 0);
+        assert_eq!(db.remove(&mut nt, 5).unwrap(), None);
+    }
+
+    #[test]
+    fn remove_preserves_other_keys() {
+        let (rt, alloc, db) = setup();
+        let ctx = rt.register();
+        let mut nt = ctx.non_tx();
+        for k in [50u64, 30, 70, 20, 40, 60, 80] {
+            let n = db.make_node(&alloc, k, k).unwrap();
+            db.set(&mut nt, n).unwrap();
+        }
+        db.remove(&mut nt, 50).unwrap().unwrap(); // two-child case likely
+        for k in [30u64, 70, 20, 40, 60, 80] {
+            assert_eq!(db.get(&mut nt, k).unwrap(), Some(k), "lost key {k}");
+        }
+    }
+
+    #[test]
+    fn touch_all_slots_bumps_counters() {
+        let (rt, _alloc, db) = setup();
+        let ctx = rt.register();
+        let mut nt = ctx.non_tx();
+        assert_eq!(db.touch_all_slots(&mut nt).unwrap(), 4); // 4 slots × 1
+        assert_eq!(db.touch_all_slots(&mut nt).unwrap(), 8);
+    }
+
+    #[test]
+    fn abort_inside_locked_region_is_clean() {
+        // Regression test: a transaction that dies *between* lock_inner
+        // and unlock_inner must propagate the abort without touching the
+        // dead transaction again (the buffered lock release evaporates
+        // with the rollback).
+        let mem = Arc::new(SharedMem::new_lines(8192));
+        let cfg = htm::HtmConfig {
+            htm_read_capacity: 2, // dies during the BST search
+            ..htm::HtmConfig::default()
+        };
+        let rt = HtmRuntime::new(Arc::clone(&mem), cfg);
+        let alloc = SimAlloc::new(mem);
+        let db = CacheDb::create(&alloc, 1, 1).unwrap();
+        {
+            let ctx = rt.register();
+            let mut nt = ctx.non_tx();
+            for k in 0..16u64 {
+                let n = db.make_node(&alloc, k, k).unwrap();
+                db.set(&mut nt, n).unwrap();
+            }
+        }
+        let mut ctx = rt.register();
+        let mut tx = ctx.begin(htm::TxMode::Htm);
+        let res = db.get(&mut tx, 15);
+        assert_eq!(res, Err(AbortCause::Capacity));
+        drop(tx);
+        // The context remains usable and the lock is not stuck.
+        let mut nt = ctx.non_tx();
+        assert_eq!(db.get(&mut nt, 15).unwrap(), Some(15));
+    }
+
+    #[test]
+    fn speculative_busy_inner_lock_aborts() {
+        let (rt, _alloc, db) = setup();
+        let holder = rt.register();
+        let mut w = rt.register();
+        // Hold slot 0's mutex non-speculatively.
+        let m = db.slot_mutex(0);
+        assert!(holder.cas_nt(m, 0, 1).is_ok());
+        let mut tx = w.begin(htm::TxMode::Htm);
+        assert_eq!(
+            lock_inner(&mut tx, m),
+            Err(AbortCause::Explicit(ABORT_LOCK_BUSY))
+        );
+        drop(tx);
+        holder.write_nt(m, 0);
+    }
+}

@@ -1,0 +1,153 @@
+//! A sorted linked-list set over simulated memory, driven through
+//! [`MemAccess`] — the lock-elision counterpart of the RLU list, used to
+//! compare the two paradigms on identical node layouts.
+
+use htm::{AbortCause, MemAccess};
+use simmem::{Addr, AllocError, SimAlloc};
+
+/// Node field offsets.
+const F_KEY: u32 = 0;
+const F_NEXT: u32 = 1;
+/// Words per node.
+pub const NODE_WORDS: u32 = 2;
+
+/// A sorted singly linked set of `u64` keys ≥ 1 (key 0 is the sentinel).
+pub struct SortedList {
+    head: Addr,
+}
+
+impl SortedList {
+    /// Creates an empty set.
+    pub fn new(alloc: &SimAlloc) -> Result<Self, AllocError> {
+        let head = alloc.alloc(NODE_WORDS)?;
+        let mem = alloc.mem();
+        mem.store(head.offset(F_KEY), 0);
+        mem.store(head.offset(F_NEXT), Addr::NULL.to_word());
+        Ok(SortedList { head })
+    }
+
+    /// Allocates a detached node (outside critical sections).
+    pub fn make_node(&self, alloc: &SimAlloc, key: u64) -> Result<Addr, AllocError> {
+        assert!(key >= 1, "key 0 is the sentinel");
+        let node = alloc.alloc(NODE_WORDS)?;
+        let mem = alloc.mem();
+        mem.store(node.offset(F_KEY), key);
+        mem.store(node.offset(F_NEXT), Addr::NULL.to_word());
+        Ok(node)
+    }
+
+    /// Walks to the first node with key ≥ `key`; returns `(prev, cur)`.
+    fn find(&self, acc: &mut dyn MemAccess, key: u64) -> Result<(Addr, Option<Addr>), AbortCause> {
+        let mut prev = self.head;
+        let mut cur = Addr::from_word(acc.read(prev.offset(F_NEXT))?);
+        while !cur.is_null() {
+            let k = acc.read(cur.offset(F_KEY))?;
+            if k >= key {
+                return Ok((prev, Some(cur)));
+            }
+            prev = cur;
+            cur = Addr::from_word(acc.read(cur.offset(F_NEXT))?);
+        }
+        Ok((prev, None))
+    }
+
+    /// Membership test.
+    pub fn contains(&self, acc: &mut dyn MemAccess, key: u64) -> Result<bool, AbortCause> {
+        let (_prev, cur) = self.find(acc, key)?;
+        Ok(match cur {
+            Some(node) => acc.read(node.offset(F_KEY))? == key,
+            None => false,
+        })
+    }
+
+    /// Links the pre-built `node` in; returns `false` (node unused) if
+    /// its key is already present.
+    pub fn add(&self, acc: &mut dyn MemAccess, node: Addr) -> Result<bool, AbortCause> {
+        let key = acc.read(node.offset(F_KEY))?;
+        let (prev, cur) = self.find(acc, key)?;
+        if let Some(c) = cur {
+            if acc.read(c.offset(F_KEY))? == key {
+                return Ok(false);
+            }
+        }
+        let next_word = match cur {
+            Some(c) => c.to_word(),
+            None => Addr::NULL.to_word(),
+        };
+        acc.write(node.offset(F_NEXT), next_word)?;
+        acc.write(prev.offset(F_NEXT), node.to_word())?;
+        Ok(true)
+    }
+
+    /// Unlinks `key`; returns the node for deferred reclamation.
+    pub fn remove(&self, acc: &mut dyn MemAccess, key: u64) -> Result<Option<Addr>, AbortCause> {
+        let (prev, cur) = self.find(acc, key)?;
+        let Some(node) = cur else {
+            return Ok(None);
+        };
+        if acc.read(node.offset(F_KEY))? != key {
+            return Ok(None);
+        }
+        let next = acc.read(node.offset(F_NEXT))?;
+        acc.write(prev.offset(F_NEXT), next)?;
+        Ok(Some(node))
+    }
+
+    /// Collects all keys in order (test helper).
+    pub fn keys(&self, acc: &mut dyn MemAccess) -> Result<Vec<u64>, AbortCause> {
+        let mut out = Vec::new();
+        let mut cur = Addr::from_word(acc.read(self.head.offset(F_NEXT))?);
+        while !cur.is_null() {
+            out.push(acc.read(cur.offset(F_KEY))?);
+            cur = Addr::from_word(acc.read(cur.offset(F_NEXT))?);
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use htm::{HtmConfig, HtmRuntime};
+    use simmem::SharedMem;
+    use std::sync::Arc;
+
+    fn setup() -> (Arc<HtmRuntime>, SimAlloc, SortedList) {
+        let mem = Arc::new(SharedMem::new_lines(4096));
+        let rt = HtmRuntime::new(Arc::clone(&mem), HtmConfig::default());
+        let alloc = SimAlloc::new(mem);
+        let list = SortedList::new(&alloc).unwrap();
+        (rt, alloc, list)
+    }
+
+    #[test]
+    fn sorted_semantics() {
+        let (rt, alloc, list) = setup();
+        let ctx = rt.register();
+        let mut nt = ctx.non_tx();
+        for k in [5u64, 1, 9, 3, 7] {
+            let n = list.make_node(&alloc, k).unwrap();
+            assert!(list.add(&mut nt, n).unwrap());
+        }
+        let dup = list.make_node(&alloc, 5).unwrap();
+        assert!(!list.add(&mut nt, dup).unwrap());
+        assert_eq!(list.keys(&mut nt).unwrap(), vec![1, 3, 5, 7, 9]);
+        assert!(list.contains(&mut nt, 7).unwrap());
+        assert!(!list.contains(&mut nt, 4).unwrap());
+        assert!(list.remove(&mut nt, 5).unwrap().is_some());
+        assert!(list.remove(&mut nt, 5).unwrap().is_none());
+        assert_eq!(list.keys(&mut nt).unwrap(), vec![1, 3, 7, 9]);
+    }
+
+    #[test]
+    fn transactional_add_is_atomic() {
+        let (rt, alloc, list) = setup();
+        let mut ctx = rt.register();
+        let n = list.make_node(&alloc, 4).unwrap();
+        let mut tx = ctx.begin(htm::TxMode::Htm);
+        list.add(&mut tx, n).unwrap();
+        drop(tx); // abort
+        let mut nt = ctx.non_tx();
+        assert!(!list.contains(&mut nt, 4).unwrap());
+    }
+}

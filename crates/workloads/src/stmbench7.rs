@@ -1,0 +1,419 @@
+//! A scaled STMBench7-like CAD object graph (§4.2).
+//!
+//! STMBench7 models a cooperative CAD tool: a module contains a tree of
+//! assemblies whose leaves reference *composite parts*; each composite
+//! part owns a graph of ~100 *atomic parts* plus a document. Operations
+//! traverse or mutate these structures, producing large, heterogeneous
+//! critical sections — the workload that makes plain HLE collapse under
+//! capacity aborts while RW-LE's uninstrumented readers and ROT writers
+//! keep working.
+//!
+//! The reproduction keeps the structural essentials (the paper's
+//! standard configuration disables long traversals and structural
+//! modifications, leaving per-composite-part operations):
+//!
+//! * `n_composite` composite parts, each a line-per-node linked structure
+//!   of `parts_per_composite` atomic parts with `x/y/date/doc` fields;
+//! * read operations walk one composite's atomic parts and checksum them;
+//! * write operations walk the same structure updating the `date` and
+//!   swapping `x`/`y` of every atomic part (the classic ST/OP mix).
+
+use htm::{AbortCause, MemAccess};
+use simmem::{Addr, AllocError, SimAlloc};
+
+/// Atomic-part field offsets.
+const F_X: u32 = 0;
+const F_Y: u32 = 1;
+const F_DATE: u32 = 2;
+const F_NEXT: u32 = 3;
+
+/// Words per atomic part (one cache line after rounding).
+pub const ATOMIC_PART_WORDS: u32 = 4;
+
+/// The benchmark database: an index of composite parts.
+pub struct Bench7 {
+    /// Array of composite-part head pointers.
+    index: Addr,
+    n_composite: u32,
+    parts_per_composite: u32,
+}
+
+impl Bench7 {
+    /// Builds the object graph single-threadedly.
+    pub fn build(
+        alloc: &SimAlloc,
+        n_composite: u32,
+        parts_per_composite: u32,
+    ) -> Result<Self, AllocError> {
+        assert!(n_composite > 0 && parts_per_composite > 0);
+        let index = alloc.alloc(n_composite)?;
+        let mem = alloc.mem();
+        for c in 0..n_composite {
+            let mut head = Addr::NULL;
+            for p in 0..parts_per_composite {
+                let part = alloc.alloc(ATOMIC_PART_WORDS)?;
+                mem.store(part.offset(F_X), (c as u64) << 32 | p as u64);
+                mem.store(part.offset(F_Y), (p as u64) << 1);
+                mem.store(part.offset(F_DATE), 0);
+                mem.store(part.offset(F_NEXT), head.to_word());
+                head = part;
+            }
+            mem.store(index.offset(c), head.to_word());
+        }
+        Ok(Bench7 {
+            index,
+            n_composite,
+            parts_per_composite,
+        })
+    }
+
+    /// Number of composite parts.
+    pub fn n_composite(&self) -> u32 {
+        self.n_composite
+    }
+
+    /// Atomic parts per composite part.
+    pub fn parts_per_composite(&self) -> u32 {
+        self.parts_per_composite
+    }
+
+    #[inline]
+    fn head(&self, composite: u32) -> Addr {
+        self.index.offset(composite % self.n_composite)
+    }
+
+    /// Read operation: traverse composite `c`'s atomic parts, returning a
+    /// checksum of `x + y` (a short traversal, ST1-style).
+    pub fn traverse(&self, acc: &mut dyn MemAccess, c: u32) -> Result<u64, AbortCause> {
+        let mut sum = 0u64;
+        let mut cur = Addr::from_word(acc.read(self.head(c))?);
+        while !cur.is_null() {
+            sum = sum
+                .wrapping_add(acc.read(cur.offset(F_X))?)
+                .wrapping_add(acc.read(cur.offset(F_Y))?);
+            cur = Addr::from_word(acc.read(cur.offset(F_NEXT))?);
+        }
+        Ok(sum)
+    }
+
+    /// Read operation: check the x/y swap invariant across composite `c`.
+    ///
+    /// Write operations swap `x` and `y` of every part as one atomic unit,
+    /// so the multiset `{x, y}` per part is an invariant readers can
+    /// verify (used by the correctness tests).
+    pub fn checksum_invariant(&self, acc: &mut dyn MemAccess, c: u32) -> Result<u64, AbortCause> {
+        let mut sum = 0u64;
+        let mut cur = Addr::from_word(acc.read(self.head(c))?);
+        while !cur.is_null() {
+            let x = acc.read(cur.offset(F_X))?;
+            let y = acc.read(cur.offset(F_Y))?;
+            sum = sum.wrapping_add(x).wrapping_add(y);
+            cur = Addr::from_word(acc.read(cur.offset(F_NEXT))?);
+        }
+        Ok(sum)
+    }
+
+    /// Write operation (OP6-style): swap `x`/`y` of every atomic part of
+    /// composite `c` and stamp `date`.
+    pub fn swap_xy(&self, acc: &mut dyn MemAccess, c: u32, date: u64) -> Result<u32, AbortCause> {
+        let mut touched = 0;
+        let mut cur = Addr::from_word(acc.read(self.head(c))?);
+        while !cur.is_null() {
+            let x = acc.read(cur.offset(F_X))?;
+            let y = acc.read(cur.offset(F_Y))?;
+            acc.write(cur.offset(F_X), y)?;
+            acc.write(cur.offset(F_Y), x)?;
+            acc.write(cur.offset(F_DATE), date)?;
+            touched += 1;
+            cur = Addr::from_word(acc.read(cur.offset(F_NEXT))?);
+        }
+        Ok(touched)
+    }
+
+    /// Write operation (OP15-style): stamp the date of the first
+    /// `k` atomic parts of composite `c` — a shorter update.
+    pub fn touch_dates(
+        &self,
+        acc: &mut dyn MemAccess,
+        c: u32,
+        k: u32,
+        date: u64,
+    ) -> Result<u32, AbortCause> {
+        let mut touched = 0;
+        let mut cur = Addr::from_word(acc.read(self.head(c))?);
+        while !cur.is_null() && touched < k {
+            acc.write(cur.offset(F_DATE), date)?;
+            touched += 1;
+            cur = Addr::from_word(acc.read(cur.offset(F_NEXT))?);
+        }
+        Ok(touched)
+    }
+
+    /// Lines the graph occupies (for memory sizing).
+    pub fn lines_needed(n_composite: u32, parts_per_composite: u32) -> u64 {
+        let index_lines = (n_composite as u64).div_ceil(8).next_power_of_two();
+        index_lines + n_composite as u64 * parts_per_composite as u64
+    }
+}
+
+// ----------------------------------------------------------------------
+// Assembly hierarchy (the upper half of the STMBench7 design)
+// ----------------------------------------------------------------------
+
+/// Assembly node field offsets (one line per assembly).
+const A_DATE: u32 = 0;
+const A_KIND: u32 = 1; // 0 = complex assembly, 1 = base assembly
+const A_NCHILD: u32 = 2;
+const A_CHILD0: u32 = 3; // up to 5 children / composite-part ids
+
+/// Maximum children per assembly (fits one cache line).
+pub const ASSEMBLY_FANOUT: u32 = 5;
+
+/// Words per assembly node.
+pub const ASSEMBLY_WORDS: u32 = 8;
+
+/// The module's assembly hierarchy: complex assemblies forming a tree
+/// whose leaves (base assemblies) reference composite parts of a
+/// [`Bench7`] database by index.
+pub struct Hierarchy {
+    root: Addr,
+    n_assemblies: u32,
+}
+
+impl Hierarchy {
+    /// Builds a tree of the given `depth` and `fanout` (≤
+    /// [`ASSEMBLY_FANOUT`]); leaves are base assemblies pointing at
+    /// composite parts round-robin over `n_composite`.
+    pub fn build(
+        alloc: &SimAlloc,
+        depth: u32,
+        fanout: u32,
+        n_composite: u32,
+    ) -> Result<Self, AllocError> {
+        assert!((1..=ASSEMBLY_FANOUT).contains(&fanout));
+        assert!(depth >= 1);
+        let mut count = 0u32;
+        let mut next_part = 0u32;
+        let root = Self::build_node(
+            alloc,
+            depth,
+            fanout,
+            n_composite,
+            &mut count,
+            &mut next_part,
+        )?;
+        Ok(Hierarchy {
+            root,
+            n_assemblies: count,
+        })
+    }
+
+    fn build_node(
+        alloc: &SimAlloc,
+        depth: u32,
+        fanout: u32,
+        n_composite: u32,
+        count: &mut u32,
+        next_part: &mut u32,
+    ) -> Result<Addr, AllocError> {
+        let mem = alloc.mem();
+        let node = alloc.alloc(ASSEMBLY_WORDS)?;
+        *count += 1;
+        if depth == 1 {
+            // Base assembly: children are composite-part indices.
+            mem.store(node.offset(A_KIND), 1);
+            mem.store(node.offset(A_NCHILD), fanout as u64);
+            for i in 0..fanout {
+                mem.store(node.offset(A_CHILD0 + i), (*next_part % n_composite) as u64);
+                *next_part += 1;
+            }
+        } else {
+            mem.store(node.offset(A_KIND), 0);
+            mem.store(node.offset(A_NCHILD), fanout as u64);
+            for i in 0..fanout {
+                let child =
+                    Self::build_node(alloc, depth - 1, fanout, n_composite, count, next_part)?;
+                mem.store(node.offset(A_CHILD0 + i), child.to_word());
+            }
+        }
+        Ok(node)
+    }
+
+    /// Total assemblies in the tree.
+    pub fn n_assemblies(&self) -> u32 {
+        self.n_assemblies
+    }
+
+    /// Read traversal (T2/T3-style, long traversals disabled as in the
+    /// paper's configuration): walk the assembly tree and, at every base
+    /// assembly, traverse the referenced composite parts in `bench`,
+    /// summing their checksums.
+    pub fn traverse_read(
+        &self,
+        acc: &mut dyn MemAccess,
+        bench: &Bench7,
+    ) -> Result<u64, AbortCause> {
+        self.traverse_node(acc, bench, self.root)
+    }
+
+    fn traverse_node(
+        &self,
+        acc: &mut dyn MemAccess,
+        bench: &Bench7,
+        node: Addr,
+    ) -> Result<u64, AbortCause> {
+        let kind = acc.read(node.offset(A_KIND))?;
+        let n = acc.read(node.offset(A_NCHILD))? as u32;
+        let mut sum = acc.read(node.offset(A_DATE))?;
+        for i in 0..n.min(ASSEMBLY_FANOUT) {
+            let child = acc.read(node.offset(A_CHILD0 + i))?;
+            if kind == 1 {
+                sum = sum.wrapping_add(bench.traverse(acc, child as u32)?);
+            } else {
+                sum = sum.wrapping_add(self.traverse_node(acc, bench, Addr::from_word(child))?);
+            }
+        }
+        Ok(sum)
+    }
+
+    /// Write traversal (OP9/OP10-style): stamp every assembly's build
+    /// date along the path to one leaf, then swap one composite part.
+    pub fn touch_path(
+        &self,
+        acc: &mut dyn MemAccess,
+        bench: &Bench7,
+        leaf_selector: u32,
+        date: u64,
+    ) -> Result<u32, AbortCause> {
+        let mut node = self.root;
+        let mut touched = 0;
+        loop {
+            acc.write(node.offset(A_DATE), date)?;
+            touched += 1;
+            let kind = acc.read(node.offset(A_KIND))?;
+            let n = acc.read(node.offset(A_NCHILD))? as u32;
+            let pick = leaf_selector % n.max(1);
+            let child = acc.read(node.offset(A_CHILD0 + pick))?;
+            if kind == 1 {
+                touched += bench.touch_dates(acc, child as u32, 5, date)?;
+                return Ok(touched);
+            }
+            node = Addr::from_word(child);
+        }
+    }
+
+    /// Lines needed for a tree of `depth`/`fanout` (geometric series).
+    pub fn lines_needed(depth: u32, fanout: u32) -> u64 {
+        let mut total = 0u64;
+        let mut level = 1u64;
+        for _ in 0..depth {
+            total += level;
+            level *= fanout as u64;
+        }
+        total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use htm::{HtmConfig, HtmRuntime, TxMode};
+    use simmem::SharedMem;
+    use std::sync::Arc;
+
+    fn setup(n_composite: u32, parts: u32) -> (Arc<HtmRuntime>, SimAlloc, Bench7) {
+        let lines = Bench7::lines_needed(n_composite, parts) + 1024;
+        let mem = Arc::new(SharedMem::new_lines(lines as u32));
+        let rt = HtmRuntime::new(Arc::clone(&mem), HtmConfig::default());
+        let alloc = SimAlloc::new(mem);
+        let b = Bench7::build(&alloc, n_composite, parts).unwrap();
+        (rt, alloc, b)
+    }
+
+    #[test]
+    fn build_and_traverse() {
+        let (rt, _alloc, b) = setup(4, 10);
+        let ctx = rt.register();
+        let mut nt = ctx.non_tx();
+        for c in 0..4 {
+            let sum = b.traverse(&mut nt, c).unwrap();
+            assert!(sum > 0);
+        }
+    }
+
+    #[test]
+    fn swap_preserves_checksum() {
+        let (rt, _alloc, b) = setup(2, 10);
+        let ctx = rt.register();
+        let mut nt = ctx.non_tx();
+        let before = b.checksum_invariant(&mut nt, 0).unwrap();
+        let touched = b.swap_xy(&mut nt, 0, 99).unwrap();
+        assert_eq!(touched, 10);
+        let after = b.checksum_invariant(&mut nt, 0).unwrap();
+        assert_eq!(before, after, "swap must preserve x+y per part");
+    }
+
+    #[test]
+    fn touch_dates_is_bounded() {
+        let (rt, _alloc, b) = setup(1, 20);
+        let ctx = rt.register();
+        let mut nt = ctx.non_tx();
+        assert_eq!(b.touch_dates(&mut nt, 0, 5, 7).unwrap(), 5);
+        assert_eq!(b.touch_dates(&mut nt, 0, 50, 7).unwrap(), 20);
+    }
+
+    #[test]
+    fn hierarchy_builds_expected_node_count() {
+        let (rt, alloc, b) = setup(10, 5);
+        let h = Hierarchy::build(&alloc, 3, 3, b.n_composite()).unwrap();
+        // depth 3, fanout 3: 1 + 3 + 9 = 13 assemblies.
+        assert_eq!(h.n_assemblies(), 13);
+        assert_eq!(Hierarchy::lines_needed(3, 3), 13);
+        let ctx = rt.register();
+        let mut nt = ctx.non_tx();
+        let sum = h.traverse_read(&mut nt, &b).unwrap();
+        assert!(sum > 0);
+    }
+
+    #[test]
+    fn touch_path_reaches_a_leaf_and_its_parts() {
+        let (rt, alloc, b) = setup(10, 5);
+        let h = Hierarchy::build(&alloc, 3, 3, b.n_composite()).unwrap();
+        let ctx = rt.register();
+        let mut nt = ctx.non_tx();
+        let touched = h.touch_path(&mut nt, &b, 7, 42).unwrap();
+        // 3 assemblies on the path + 5 atomic parts.
+        assert_eq!(touched, 3 + 5);
+    }
+
+    #[test]
+    fn hierarchy_traversal_preserves_swap_invariant() {
+        let (rt, alloc, b) = setup(6, 8);
+        let h = Hierarchy::build(&alloc, 2, 3, b.n_composite()).unwrap();
+        let ctx = rt.register();
+        let mut nt = ctx.non_tx();
+        let before = h.traverse_read(&mut nt, &b).unwrap();
+        for c in 0..6 {
+            b.swap_xy(&mut nt, c, 1).unwrap();
+        }
+        // Dates changed (leaf assemblies untouched), x+y preserved; the
+        // traversal sum only includes dates of assemblies (unchanged here)
+        // plus x+y sums.
+        let after = h.traverse_read(&mut nt, &b).unwrap();
+        assert_eq!(before, after);
+    }
+
+    #[test]
+    fn full_traversal_exceeds_htm_capacity() {
+        // 100 parts ≈ 100 lines > the 96-line default read budget: the
+        // property that cripples HLE on STMBench7.
+        let (rt, _alloc, b) = setup(1, 100);
+        let mut ctx = rt.register();
+        let mut tx = ctx.begin(TxMode::Htm);
+        assert_eq!(b.traverse(&mut tx, 0), Err(AbortCause::Capacity));
+        drop(tx);
+        let mut rot = ctx.begin(TxMode::Rot);
+        assert!(b.traverse(&mut rot, 0).is_ok(), "ROT reads are unbounded");
+        rot.commit().unwrap();
+    }
+}

@@ -1,0 +1,504 @@
+//! A TPC-C port on an in-memory store (§4.2).
+//!
+//! Like the paper, the five TPC-C transaction profiles run against an
+//! in-memory database; read-only profiles (order-status, stock-level)
+//! become read-side critical sections and update profiles (new-order,
+//! payment, delivery) become write-side critical sections of one global
+//! read-write lock.
+//!
+//! The database is scaled to fit simulated memory (warehouse count,
+//! items, customers per district are parameters); the footprint *shape*
+//! is preserved: stock-level scans the order lines of the last 20 orders
+//! plus one stock line per order line, overflowing HTM read capacity just
+//! as the paper reports (≈45% of read sections under HLE), while payment
+//! touches a handful of lines.
+//!
+//! Transaction parameters are drawn **outside** the critical sections
+//! (bodies must be re-runnable verbatim under speculative retry).
+
+use htm::{AbortCause, MemAccess};
+use rand::rngs::SmallRng;
+use rand::Rng;
+use simmem::{Addr, AllocError, SimAlloc};
+
+/// Districts per warehouse (TPC-C fixed).
+pub const DISTRICTS_PER_WH: u32 = 10;
+/// Maximum order lines per order (TPC-C fixed).
+pub const MAX_ORDER_LINES: u32 = 15;
+/// Orders retained per district (ring buffer).
+pub const ORDER_RING: u32 = 32;
+/// Words per order record: header (4) + 15 × (item, qty), placed in a
+/// 64-word (power-of-two) stride within the per-district ring.
+const ORDER_STRIDE_WORDS: u32 = 64;
+const _: () = assert!(4 + MAX_ORDER_LINES * 2 <= ORDER_STRIDE_WORDS);
+
+// Record field offsets.
+const WH_YTD: u32 = 0;
+const D_NEXT_O_ID: u32 = 0;
+const D_YTD: u32 = 1;
+const D_NEXT_DELIVERY: u32 = 2;
+const C_BALANCE: u32 = 0;
+const C_YTD_PAYMENT: u32 = 1;
+const C_PAYMENT_CNT: u32 = 2;
+const C_DELIVERY_CNT: u32 = 3;
+const C_LAST_O_ID: u32 = 4;
+const S_QUANTITY: u32 = 0;
+const S_YTD: u32 = 1;
+const S_ORDER_CNT: u32 = 2;
+const I_PRICE: u32 = 0;
+const O_ID: u32 = 0;
+const O_C_ID: u32 = 1;
+const O_OL_CNT: u32 = 2;
+const O_DELIVERED: u32 = 3;
+
+/// Scale parameters of a [`Tpcc`] database.
+#[derive(Debug, Clone, Copy)]
+pub struct TpccScale {
+    /// Warehouses.
+    pub warehouses: u32,
+    /// Customers per district.
+    pub customers_per_district: u32,
+    /// Item catalogue size.
+    pub items: u32,
+}
+
+impl Default for TpccScale {
+    fn default() -> Self {
+        TpccScale {
+            warehouses: 2,
+            customers_per_district: 30,
+            items: 1000,
+        }
+    }
+}
+
+/// Parameters of one new-order transaction, drawn before the critical
+/// section.
+#[derive(Debug, Clone)]
+pub struct NewOrderParams {
+    /// Warehouse, district, customer.
+    pub w: u32,
+    /// District within the warehouse.
+    pub d: u32,
+    /// Customer within the district.
+    pub c: u32,
+    /// `(item_id, quantity)` pairs, 5–15 of them.
+    pub lines: Vec<(u32, u64)>,
+}
+
+/// The in-memory TPC-C database.
+pub struct Tpcc {
+    scale: TpccScale,
+    wh_base: Addr,
+    dist_base: Addr,
+    cust_base: Addr,
+    stock_base: Addr,
+    item_base: Addr,
+    order_base: Addr,
+}
+
+impl Tpcc {
+    /// Builds and populates the database single-threadedly.
+    pub fn build(alloc: &SimAlloc, scale: TpccScale) -> Result<Self, AllocError> {
+        let mem = alloc.mem();
+        let n_dist = scale.warehouses * DISTRICTS_PER_WH;
+        let n_cust = n_dist * scale.customers_per_district;
+        let n_stock = scale.warehouses * scale.items;
+        let wh_base = alloc.alloc(scale.warehouses * 8)?;
+        let dist_base = alloc.alloc(n_dist * 8)?;
+        let cust_base = alloc.alloc(n_cust * 8)?;
+        let stock_base = alloc.alloc(n_stock * 8)?;
+        let item_base = alloc.alloc(scale.items * 8)?;
+        let order_base = alloc.alloc(n_dist * ORDER_RING * ORDER_STRIDE_WORDS)?;
+        for i in 0..scale.items {
+            mem.store(
+                item_base.offset(i * 8 + I_PRICE),
+                100 + (i as u64 * 7) % 9900,
+            );
+        }
+        for s in 0..n_stock {
+            mem.store(stock_base.offset(s * 8 + S_QUANTITY), 50 + (s as u64 % 50));
+        }
+        Ok(Tpcc {
+            scale,
+            wh_base,
+            dist_base,
+            cust_base,
+            stock_base,
+            item_base,
+            order_base,
+        })
+    }
+
+    /// The database's scale parameters.
+    pub fn scale(&self) -> &TpccScale {
+        &self.scale
+    }
+
+    /// Lines needed for a given scale (for memory sizing).
+    ///
+    /// Each table is one allocator block, rounded up to a power-of-two
+    /// number of words, so the estimate applies the same rounding.
+    pub fn lines_needed(scale: &TpccScale) -> u64 {
+        let n_dist = (scale.warehouses * DISTRICTS_PER_WH) as u64;
+        let n_cust = n_dist * scale.customers_per_district as u64;
+        let n_stock = (scale.warehouses * scale.items) as u64;
+        let block = |words: u64| words.max(8).next_power_of_two() / 8;
+        block(scale.warehouses as u64 * 8)
+            + block(n_dist * 8)
+            + block(n_cust * 8)
+            + block(n_stock * 8)
+            + block(scale.items as u64 * 8)
+            + block(n_dist * ORDER_RING as u64 * ORDER_STRIDE_WORDS as u64)
+            + 16
+    }
+
+    #[inline]
+    fn wh(&self, w: u32) -> Addr {
+        self.wh_base.offset(w * 8)
+    }
+
+    #[inline]
+    fn district(&self, w: u32, d: u32) -> Addr {
+        self.dist_base.offset((w * DISTRICTS_PER_WH + d) * 8)
+    }
+
+    #[inline]
+    fn customer(&self, w: u32, d: u32, c: u32) -> Addr {
+        self.cust_base
+            .offset(((w * DISTRICTS_PER_WH + d) * self.scale.customers_per_district + c) * 8)
+    }
+
+    #[inline]
+    fn stock(&self, w: u32, item: u32) -> Addr {
+        self.stock_base.offset((w * self.scale.items + item) * 8)
+    }
+
+    #[inline]
+    fn item(&self, item: u32) -> Addr {
+        self.item_base.offset(item * 8)
+    }
+
+    #[inline]
+    fn order_slot(&self, w: u32, d: u32, o_id: u64) -> Addr {
+        let district = (w * DISTRICTS_PER_WH + d) as u64;
+        let slot = o_id % ORDER_RING as u64;
+        self.order_base
+            .offset(((district * ORDER_RING as u64 + slot) * ORDER_STRIDE_WORDS as u64) as u32)
+    }
+
+    /// Draws new-order parameters (outside the critical section).
+    pub fn gen_new_order(&self, rng: &mut SmallRng) -> NewOrderParams {
+        let n_lines = rng.gen_range(5..=MAX_ORDER_LINES);
+        NewOrderParams {
+            w: rng.gen_range(0..self.scale.warehouses),
+            d: rng.gen_range(0..DISTRICTS_PER_WH),
+            c: rng.gen_range(0..self.scale.customers_per_district),
+            lines: (0..n_lines)
+                .map(|_| (rng.gen_range(0..self.scale.items), rng.gen_range(1..=10u64)))
+                .collect(),
+        }
+    }
+
+    /// **New-order** (write): allocate the next order id, write the order
+    /// record into the district's ring, and update every line's stock.
+    pub fn new_order(
+        &self,
+        acc: &mut dyn MemAccess,
+        p: &NewOrderParams,
+    ) -> Result<u64, AbortCause> {
+        let dist = self.district(p.w, p.d);
+        let o_id = acc.read(dist.offset(D_NEXT_O_ID))?;
+        acc.write(dist.offset(D_NEXT_O_ID), o_id + 1)?;
+        let order = self.order_slot(p.w, p.d, o_id);
+        acc.write(order.offset(O_ID), o_id)?;
+        acc.write(order.offset(O_C_ID), p.c as u64)?;
+        acc.write(order.offset(O_OL_CNT), p.lines.len() as u64)?;
+        acc.write(order.offset(O_DELIVERED), 0)?;
+        let mut total = 0u64;
+        for (i, &(item, qty)) in p.lines.iter().enumerate() {
+            let price = acc.read(self.item(item).offset(I_PRICE))?;
+            total += price * qty;
+            let stock = self.stock(p.w, item);
+            let q = acc.read(stock.offset(S_QUANTITY))?;
+            let new_q = if q > qty + 10 { q - qty } else { q + 91 - qty };
+            acc.write(stock.offset(S_QUANTITY), new_q)?;
+            let ytd = acc.read(stock.offset(S_YTD))?;
+            acc.write(stock.offset(S_YTD), ytd + qty)?;
+            let cnt = acc.read(stock.offset(S_ORDER_CNT))?;
+            acc.write(stock.offset(S_ORDER_CNT), cnt + 1)?;
+            let base = 4 + (i as u32) * 2;
+            acc.write(order.offset(base), item as u64)?;
+            acc.write(order.offset(base + 1), qty)?;
+        }
+        let cust = self.customer(p.w, p.d, p.c);
+        acc.write(cust.offset(C_LAST_O_ID), o_id + 1)?; // +1: 0 means "none"
+        Ok(total)
+    }
+
+    /// **Payment** (write): move `amount` through warehouse, district and
+    /// customer balances.
+    pub fn payment(
+        &self,
+        acc: &mut dyn MemAccess,
+        w: u32,
+        d: u32,
+        c: u32,
+        amount: u64,
+    ) -> Result<(), AbortCause> {
+        let wh = self.wh(w);
+        let ytd = acc.read(wh.offset(WH_YTD))?;
+        acc.write(wh.offset(WH_YTD), ytd + amount)?;
+        let dist = self.district(w, d);
+        let dytd = acc.read(dist.offset(D_YTD))?;
+        acc.write(dist.offset(D_YTD), dytd + amount)?;
+        let cust = self.customer(w, d, c);
+        let bal = acc.read(cust.offset(C_BALANCE))?;
+        acc.write(cust.offset(C_BALANCE), bal.wrapping_sub(amount))?;
+        let cytd = acc.read(cust.offset(C_YTD_PAYMENT))?;
+        acc.write(cust.offset(C_YTD_PAYMENT), cytd + amount)?;
+        let cnt = acc.read(cust.offset(C_PAYMENT_CNT))?;
+        acc.write(cust.offset(C_PAYMENT_CNT), cnt + 1)?;
+        Ok(())
+    }
+
+    /// **Delivery** (write): deliver the oldest undelivered order of every
+    /// district of warehouse `w`. Returns orders delivered.
+    pub fn delivery(&self, acc: &mut dyn MemAccess, w: u32) -> Result<u32, AbortCause> {
+        let mut delivered = 0;
+        for d in 0..DISTRICTS_PER_WH {
+            let dist = self.district(w, d);
+            let next_o = acc.read(dist.offset(D_NEXT_O_ID))?;
+            let next_del = acc.read(dist.offset(D_NEXT_DELIVERY))?;
+            if next_del >= next_o {
+                continue; // nothing undelivered
+            }
+            // Ring overwrite means very old orders are gone; skip forward.
+            let oldest_live = next_o.saturating_sub(ORDER_RING as u64);
+            let o_id = next_del.max(oldest_live);
+            let order = self.order_slot(w, d, o_id);
+            acc.write(order.offset(O_DELIVERED), 1)?;
+            let c = acc.read(order.offset(O_C_ID))? as u32;
+            let ol_cnt = acc.read(order.offset(O_OL_CNT))?;
+            let mut amount = 0u64;
+            for i in 0..ol_cnt.min(MAX_ORDER_LINES as u64) as u32 {
+                amount += acc.read(order.offset(4 + i * 2 + 1))?;
+            }
+            let cust = self.customer(w, d, c);
+            let bal = acc.read(cust.offset(C_BALANCE))?;
+            acc.write(cust.offset(C_BALANCE), bal.wrapping_add(amount))?;
+            let cnt = acc.read(cust.offset(C_DELIVERY_CNT))?;
+            acc.write(cust.offset(C_DELIVERY_CNT), cnt + 1)?;
+            acc.write(dist.offset(D_NEXT_DELIVERY), o_id + 1)?;
+            delivered += 1;
+        }
+        Ok(delivered)
+    }
+
+    /// **Order-status** (read): the customer's balance plus the line count
+    /// and quantity sum of their most recent order.
+    pub fn order_status(
+        &self,
+        acc: &mut dyn MemAccess,
+        w: u32,
+        d: u32,
+        c: u32,
+    ) -> Result<(u64, u64), AbortCause> {
+        let cust = self.customer(w, d, c);
+        let balance = acc.read(cust.offset(C_BALANCE))?;
+        let last = acc.read(cust.offset(C_LAST_O_ID))?;
+        if last == 0 {
+            return Ok((balance, 0));
+        }
+        let o_id = last - 1;
+        let order = self.order_slot(w, d, o_id);
+        // The ring may have overwritten the order; verify the id.
+        if acc.read(order.offset(O_ID))? != o_id {
+            return Ok((balance, 0));
+        }
+        let ol_cnt = acc.read(order.offset(O_OL_CNT))?;
+        let mut qty = 0;
+        for i in 0..ol_cnt.min(MAX_ORDER_LINES as u64) as u32 {
+            qty += acc.read(order.offset(4 + i * 2 + 1))?;
+        }
+        Ok((balance, qty))
+    }
+
+    /// **Stock-level** (read): scan the district's last 20 orders and
+    /// count order lines whose stock quantity is below `threshold`.
+    ///
+    /// This is the big read section: ~20 order records plus one stock
+    /// line per order line — beyond HTM read capacity, as in the paper.
+    pub fn stock_level(
+        &self,
+        acc: &mut dyn MemAccess,
+        w: u32,
+        d: u32,
+        threshold: u64,
+    ) -> Result<u64, AbortCause> {
+        let dist = self.district(w, d);
+        let next_o = acc.read(dist.offset(D_NEXT_O_ID))?;
+        let from = next_o.saturating_sub(20.min(ORDER_RING as u64));
+        let mut low = 0;
+        for o_id in from..next_o {
+            let order = self.order_slot(w, d, o_id);
+            if acc.read(order.offset(O_ID))? != o_id {
+                continue; // overwritten by the ring
+            }
+            let ol_cnt = acc.read(order.offset(O_OL_CNT))?;
+            for i in 0..ol_cnt.min(MAX_ORDER_LINES as u64) as u32 {
+                let item = acc.read(order.offset(4 + i * 2))? as u32;
+                let q = acc.read(self.stock(w, item).offset(S_QUANTITY))?;
+                if q < threshold {
+                    low += 1;
+                }
+            }
+        }
+        Ok(low)
+    }
+
+    /// Sum of district next-order-ids minus deliveries — a conservation
+    /// check used by tests.
+    pub fn total_orders(&self, acc: &mut dyn MemAccess) -> Result<u64, AbortCause> {
+        let mut total = 0;
+        for w in 0..self.scale.warehouses {
+            for d in 0..DISTRICTS_PER_WH {
+                total += acc.read(self.district(w, d).offset(D_NEXT_O_ID))?;
+            }
+        }
+        Ok(total)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use htm::{HtmConfig, HtmRuntime};
+    use rand::SeedableRng;
+    use simmem::SharedMem;
+    use std::sync::Arc;
+
+    fn setup() -> (Arc<HtmRuntime>, Tpcc) {
+        let scale = TpccScale::default();
+        let lines = Tpcc::lines_needed(&scale) + 1024;
+        let mem = Arc::new(SharedMem::new_lines(lines as u32));
+        let rt = HtmRuntime::new(Arc::clone(&mem), HtmConfig::default());
+        let alloc = SimAlloc::new(mem);
+        let db = Tpcc::build(&alloc, scale).unwrap();
+        (rt, db)
+    }
+
+    #[test]
+    fn new_order_advances_district_and_customer() {
+        let (rt, db) = setup();
+        let ctx = rt.register();
+        let mut nt = ctx.non_tx();
+        let p = NewOrderParams {
+            w: 0,
+            d: 3,
+            c: 5,
+            lines: vec![(10, 2), (20, 1)],
+        };
+        let total = db.new_order(&mut nt, &p).unwrap();
+        assert!(total > 0);
+        let (_bal, qty) = db.order_status(&mut nt, 0, 3, 5).unwrap();
+        assert_eq!(qty, 3);
+        assert_eq!(db.total_orders(&mut nt).unwrap(), 1);
+    }
+
+    #[test]
+    fn payment_conserves_money_flow() {
+        let (rt, db) = setup();
+        let ctx = rt.register();
+        let mut nt = ctx.non_tx();
+        db.payment(&mut nt, 1, 2, 3, 500).unwrap();
+        db.payment(&mut nt, 1, 2, 3, 250).unwrap();
+        let (balance, _) = db.order_status(&mut nt, 1, 2, 3).unwrap();
+        assert_eq!(balance, 0u64.wrapping_sub(750));
+        assert_eq!(nt.read(db.wh(1).offset(WH_YTD)), 750);
+    }
+
+    #[test]
+    fn delivery_processes_undelivered_orders() {
+        let (rt, db) = setup();
+        let ctx = rt.register();
+        let mut nt = ctx.non_tx();
+        let p = NewOrderParams {
+            w: 0,
+            d: 0,
+            c: 1,
+            lines: vec![(5, 4)],
+        };
+        db.new_order(&mut nt, &p).unwrap();
+        assert_eq!(db.delivery(&mut nt, 0).unwrap(), 1);
+        // Nothing left to deliver.
+        assert_eq!(db.delivery(&mut nt, 0).unwrap(), 0);
+        // Customer got credited.
+        let (balance, _) = db.order_status(&mut nt, 0, 0, 1).unwrap();
+        assert_eq!(balance, 4);
+    }
+
+    #[test]
+    fn stock_level_counts_low_stock() {
+        let (rt, db) = setup();
+        let ctx = rt.register();
+        let mut nt = ctx.non_tx();
+        let p = NewOrderParams {
+            w: 0,
+            d: 7,
+            c: 0,
+            lines: vec![(0, 3), (1, 3)],
+        };
+        db.new_order(&mut nt, &p).unwrap();
+        // Threshold above every quantity counts all lines.
+        assert_eq!(db.stock_level(&mut nt, 0, 7, 1_000_000).unwrap(), 2);
+        assert_eq!(db.stock_level(&mut nt, 0, 7, 0).unwrap(), 0);
+    }
+
+    #[test]
+    fn stock_level_overflows_htm_capacity_after_many_orders() {
+        let (rt, db) = setup();
+        let mut ctx = rt.register();
+        let mut rng = SmallRng::seed_from_u64(7);
+        // Fill district (0, 0)'s recent-order window.
+        {
+            let mut nt = ctx.non_tx();
+            for _ in 0..25 {
+                let mut p = db.gen_new_order(&mut rng);
+                p.w = 0;
+                p.d = 0;
+                db.new_order(&mut nt, &p).unwrap();
+            }
+        }
+        let mut tx = ctx.begin(htm::TxMode::Htm);
+        let res = db.stock_level(&mut tx, 0, 0, 1_000_000);
+        assert_eq!(
+            res,
+            Err(AbortCause::Capacity),
+            "20 orders × ~10 lines must overflow the read budget"
+        );
+    }
+
+    #[test]
+    fn ring_overwrite_is_detected_by_order_status() {
+        let (rt, db) = setup();
+        let ctx = rt.register();
+        let mut nt = ctx.non_tx();
+        let mut rng = SmallRng::seed_from_u64(9);
+        // Customer 2's order will be overwritten after ORDER_RING more.
+        let mut p0 = db.gen_new_order(&mut rng);
+        p0.w = 0;
+        p0.d = 0;
+        p0.c = 2;
+        db.new_order(&mut nt, &p0).unwrap();
+        for _ in 0..ORDER_RING {
+            let mut p = db.gen_new_order(&mut rng);
+            p.w = 0;
+            p.d = 0;
+            p.c = 3;
+            db.new_order(&mut nt, &p).unwrap();
+        }
+        let (_bal, qty) = db.order_status(&mut nt, 0, 0, 2).unwrap();
+        assert_eq!(qty, 0, "overwritten order must not be misread");
+    }
+}

@@ -1,0 +1,97 @@
+//! Read-Log-Update in action: the tailored-code alternative to elision.
+//!
+//! Runs the canonical RLU sorted-list set with concurrent uninstrumented
+//! readers and (fine-grained) writers, then prints what the RW-LE paper's
+//! related-work section is about: RLU gets RCU-class read performance,
+//! but every line of `RluList` had to be written against RLU's deref/
+//! lock/log API — whereas the elided `SortedList` is plain code.
+//!
+//! ```text
+//! cargo run --release --example rlu_set
+//! ```
+
+use std::sync::Arc;
+
+use hrwle::rlu::{RluError, RluList, RluRuntime};
+use hrwle::simmem::{SharedMem, SimAlloc};
+
+fn main() {
+    let mem = Arc::new(SharedMem::new_lines(64 * 1024));
+    let alloc = Arc::new(SimAlloc::new(Arc::clone(&mem)));
+    let rt = RluRuntime::new(mem, alloc);
+    let list = Arc::new(RluList::new(&rt).unwrap());
+
+    // Seed.
+    {
+        let mut t = rt.register();
+        let mut w = t.writer();
+        for k in (2..200u64).step_by(2) {
+            list.add(&mut w, k).unwrap();
+        }
+        w.commit();
+    }
+
+    let t0 = std::time::Instant::now();
+    std::thread::scope(|s| {
+        // Two fine-grained writers toggling odd keys.
+        for wtid in 0..2u64 {
+            let rt = Arc::clone(&rt);
+            let list = Arc::clone(&list);
+            s.spawn(move || {
+                let mut t = rt.register();
+                for i in 0..2_000u64 {
+                    let k = (wtid * 100 + (i % 50)) * 2 + 1; // odd keys
+                    loop {
+                        let mut w = t.writer_fine();
+                        let res = if i % 2 == 0 {
+                            list.add(&mut w, k)
+                        } else {
+                            list.remove(&mut w, k)
+                        };
+                        match res {
+                            Ok(_) => {
+                                w.commit();
+                                break;
+                            }
+                            Err(RluError::Conflict) => {
+                                w.abort();
+                                std::thread::yield_now();
+                            }
+                            Err(e) => panic!("{e}"),
+                        }
+                    }
+                }
+            });
+        }
+        // Four readers: wait-free traversals that must always see every
+        // even (never-removed) key and a sorted list.
+        for _ in 0..4 {
+            let rt = Arc::clone(&rt);
+            let list = Arc::clone(&list);
+            s.spawn(move || {
+                let mut t = rt.register();
+                for _ in 0..2_000 {
+                    let r = t.reader();
+                    assert!(list.contains(&r, 100), "even key lost");
+                    let n = list.len(&r);
+                    assert!(n >= 99, "evens must all be present, len={n}");
+                }
+            });
+        }
+    });
+    let elapsed = t0.elapsed();
+
+    let mut t = rt.register();
+    let r = t.reader();
+    let keys = list.keys(&r);
+    assert!(keys.windows(2).all(|w| w[0] < w[1]));
+    println!(
+        "12k ops across 6 threads in {elapsed:?}; final set holds {} keys, sorted",
+        keys.len()
+    );
+    println!(
+        "every traversal ran wait-free — and every line of RluList had to be\n\
+         written against RLU's deref/lock/log API; RW-LE's point is getting\n\
+         the read-side win with *unmodified* data-structure code instead."
+    );
+}

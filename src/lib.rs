@@ -1,0 +1,33 @@
+//! # hrwle — Hardware Read-Write Lock Elision, reproduced
+//!
+//! Umbrella crate for the reproduction of *Hardware Read-Write Lock
+//! Elision* (Felber, Issa, Matveev, Romano — EuroSys 2016). It re-exports
+//! the workspace crates so examples and downstream users can depend on a
+//! single package:
+//!
+//! * [`simmem`] — simulated word-addressable shared memory.
+//! * [`htm`] — POWER8-like best-effort hardware transactional memory
+//!   (HTM + rollback-only transactions + suspend/resume) in software.
+//! * [`epoch`] — RCU-like per-thread epoch clocks and quiescence.
+//! * [`stats`] — commit-path / abort-cause accounting.
+//! * [`locks`] — baseline locks (SGL, pthread-style RW lock, BRLock...).
+//! * [`hle`] — classic single-lock hardware lock elision (the baseline).
+//! * [`rwle`] — **RW-LE**, the paper's contribution.
+//! * [`rlu`] — Read-Log-Update (§2 related work), the software
+//!   alternative the paper contrasts elision against.
+//! * [`workloads`] — hashmap sensitivity benchmark, STMBench7-like,
+//!   Kyoto-CacheDB-like, and TPC-C workloads over simulated memory.
+//!
+//! See `README.md` for a quickstart and `DESIGN.md` for the architecture.
+
+#![warn(missing_docs)]
+
+pub use epoch;
+pub use hle;
+pub use htm;
+pub use locks;
+pub use rlu;
+pub use rwle;
+pub use simmem;
+pub use stats;
+pub use workloads;
