@@ -48,9 +48,10 @@ fn main() {
                 if !csv {
                     let reads = summary.commits(stats::CommitKind::Uninstrumented).max(1);
                     println!(
-                        "{:>46} reader retreats/1k reads: {:.2}",
+                        "{:>46} reader retreats/1k reads: {:.2}  waits/1k reads: {:.2}",
                         "",
-                        1000.0 * summary.reader_retreats as f64 / reads as f64
+                        1000.0 * summary.reader_retreats as f64 / reads as f64,
+                        1000.0 * summary.reader_waits as f64 / reads as f64
                     );
                 }
             }

@@ -51,6 +51,21 @@ pub struct EpochSet {
     clocks: Box<[PaddedU64]>,
     /// Fair variant: version of the global lock observed at reader entry.
     versions: Box<[PaddedU64]>,
+    /// Debug builds only: token of the OS thread currently updating the
+    /// slot's clock (0 = none), used to detect two OS threads racing the
+    /// non-atomic load-then-store clock update.
+    #[cfg(debug_assertions)]
+    owners: Box<[PaddedU64]>,
+}
+
+/// A unique, never-zero token per OS thread (debug builds only).
+#[cfg(debug_assertions)]
+fn thread_token() -> u64 {
+    static NEXT: AtomicU64 = AtomicU64::new(1);
+    thread_local! {
+        static TOKEN: u64 = NEXT.fetch_add(1, Ordering::Relaxed);
+    }
+    TOKEN.with(|t| *t)
 }
 
 impl EpochSet {
@@ -60,6 +75,8 @@ impl EpochSet {
         EpochSet {
             clocks: (0..n).map(mk).collect(),
             versions: (0..n).map(mk).collect(),
+            #[cfg(debug_assertions)]
+            owners: (0..n).map(mk).collect(),
         }
     }
 
@@ -80,21 +97,44 @@ impl EpochSet {
     /// Uses sequentially-consistent ordering: the paper's `MEM_FENCE`
     /// after the increment, making the odd clock visible to writers before
     /// any data read.
+    ///
+    /// The load-then-store clock update is deliberately *not* atomic: each
+    /// slot's clock has a single writer at a time — the thread currently
+    /// driving the slot — so no increment can be lost. A slot may be handed
+    /// off to another OS thread *between* operations (with external
+    /// synchronization), but two updates of the same slot must never
+    /// overlap; debug builds assert this with a per-slot update token.
     #[inline]
     pub fn enter(&self, tid: usize) {
-        let c = &self.clocks[tid].0;
-        let v = c.load(Ordering::Relaxed);
-        debug_assert_eq!(v % 2, 0, "nested enter");
-        c.store(v + 1, Ordering::SeqCst);
+        sched::step();
+        self.update_clock(tid, 0, "nested enter");
     }
 
     /// Marks thread `tid` as outside its read-side critical section.
     #[inline]
     pub fn exit(&self, tid: usize) {
+        sched::step();
+        self.update_clock(tid, 1, "exit without enter");
+    }
+
+    /// The shared non-atomic clock increment (see [`EpochSet::enter`] for
+    /// the single-writer discipline that makes it sound).
+    #[inline]
+    fn update_clock(&self, tid: usize, expect_parity: u64, parity_msg: &str) {
+        #[cfg(debug_assertions)]
+        {
+            let prev = self.owners[tid].0.swap(thread_token(), Ordering::SeqCst);
+            debug_assert_eq!(
+                prev, 0,
+                "slot {tid}: overlapping clock updates from two OS threads"
+            );
+        }
         let c = &self.clocks[tid].0;
         let v = c.load(Ordering::Relaxed);
-        debug_assert_eq!(v % 2, 1, "exit without enter");
+        debug_assert_eq!(v % 2, expect_parity, "{}", parity_msg);
         c.store(v + 1, Ordering::SeqCst);
+        #[cfg(debug_assertions)]
+        self.owners[tid].0.store(0, Ordering::SeqCst);
     }
 
     /// Returns `true` if thread `tid` is inside a critical section.
@@ -129,7 +169,7 @@ impl EpochSet {
                 continue;
             }
             while self.clocks[tid].0.load(Ordering::SeqCst) == snap {
-                std::thread::yield_now();
+                sched::yield_point();
             }
         }
     }
@@ -145,7 +185,7 @@ impl EpochSet {
                 continue;
             }
             while self.clocks[tid].0.load(Ordering::SeqCst) % 2 == 1 {
-                std::thread::yield_now();
+                sched::yield_point();
             }
         }
     }
@@ -161,23 +201,46 @@ impl EpochSet {
     ///
     /// Readers that observed the writer's own (or a newer) version are
     /// serialized after it by construction and need not be waited for.
+    ///
+    /// The recorded version is re-checked *while* waiting, not only in
+    /// the initial pass: a reader flips its clock before recording the
+    /// version it observed, so the barrier can catch a reader between
+    /// the two steps with a stale (older) version. If that reader then
+    /// observes the writer's lock and records its version, it will wait
+    /// for the lock in place — waiting for its clock here would deadlock
+    /// (writer awaits reader's exit, reader awaits writer's release).
     pub fn synchronize_fair(&self, skip: Option<usize>, writer_version: u64) {
+        for (tid, snap) in self.fair_wait_set(skip, writer_version) {
+            while self.clocks[tid].0.load(Ordering::SeqCst) == snap
+                && self.versions[tid].0.load(Ordering::SeqCst) < writer_version
+            {
+                sched::yield_point();
+            }
+        }
+    }
+
+    /// The wait-set decision of [`EpochSet::synchronize_fair`], separated
+    /// out so the rule is directly testable: the barrier waits on exactly
+    /// the threads that are inside a critical section (odd snapshot clock)
+    /// *and* recorded a version older than `writer_version`.
+    ///
+    /// Returns `(tid, snapshot_clock)` pairs; the barrier waits for each
+    /// listed clock to move past its snapshot value.
+    pub fn fair_wait_set(&self, skip: Option<usize>, writer_version: u64) -> Vec<(usize, u64)> {
         let snapshot: Vec<u64> = self
             .clocks
             .iter()
             .map(|c| c.0.load(Ordering::SeqCst))
             .collect();
-        for (tid, &snap) in snapshot.iter().enumerate() {
-            if Some(tid) == skip || snap % 2 == 0 {
-                continue;
-            }
-            if self.versions[tid].0.load(Ordering::SeqCst) >= writer_version {
-                continue;
-            }
-            while self.clocks[tid].0.load(Ordering::SeqCst) == snap {
-                std::thread::yield_now();
-            }
-        }
+        snapshot
+            .into_iter()
+            .enumerate()
+            .filter(|&(tid, snap)| {
+                Some(tid) != skip
+                    && snap % 2 == 1
+                    && self.versions[tid].0.load(Ordering::SeqCst) < writer_version
+            })
+            .collect()
     }
 }
 
@@ -294,5 +357,31 @@ mod tests {
         let e = EpochSet::new(1);
         e.enter(0);
         e.enter(0);
+    }
+
+    #[test]
+    fn clock_handoff_between_operations_is_allowed() {
+        // The single-writer discipline forbids *overlapping* updates, not
+        // handing a slot to another OS thread between operations.
+        let e = Arc::new(EpochSet::new(1));
+        e.enter(0);
+        let e2 = Arc::clone(&e);
+        std::thread::spawn(move || e2.exit(0)).join().unwrap();
+        assert_eq!(e.read_clock(0), 2);
+    }
+
+    #[test]
+    fn fair_wait_set_matches_rule() {
+        let e = EpochSet::new(4);
+        e.enter(0); // odd, version 0 -> waited on for wv > 0
+        e.enter(1);
+        e.record_version(1, 7); // odd, version 7 -> skipped for wv <= 7
+        e.record_version(3, 1); // even clock -> never waited on
+        let ws = e.fair_wait_set(None, 5);
+        assert_eq!(ws, vec![(0, 1)]);
+        let ws = e.fair_wait_set(None, 8);
+        assert_eq!(ws, vec![(0, 1), (1, 1)]);
+        let ws = e.fair_wait_set(Some(0), 8);
+        assert_eq!(ws, vec![(1, 1)]);
     }
 }

@@ -197,7 +197,7 @@ mod tests {
                 let mut freed = 0;
                 for _ in 0..200 {
                     freed += r2.try_flush(&epochs2).len();
-                    std::thread::yield_now();
+                    sched::yield_point();
                 }
                 freed
             });

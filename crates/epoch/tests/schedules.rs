@@ -1,0 +1,334 @@
+//! Deterministic schedule exploration of the quiescence barriers.
+//!
+//! Each test runs real readers and writers over an [`EpochSet`] under
+//! `sched::Scheduler`: one logical thread proceeds at a time and a
+//! seeded RNG picks who moves at every instrumented step, so one seed IS
+//! one interleaving. A barrier that waits when it must not shows up as a
+//! step-budget panic carrying the seed; a barrier that returns when it
+//! must not shows up as an assertion failure. [`sched::explore`] prints
+//! the reproducing seed either way.
+//!
+//! The property tests at the bottom pin the fair barrier's wait-set rule
+//! itself (via [`EpochSet::fair_wait_set`]): wait on exactly the readers
+//! that are inside a critical section *and* recorded a version older
+//! than the writer's.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+
+use epoch::EpochSet;
+use proptest::prelude::*;
+
+/// RCU grace periods: a writer may only reclaim (poison) a buffer after
+/// `synchronize` — no schedule may let a reader observe poisoned memory.
+fn grace_period_schedule(seed: u64) {
+    const READERS: usize = 3;
+    const WRITER: usize = READERS;
+    const POISON: u64 = u64::MAX;
+    let epochs = Arc::new(EpochSet::new(READERS + 1));
+    let bufs: Arc<[AtomicU64; 2]> = Arc::new([AtomicU64::new(50), AtomicU64::new(0)]);
+    let current = Arc::new(AtomicUsize::new(0));
+
+    let mut s = sched::Scheduler::new(seed);
+    for tid in 0..READERS {
+        let epochs = Arc::clone(&epochs);
+        let bufs = Arc::clone(&bufs);
+        let current = Arc::clone(&current);
+        s.spawn(move || {
+            for _ in 0..3 {
+                epochs.enter(tid);
+                sched::yield_point();
+                let idx = current.load(Ordering::SeqCst);
+                sched::yield_point();
+                let v = bufs[idx].load(Ordering::SeqCst);
+                assert_ne!(v, POISON, "reader observed a reclaimed buffer");
+                epochs.exit(tid);
+                sched::yield_point();
+            }
+        });
+    }
+    {
+        let epochs = Arc::clone(&epochs);
+        let bufs = Arc::clone(&bufs);
+        let current = Arc::clone(&current);
+        s.spawn(move || {
+            for round in 0..3u64 {
+                let old = current.load(Ordering::SeqCst);
+                let new = 1 - old;
+                bufs[new].store(100 + round, Ordering::SeqCst);
+                current.store(new, Ordering::SeqCst);
+                // Readers snapshotted inside may still hold `old`; only
+                // after the grace period may it be reclaimed.
+                epochs.synchronize(Some(WRITER));
+                bufs[old].store(POISON, Ordering::SeqCst);
+            }
+        });
+    }
+    s.run();
+}
+
+#[test]
+fn grace_period_schedules() {
+    sched::explore("epoch-grace-period", 0..400, grace_period_schedule);
+}
+
+/// Single-pass quiescence (§3.3): sound exactly because the writer's
+/// "lock" blocks new readers. The writer then updates two words
+/// non-atomically; a reader overlapping the update would see a torn pair.
+fn blocked_readers_schedule(seed: u64) {
+    const READERS: usize = 2;
+    const WRITER: usize = READERS;
+    let epochs = Arc::new(EpochSet::new(READERS + 1));
+    let lock = Arc::new(AtomicBool::new(false));
+    let data: Arc<[AtomicU64; 2]> = Arc::new([AtomicU64::new(0), AtomicU64::new(0)]);
+
+    let mut s = sched::Scheduler::new(seed);
+    for tid in 0..READERS {
+        let epochs = Arc::clone(&epochs);
+        let lock = Arc::clone(&lock);
+        let data = Arc::clone(&data);
+        s.spawn(move || {
+            for _ in 0..3 {
+                // Retreat-style entry: readers defer to the lock holder,
+                // which is what legitimizes the single-pass barrier.
+                loop {
+                    epochs.enter(tid);
+                    if !lock.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    epochs.exit(tid);
+                    while lock.load(Ordering::SeqCst) {
+                        sched::yield_point();
+                    }
+                }
+                sched::yield_point();
+                let a = data[0].load(Ordering::SeqCst);
+                sched::yield_point();
+                let b = data[1].load(Ordering::SeqCst);
+                assert_eq!(a, b, "torn read: single-pass barrier under-waited");
+                epochs.exit(tid);
+                sched::yield_point();
+            }
+        });
+    }
+    {
+        let epochs = Arc::clone(&epochs);
+        let lock = Arc::clone(&lock);
+        let data = Arc::clone(&data);
+        s.spawn(move || {
+            for round in 1..=2u64 {
+                lock.store(true, Ordering::SeqCst);
+                epochs.synchronize_blocked_readers(Some(WRITER));
+                data[0].store(round, Ordering::SeqCst);
+                sched::yield_point();
+                data[1].store(round, Ordering::SeqCst);
+                lock.store(false, Ordering::SeqCst);
+                sched::yield_point();
+            }
+        });
+    }
+    s.run();
+}
+
+#[test]
+fn blocked_readers_schedules() {
+    sched::explore("epoch-blocked-readers", 0..400, blocked_readers_schedule);
+}
+
+/// A reader whose recorded version is the writer's own (or newer) must
+/// NOT be waited for: the reader stays inside until the writer's barrier
+/// completes, so over-waiting is a deadlock (caught by the step budget).
+fn fair_skips_newer_schedule(seed: u64) {
+    let epochs = Arc::new(EpochSet::new(2));
+    let inside = Arc::new(AtomicBool::new(false));
+    let done = Arc::new(AtomicBool::new(false));
+
+    let mut s = sched::Scheduler::new(seed);
+    {
+        let epochs = Arc::clone(&epochs);
+        let inside = Arc::clone(&inside);
+        let done = Arc::clone(&done);
+        s.spawn(move || {
+            epochs.enter(0);
+            epochs.record_version(0, 7);
+            inside.store(true, Ordering::SeqCst);
+            while !done.load(Ordering::SeqCst) {
+                sched::yield_point();
+            }
+            epochs.exit(0);
+        });
+    }
+    {
+        let epochs = Arc::clone(&epochs);
+        let inside = Arc::clone(&inside);
+        let done = Arc::clone(&done);
+        s.spawn(move || {
+            while !inside.load(Ordering::SeqCst) {
+                sched::yield_point();
+            }
+            epochs.synchronize_fair(Some(1), 7);
+            done.store(true, Ordering::SeqCst);
+        });
+    }
+    s.run();
+    assert!(done.load(Ordering::SeqCst));
+}
+
+#[test]
+fn fair_skips_newer_readers_schedules() {
+    sched::explore("epoch-fair-skips-newer", 0..300, fair_skips_newer_schedule);
+}
+
+/// A reader inside with an *older* recorded version must always be
+/// waited for: the barrier may not complete before that reader exits.
+fn fair_waits_for_older_schedule(seed: u64) {
+    let epochs = Arc::new(EpochSet::new(2));
+    let entered = Arc::new(AtomicBool::new(false));
+    let log: Arc<Mutex<Vec<&'static str>>> = Arc::new(Mutex::new(Vec::new()));
+
+    let mut s = sched::Scheduler::new(seed);
+    {
+        let epochs = Arc::clone(&epochs);
+        let entered = Arc::clone(&entered);
+        let log = Arc::clone(&log);
+        s.spawn(move || {
+            epochs.enter(0);
+            epochs.record_version(0, 3);
+            entered.store(true, Ordering::SeqCst);
+            sched::yield_point();
+            sched::yield_point();
+            log.lock().unwrap().push("reader-exiting");
+            epochs.exit(0);
+        });
+    }
+    {
+        let epochs = Arc::clone(&epochs);
+        let entered = Arc::clone(&entered);
+        let log = Arc::clone(&log);
+        s.spawn(move || {
+            while !entered.load(Ordering::SeqCst) {
+                sched::yield_point();
+            }
+            epochs.synchronize_fair(Some(1), 7);
+            log.lock().unwrap().push("writer-synced");
+        });
+    }
+    s.run();
+    let log = log.lock().unwrap();
+    assert_eq!(
+        *log,
+        vec!["reader-exiting", "writer-synced"],
+        "barrier returned before the older reader exited"
+    );
+}
+
+#[test]
+fn fair_waits_for_older_readers_schedules() {
+    sched::explore(
+        "epoch-fair-waits-older",
+        0..300,
+        fair_waits_for_older_schedule,
+    );
+}
+
+/// Regression for a deadlock found by `rwle` schedule exploration
+/// (suite `rwle-fair-ns`, seed 0): a reader flips its clock, and only
+/// then records the version it observed. A barrier that snapshots in
+/// that window sees an odd clock with a stale (older) version and
+/// starts waiting; if the reader then records the writer's own version
+/// and waits for the writer in place, only the barrier's in-loop
+/// version re-check prevents a deadlock.
+fn fair_release_by_record_schedule(seed: u64) {
+    let epochs = Arc::new(EpochSet::new(2));
+    let released = Arc::new(AtomicBool::new(false));
+
+    let mut s = sched::Scheduler::new(seed);
+    {
+        let epochs = Arc::clone(&epochs);
+        let released = Arc::clone(&released);
+        s.spawn(move || {
+            epochs.enter(0);
+            sched::yield_point();
+            // The reader observed the writer's lock word: record its
+            // version and wait for the writer, like a fair RW-LE reader.
+            epochs.record_version(0, 9);
+            while !released.load(Ordering::SeqCst) {
+                sched::yield_point();
+            }
+            epochs.exit(0);
+        });
+    }
+    {
+        let epochs = Arc::clone(&epochs);
+        let released = Arc::clone(&released);
+        s.spawn(move || {
+            epochs.synchronize_fair(Some(1), 9);
+            released.store(true, Ordering::SeqCst);
+        });
+    }
+    s.run();
+}
+
+#[test]
+fn fair_release_by_record_schedules() {
+    sched::explore(
+        "epoch-fair-release-by-record",
+        0..300,
+        fair_release_by_record_schedule,
+    );
+}
+
+proptest! {
+    /// The fair wait-set rule, over arbitrary clock/version states:
+    /// `synchronize_fair` waits on a reader iff its clock is odd AND its
+    /// recorded version is older than the writer's — never on readers
+    /// with version >= the writer's, always on older odd-clock readers.
+    #[test]
+    fn fair_wait_set_is_exactly_older_active_readers(
+        threads in proptest::collection::vec((0u64..6, 0u64..6), 1..8),
+        writer_version in 0u64..6,
+    ) {
+        let e = EpochSet::new(threads.len());
+        for (tid, &(clock, ver)) in threads.iter().enumerate() {
+            for _ in 0..clock / 2 {
+                e.enter(tid);
+                e.exit(tid);
+            }
+            if clock % 2 == 1 {
+                e.enter(tid);
+            }
+            e.record_version(tid, ver);
+        }
+        let ws = e.fair_wait_set(None, writer_version);
+        for (tid, &(clock, ver)) in threads.iter().enumerate() {
+            let entry = ws.iter().find(|&&(t, _)| t == tid);
+            let must_wait = clock % 2 == 1 && ver < writer_version;
+            prop_assert_eq!(
+                entry.is_some(),
+                must_wait,
+                "tid {} clock {} version {} writer_version {}",
+                tid, clock, ver, writer_version
+            );
+            if let Some(&(_, snap)) = entry {
+                prop_assert_eq!(snap, clock, "snapshot must be the entry clock");
+            }
+        }
+    }
+
+    /// `skip` removes exactly the writer's own slot from the wait set.
+    #[test]
+    fn fair_wait_set_skip_removes_own_slot(
+        n in 1usize..6,
+        writer_version in 1u64..6,
+    ) {
+        let e = EpochSet::new(n);
+        for tid in 0..n {
+            e.enter(tid); // all inside, version 0 < writer_version
+        }
+        for skip in 0..n {
+            let ws = e.fair_wait_set(Some(skip), writer_version);
+            prop_assert_eq!(ws.len(), n - 1);
+            prop_assert!(ws.iter().all(|&(t, _)| t != skip));
+        }
+    }
+}

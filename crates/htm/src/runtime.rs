@@ -97,10 +97,12 @@ fn unpack_writer(w: u64) -> Claim {
 
 /// Yield-based wait step: on the single-CPU hosts this repository targets,
 /// burning cycles in a pause loop starves the very thread we are waiting
-/// for, so every spin in the engine goes through the scheduler.
+/// for, so every spin in the engine goes through the scheduler. Under
+/// deterministic schedule exploration this is additionally a scheduling
+/// point: the baton passes instead of the OS yielding.
 #[inline]
 pub(crate) fn spin_wait() {
-    std::thread::yield_now();
+    sched::yield_point();
 }
 
 /// Per-slot lifecycle state, padded to avoid false sharing.
@@ -651,6 +653,7 @@ impl HtmRuntime {
     /// request invalidates exclusive speculative state) and waits out
     /// committing writers, so the returned value is never torn.
     pub(crate) fn read_nt_as(&self, slot: usize, addr: Addr, cause: AbortCause) -> u64 {
+        sched::step();
         self.resolve_writer(self.granule_of(addr), slot, cause);
         self.mem.load(addr)
     }
@@ -664,6 +667,7 @@ impl HtmRuntime {
     /// observed the old value: any reader whose bit is set after the scan
     /// necessarily loads after the store and sees the new value.
     pub(crate) fn write_nt_as(&self, slot: usize, addr: Addr, val: u64, cause: AbortCause) {
+        sched::step();
         let line = self.granule_of(addr);
         self.acquire_nt_claim(line, slot, cause);
         self.mem.store(addr, val);
@@ -686,6 +690,7 @@ impl HtmRuntime {
         new: u64,
         cause: AbortCause,
     ) -> Result<u64, u64> {
+        sched::step();
         let line = self.granule_of(addr);
         self.acquire_nt_claim(line, slot, cause);
         let res = self.mem.compare_exchange(addr, cur, new);

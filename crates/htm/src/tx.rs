@@ -224,6 +224,7 @@ impl<'c> Tx<'c> {
     /// to capacity); ROTs do not. Both observe their own buffered stores.
     pub fn read(&mut self, addr: Addr) -> Result<u64, AbortCause> {
         debug_assert!(!self.finished, "access after commit/abort");
+        sched::step();
         self.maybe_interrupt()?;
         self.check_doom()?;
         if let Some(v) = self.ctx.write_buf.get(addr.0) {
@@ -252,6 +253,7 @@ impl<'c> Tx<'c> {
     /// Transactional (speculative, buffered) store.
     pub fn write(&mut self, addr: Addr, val: u64) -> Result<(), AbortCause> {
         debug_assert!(!self.finished, "access after commit/abort");
+        sched::step();
         self.maybe_interrupt()?;
         self.check_doom()?;
         let granule = self.rt().granule_of(addr) as u32;
@@ -318,6 +320,7 @@ impl<'c> Tx<'c> {
     /// write-back to finish).
     pub fn commit(mut self) -> Result<(), AbortCause> {
         debug_assert!(!self.finished, "double commit");
+        sched::step();
         let slot = self.ctx.slot;
         let seq = self.ctx.seq;
         if let Err(cause) = self.rt().slot_try_commit(slot, seq) {

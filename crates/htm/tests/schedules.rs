@@ -6,6 +6,9 @@
 //! scheduler, exploring thousands of interleavings reproducibly. Each
 //! *episode* keeps several transactions live simultaneously and weaves
 //! their operations with non-transactional traffic in random order.
+//! Seed iteration and failing-seed reporting come from [`sched::explore`];
+//! whole-protocol OS-thread interleaving lives in the `sched` crate and
+//! the `rwle`/`epoch` schedule suites built on it.
 //!
 //! No step can block: engine waits only occur while another context is
 //! inside `commit()` write-back or an NT store, both of which complete
@@ -24,8 +27,7 @@
 use std::collections::HashMap;
 use std::sync::Arc;
 
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use sched::{Rng, SeedableRng, SmallRng};
 
 use htm::{HtmConfig, HtmRuntime, ThreadCtx, Tx, TxMode};
 use simmem::{Addr, SharedMem};
@@ -186,22 +188,22 @@ fn run_schedule(seed: u64, logical_threads: usize, episodes: usize, addr_space: 
 
 #[test]
 fn thousand_random_schedules_preserve_serializability() {
-    for seed in 0..1000 {
-        run_schedule(seed, 5, 10, 64);
-    }
+    sched::explore("htm-episodes", 0..1000, |seed| {
+        run_schedule(seed, 5, 10, 64)
+    });
 }
 
 #[test]
 fn tight_address_space_maximizes_conflicts() {
     // 8 addresses in a single line: every transaction collides.
-    for seed in 0..300 {
-        run_schedule(0x2000 + seed, 6, 12, 8);
-    }
+    sched::explore("htm-episodes-tight", 0x2000..0x2300, |seed| {
+        run_schedule(seed, 6, 12, 8)
+    });
 }
 
 #[test]
 fn many_threads_long_episodes() {
-    for seed in 0..100 {
-        run_schedule(0x9000 + seed, 10, 25, 24);
-    }
+    sched::explore("htm-episodes-long", 0x9000..0x9064, |seed| {
+        run_schedule(seed, 10, 25, 24)
+    });
 }

@@ -71,7 +71,7 @@ impl BasicRwLe {
             // Lines 17–19: test-and-test-and-set writer lock.
             loop {
                 while ctx.read_nt(self.wlock) != FREE {
-                    std::thread::yield_now();
+                    sched::yield_point();
                 }
                 if ctx.cas_nt(self.wlock, FREE, HTM_LOCKED).is_ok() {
                     break;
@@ -103,7 +103,7 @@ impl BasicRwLe {
                     stats.abort(TxMode::Htm, cause);
                 }
             }
-            std::thread::yield_now();
+            sched::yield_point();
         }
     }
 }

@@ -78,6 +78,32 @@ fn pack(version: u64, state: u64) -> u64 {
     (version << 8) | state
 }
 
+/// Errors constructing an [`RwLe`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RwLeError {
+    /// Lock-word allocation failed.
+    Alloc(AllocError),
+    /// The requested configuration combination is not implemented.
+    UnsupportedConfig(&'static str),
+}
+
+impl From<AllocError> for RwLeError {
+    fn from(e: AllocError) -> Self {
+        RwLeError::Alloc(e)
+    }
+}
+
+impl std::fmt::Display for RwLeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RwLeError::Alloc(e) => write!(f, "lock-word allocation failed: {e}"),
+            RwLeError::UnsupportedConfig(why) => write!(f, "unsupported configuration: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for RwLeError {}
+
 /// Which speculative path a write critical section is attempting.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum Path {
@@ -188,7 +214,25 @@ impl RwLe {
     ///
     /// Allocates one cache line per lock word from `alloc` so that no
     /// workload data shares a line with the locks.
-    pub fn new(alloc: &SimAlloc, max_threads: usize, cfg: RwLeConfig) -> Result<Self, AllocError> {
+    ///
+    /// # Errors
+    ///
+    /// Rejects `fair && split_locks`: fair quiescence compares the lock
+    /// version a reader recorded at entry (always read from the NS lock
+    /// word) against the committing writer's version, but with split
+    /// locks a ROT writer's version comes from the *ROT* lock word — an
+    /// independent counter, so the comparison would be meaningless and a
+    /// writer could skip waiting for a genuinely older reader. The
+    /// combination stays rejected until the two words share one version
+    /// domain.
+    pub fn new(alloc: &SimAlloc, max_threads: usize, cfg: RwLeConfig) -> Result<Self, RwLeError> {
+        if cfg.fair && cfg.split_locks {
+            return Err(RwLeError::UnsupportedConfig(
+                "fair && split_locks: the ROT and NS lock words have independent \
+                 version counters, so fair quiescence cannot compare reader and \
+                 writer versions across them",
+            ));
+        }
         let wlock = alloc.alloc(1)?;
         let rot_lock = if cfg.split_locks {
             alloc.alloc(1)?
@@ -240,7 +284,7 @@ impl RwLe {
     ) -> R {
         let tid = ctx.slot();
         if self.cfg.fair {
-            self.fair_read_enter(ctx, tid);
+            stats.reader_waits += self.fair_read_enter(ctx, tid);
         } else {
             stats.reader_retreats += self.read_enter(ctx, tid);
         }
@@ -266,13 +310,13 @@ impl RwLe {
                 self.epochs.exit(tid);
                 retreats += 1;
                 while state(ctx.read_nt(self.wlock)) == ST_NS {
-                    std::thread::yield_now();
+                    sched::yield_point();
                 }
             }
         }
         loop {
             while state(ctx.read_nt(self.wlock)) == ST_NS {
-                std::thread::yield_now();
+                sched::yield_point();
             }
             self.epochs.enter(tid);
             if state(ctx.read_nt(self.wlock)) != ST_NS {
@@ -286,15 +330,31 @@ impl RwLe {
     /// Fair entry (§3.3): record the lock version; if a writer holds the
     /// lock, wait for that owner to release — without retreating, so the
     /// reader cannot be overtaken by an endless stream of writers.
-    pub(crate) fn fair_read_enter(&self, ctx: &ThreadCtx, tid: usize) {
+    /// Returns 1 if the entry had to wait, 0 otherwise (the fair
+    /// counterpart of the unfair path's retreat count).
+    pub(crate) fn fair_read_enter(&self, ctx: &ThreadCtx, tid: usize) -> u64 {
         self.epochs.enter(tid);
-        let w = ctx.read_nt(self.wlock);
+        let mut w = ctx.read_nt(self.wlock);
         self.epochs.record_version(tid, version(w));
-        if state(w) == ST_NS {
-            // Wait for the *current* owner only: its quiescence skips us
-            // (our recorded version is its own), so this cannot deadlock.
-            while state(ctx.read_nt(self.wlock)) == ST_NS {
-                std::thread::yield_now();
+        if state(w) != ST_NS {
+            return 0;
+        }
+        // Wait for the current owner in place. The owner's quiescence
+        // skips us (our recorded version is its own). If a *successor*
+        // NS writer takes the lock before we observe it free, record the
+        // new version too — otherwise the successor would wait for our
+        // clock while we wait for its release. Recording is safe here:
+        // we have read no data since entering and will not until the
+        // lock is free.
+        loop {
+            sched::yield_point();
+            let now = ctx.read_nt(self.wlock);
+            if state(now) != ST_NS {
+                return 1;
+            }
+            if version(now) != version(w) {
+                w = now;
+                self.epochs.record_version(tid, version(now));
             }
         }
     }
@@ -361,7 +421,7 @@ impl RwLe {
                             _ => (Path::Ns, 0),
                         };
                     }
-                    std::thread::yield_now();
+                    sched::yield_point();
                 }
             }
         }
@@ -378,7 +438,7 @@ impl RwLe {
         let tid = ctx.slot();
         // Let non-HTM writers finish before starting (line 42).
         while state(ctx.read_nt(self.wlock)) != ST_FREE {
-            std::thread::yield_now();
+            sched::yield_point();
         }
         let mut tx = ctx.begin(TxMode::Htm);
         // Eager subscription (lines 43–45): adds the lock to the read set,
@@ -419,6 +479,11 @@ impl RwLe {
             // Drain readers that may have observed pre-commit state; new
             // readers conflicting with our store set abort us instead.
             if self.cfg.fair {
+                // Sound only because `fair` forbids `split_locks` (see
+                // `RwLe::new`): the ROT lock *is* the NS lock word, so
+                // `my_version` lives in the same version domain readers
+                // record at entry.
+                debug_assert!(!self.cfg.split_locks);
                 self.epochs.synchronize_fair(Some(tid), my_version);
             } else {
                 self.epochs.synchronize(Some(tid));
@@ -442,7 +507,7 @@ impl RwLe {
             // Writers must be mutually exclusive: wait for any ROT holder
             // (new ROTs check the NS lock before acquiring).
             while state(ctx.read_nt(self.rot_lock)) != ST_FREE {
-                std::thread::yield_now();
+                sched::yield_point();
             }
         }
         // Let readers drain (line 59). Readers are blocked by the held NS
@@ -450,6 +515,9 @@ impl RwLe {
         if self.cfg.fair {
             self.epochs.synchronize_fair(Some(tid), my_version);
         } else if self.cfg.single_pass_quiesce {
+            // The single-pass barrier is only sound while the held NS lock
+            // blocks new readers from entering.
+            debug_assert_eq!(state(ctx.read_nt(self.wlock)), ST_NS);
             self.epochs.synchronize_blocked_readers(Some(tid));
         } else {
             self.epochs.synchronize(Some(tid));
@@ -467,7 +535,7 @@ impl RwLe {
         }
         loop {
             while state(ctx.read_nt(self.wlock)) != ST_FREE {
-                std::thread::yield_now();
+                sched::yield_point();
             }
             let v = self.acquire_word(ctx, self.rot_lock, ST_ROT);
             if state(ctx.read_nt(self.wlock)) == ST_FREE {
@@ -484,7 +552,7 @@ impl RwLe {
         loop {
             let w = ctx.read_nt(addr);
             if state(w) != ST_FREE {
-                std::thread::yield_now();
+                sched::yield_point();
                 continue;
             }
             let new_version = version(w) + 1;
@@ -519,6 +587,35 @@ mod tests {
         let alloc = SimAlloc::new(Arc::clone(&mem));
         let rwle = Arc::new(RwLe::new(&alloc, 16, cfg).unwrap());
         (rt, alloc, rwle)
+    }
+
+    #[test]
+    fn fair_with_split_locks_is_rejected() {
+        let mem = Arc::new(SharedMem::new_lines(16));
+        let alloc = SimAlloc::new(Arc::clone(&mem));
+        let cfg = RwLeConfig {
+            fair: true,
+            split_locks: true,
+            ..RwLeConfig::opt()
+        };
+        let err = RwLe::new(&alloc, 4, cfg)
+            .err()
+            .expect("fair+split_locks must be rejected");
+        match err {
+            RwLeError::UnsupportedConfig(why) => {
+                assert!(why.contains("version"), "unexpected reason: {why}")
+            }
+            e => panic!("wrong error kind: {e}"),
+        }
+        // Every preset remains constructible.
+        for cfg in [
+            RwLeConfig::opt(),
+            RwLeConfig::pes(),
+            RwLeConfig::htm_only(),
+            RwLeConfig::fair_htm_only(),
+        ] {
+            assert!(RwLe::new(&alloc, 4, cfg).is_ok(), "preset {cfg:?} rejected");
+        }
     }
 
     #[test]
@@ -600,7 +697,74 @@ mod tests {
     #[test]
     fn writer_waits_for_active_reader_before_commit() {
         // The Figure 1 scenario: the writer's commit must be delayed until
-        // the overlapping reader exits.
+        // the overlapping reader exits. Explored as deterministic seeded
+        // schedules — each seed is one interleaving of the reader's two
+        // loads against the writer's delayed commit, so the "writer parked
+        // in quiescence" window is pinned by the scheduler, not by timing.
+        use std::sync::atomic::{AtomicBool, Ordering};
+        sched::explore("rwle-fig1-unit", 0..200, |seed| {
+            let (rt, alloc, rwle) = setup(128, HtmConfig::default(), RwLeConfig::opt());
+            let data = alloc.alloc(2).unwrap();
+            let reader_in = Arc::new(AtomicBool::new(false));
+            let reader_done = Arc::new(AtomicBool::new(false));
+
+            let mut s = sched::Scheduler::new(seed);
+            {
+                let rt = Arc::clone(&rt);
+                let rwle = Arc::clone(&rwle);
+                let reader_in = Arc::clone(&reader_in);
+                let reader_done = Arc::clone(&reader_done);
+                s.spawn(move || {
+                    let rctx = rt.register();
+                    let rtid = rctx.slot();
+                    // Reader enters (uninstrumented) and reads x...
+                    rwle.epochs().enter(rtid);
+                    assert_eq!(rctx.read_nt(data), 0);
+                    reader_in.store(true, Ordering::SeqCst);
+                    sched::yield_point();
+                    // ...then reads y: still the old value, on every
+                    // schedule, because the writer is parked in quiescence.
+                    assert_eq!(
+                        rctx.read_nt(data.offset(1)),
+                        0,
+                        "reader observed a mixed snapshot"
+                    );
+                    reader_done.store(true, Ordering::SeqCst);
+                    rwle.epochs().exit(rtid);
+                });
+            }
+            {
+                let rt = Arc::clone(&rt);
+                let rwle = Arc::clone(&rwle);
+                s.spawn(move || {
+                    // Start strictly inside the reader's critical section.
+                    while !reader_in.load(Ordering::SeqCst) {
+                        sched::yield_point();
+                    }
+                    let mut wctx = rt.register();
+                    let mut st = ThreadStats::new();
+                    rwle.write_cs(&mut wctx, &mut st, &mut |acc| {
+                        acc.write(data, 1)?;
+                        acc.write(data.offset(1), 1)?;
+                        Ok(())
+                    });
+                    assert!(
+                        reader_done.load(Ordering::SeqCst),
+                        "writer committed before the overlapping reader exited"
+                    );
+                });
+            }
+            s.run();
+            // After the reader drained, both updates became visible.
+            assert_eq!(rt.mem().load(data), 1);
+            assert_eq!(rt.mem().load(data.offset(1)), 1);
+        });
+    }
+
+    #[test]
+    fn writer_waits_for_active_reader_real_threads_smoke() {
+        // Real-thread smoke for the schedule-explored Figure 1 test above:
+        // one preemptive run with an actual sleep in the reader's window.
         use std::sync::atomic::{AtomicBool, Ordering};
         let (rt, alloc, rwle) = setup(128, HtmConfig::default(), RwLeConfig::opt());
         let data = alloc.alloc(2).unwrap();
@@ -608,19 +772,15 @@ mod tests {
         let rctx = rt.register();
         let reader_done = AtomicBool::new(false);
 
-        // Reader enters (uninstrumented) and reads x, then stalls inside
-        // its critical section.
         let rtid = rctx.slot();
         rwle.epochs().enter(rtid);
-        let x0 = rctx.read_nt(data);
-        assert_eq!(x0, 0);
+        assert_eq!(rctx.read_nt(data), 0);
 
         std::thread::scope(|s| {
             let rwle2 = Arc::clone(&rwle);
             let reader_done = &reader_done;
             let handle = s.spawn(move || {
                 let mut st = ThreadStats::new();
-                // Writer updates both words; commit must block on reader.
                 rwle2.write_cs(&mut wctx, &mut st, &mut |acc| {
                     acc.write(data, 1)?;
                     acc.write(data.offset(1), 1)?;
@@ -631,9 +791,7 @@ mod tests {
                     "writer committed before the overlapping reader exited"
                 );
             });
-            std::thread::sleep(std::time::Duration::from_millis(30));
-            // Reader finishes: second word must still be the old value
-            // because the writer is parked in quiescence.
+            std::thread::sleep(std::time::Duration::from_millis(10));
             let y0 = rctx.read_nt(data.offset(1));
             assert_eq!(y0, 0, "reader observed a mixed snapshot");
             reader_done.store(true, Ordering::SeqCst);
@@ -823,17 +981,80 @@ mod tests {
 
     #[test]
     fn reader_retreats_are_counted_under_ns_writer() {
+        // Explored as deterministic seeded schedules. The holder only
+        // releases the NS word once the reader's epoch clock reaches 2:
+        // the reader enters (clock 1), necessarily observes ST_NS (the
+        // lock is still held), and retreats (exit -> clock 2) — so
+        // exactly one retreat is guaranteed on EVERY schedule, with no
+        // timing window.
+        use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+        sched::explore("rwle-retreat-unit", 0..200, |seed| {
+            let (rt, alloc, rwle) = setup(128, HtmConfig::default(), RwLeConfig::opt());
+            let data = alloc.alloc(1).unwrap();
+            let held = Arc::new(AtomicBool::new(false));
+            let reader_tid = Arc::new(AtomicUsize::new(usize::MAX));
+
+            let mut s = sched::Scheduler::new(seed);
+            {
+                let rt = Arc::clone(&rt);
+                let rwle = Arc::clone(&rwle);
+                let held = Arc::clone(&held);
+                let reader_tid = Arc::clone(&reader_tid);
+                s.spawn(move || {
+                    let holder = rt.register();
+                    // Occupy the NS lock by hand: version 1, state NS.
+                    let ns_word = (1 << 8) | 1;
+                    assert!(holder.cas_nt(rwle.wlock_addr(), 0, ns_word).is_ok());
+                    held.store(true, Ordering::SeqCst);
+                    // Hold until the reader has entered AND retreated
+                    // (enter -> clock 1, retreat exit -> clock 2).
+                    loop {
+                        let tid = reader_tid.load(Ordering::SeqCst);
+                        if tid != usize::MAX && rwle.epochs().read_clock(tid) >= 2 {
+                            break;
+                        }
+                        sched::yield_point();
+                    }
+                    // Release: state FREE, version preserved.
+                    holder.write_nt(rwle.wlock_addr(), 1 << 8);
+                });
+            }
+            {
+                let rt = Arc::clone(&rt);
+                let rwle = Arc::clone(&rwle);
+                let held = Arc::clone(&held);
+                let reader_tid = Arc::clone(&reader_tid);
+                s.spawn(move || {
+                    while !held.load(Ordering::SeqCst) {
+                        sched::yield_point();
+                    }
+                    let mut reader = rt.register();
+                    reader_tid.store(reader.slot(), Ordering::SeqCst);
+                    let mut st = ThreadStats::new();
+                    rwle.read_cs(&mut reader, &mut st, &mut |acc| acc.read(data));
+                    assert_eq!(
+                        st.reader_retreats, 1,
+                        "reader must record exactly one retreat behind the NS writer"
+                    );
+                    assert_eq!(st.commits(CommitKind::Uninstrumented), 1);
+                });
+            }
+            s.run();
+        });
+    }
+
+    #[test]
+    fn reader_retreats_real_threads_smoke() {
+        // Real-thread smoke for the schedule-explored retreat test above.
         let (rt, alloc, rwle) = setup(128, HtmConfig::default(), RwLeConfig::opt());
         let data = alloc.alloc(1).unwrap();
         let holder = rt.register();
         let mut reader = rt.register();
-        // Occupy the NS lock by hand: version 1, state NS.
         let ns_word = (1 << 8) | 1;
         assert!(holder.cas_nt(rwle.wlock_addr(), 0, ns_word).is_ok());
         std::thread::scope(|s| {
             s.spawn(|| {
-                std::thread::sleep(std::time::Duration::from_millis(15));
-                // Release: state FREE, version preserved.
+                std::thread::sleep(std::time::Duration::from_millis(5));
                 holder.write_nt(rwle.wlock_addr(), 1 << 8);
             });
             let mut st = ThreadStats::new();

@@ -1,0 +1,219 @@
+//! Deterministic schedule exploration of the full RW-LE protocol stack.
+//!
+//! Each test drives real `RwLe` critical sections — uninstrumented
+//! readers against HTM/ROT/NS writers — under `sched::Scheduler`: every
+//! logical thread runs on its own OS thread, but the baton protocol lets
+//! exactly one proceed at a time and a seeded RNG picks who moves at
+//! every instrumented step (simulated memory accesses, epoch flips, spin
+//! iterations). One seed therefore IS one whole-protocol interleaving,
+//! reproducible forever; a failure prints the seed via [`sched::explore`].
+//!
+//! Invariants checked on every schedule, against a sequential reference
+//! model (writers increment a multi-word record by one per committed
+//! write critical section):
+//!
+//! * **Reader-snapshot atomicity** — a reader sees all record words
+//!   equal; a mixed snapshot means a writer became visible mid-read,
+//!   i.e. quiescence-before-commit was violated.
+//! * **Reader monotonicity** — successive reads of one thread observe
+//!   non-decreasing record values, each no larger than the total number
+//!   of writes.
+//! * **Writer mutual exclusion** — the final record value equals the
+//!   total number of write critical sections: no increment is lost.
+//! * **Commit-path / abort-cause accounting** — merged [`ThreadStats`]
+//!   match the reference model exactly (reader commits all
+//!   uninstrumented, writer commits summing across HTM/ROT/SGL) and
+//!   respect the configuration (no HTM commits under PES, no ROT
+//!   commits or ROT aborts when ROTs are disabled, no retreats under
+//!   the fair variant, no fair waits under the unfair one).
+
+use std::sync::{Arc, Mutex};
+
+use htm::{HtmConfig, HtmRuntime};
+use rwle::{RwLe, RwLeConfig};
+use simmem::{SharedMem, SimAlloc};
+use stats::{AbortBucket, CommitKind, StatsSummary, ThreadStats};
+
+/// Record width in words. Spread over distinct cache lines (8 words
+/// apart) so a torn commit would be observable word by word.
+const WORDS: u32 = 3;
+const WORD_STRIDE: u32 = 8;
+
+const READERS: usize = 2;
+const WRITERS: usize = 2;
+const READS_PER_READER: u64 = 3;
+const WRITES_PER_WRITER: u64 = 2;
+
+/// Runs one seeded whole-protocol schedule and checks every invariant.
+fn run_schedule(cfg: RwLeConfig, seed: u64) {
+    let mem = Arc::new(SharedMem::new_lines(64));
+    let rt = HtmRuntime::new(Arc::clone(&mem), HtmConfig::default());
+    let alloc = SimAlloc::new(Arc::clone(&mem));
+    let rwle = Arc::new(RwLe::new(&alloc, READERS + WRITERS, cfg).unwrap());
+    let data = alloc.alloc(WORDS * WORD_STRIDE).unwrap();
+
+    let total_writes = WRITERS as u64 * WRITES_PER_WRITER;
+    let all_stats: Arc<Mutex<Vec<ThreadStats>>> = Arc::new(Mutex::new(Vec::new()));
+
+    let mut s = sched::Scheduler::new(seed);
+    for _ in 0..READERS {
+        let rt = Arc::clone(&rt);
+        let rwle = Arc::clone(&rwle);
+        let all_stats = Arc::clone(&all_stats);
+        s.spawn(move || {
+            let mut ctx = rt.register();
+            let mut st = ThreadStats::new();
+            let mut last = 0;
+            for _ in 0..READS_PER_READER {
+                let v = rwle.read_cs(&mut ctx, &mut st, &mut |acc| {
+                    let v0 = acc.read(data)?;
+                    for w in 1..WORDS {
+                        let vw = acc.read(data.offset(w * WORD_STRIDE))?;
+                        assert_eq!(v0, vw, "torn reader snapshot at word {w}");
+                    }
+                    Ok(v0)
+                });
+                assert!(v >= last, "reader observed the record go backwards");
+                assert!(v <= total_writes, "reader observed an impossible value");
+                last = v;
+            }
+            all_stats.lock().unwrap().push(st);
+        });
+    }
+    for _ in 0..WRITERS {
+        let rt = Arc::clone(&rt);
+        let rwle = Arc::clone(&rwle);
+        let all_stats = Arc::clone(&all_stats);
+        s.spawn(move || {
+            let mut ctx = rt.register();
+            let mut st = ThreadStats::new();
+            for _ in 0..WRITES_PER_WRITER {
+                rwle.write_cs(&mut ctx, &mut st, &mut |acc| {
+                    let v = acc.read(data)?;
+                    for w in 0..WORDS {
+                        acc.write(data.offset(w * WORD_STRIDE), v + 1)?;
+                    }
+                    Ok(())
+                });
+            }
+            all_stats.lock().unwrap().push(st);
+        });
+    }
+    s.run();
+
+    // Writer mutual exclusion: no lost increments.
+    for w in 0..WORDS {
+        assert_eq!(
+            mem.load(data.offset(w * WORD_STRIDE)),
+            total_writes,
+            "lost writer increment in word {w}"
+        );
+    }
+
+    // Commit-path and abort-cause accounting against the model.
+    let stats = all_stats.lock().unwrap();
+    let sum = StatsSummary::from_threads(stats.iter());
+    assert_eq!(
+        sum.commits(CommitKind::Uninstrumented),
+        READERS as u64 * READS_PER_READER,
+        "every read CS commits exactly once, uninstrumented"
+    );
+    let writer_commits =
+        sum.commits(CommitKind::Htm) + sum.commits(CommitKind::Rot) + sum.commits(CommitKind::Sgl);
+    assert_eq!(
+        writer_commits, total_writes,
+        "every write CS commits exactly once across HTM/ROT/SGL"
+    );
+    assert_eq!(sum.ops, sum.total_commits(), "ops counts committed CSs");
+    if cfg.max_htm_retries == 0 {
+        assert_eq!(sum.commits(CommitKind::Htm), 0, "HTM disabled by config");
+        for b in [
+            AbortBucket::HtmTx,
+            AbortBucket::HtmNonTx,
+            AbortBucket::HtmCapacity,
+        ] {
+            assert_eq!(sum.aborts(b), 0, "HTM abort bucket {b:?} without HTM");
+        }
+    }
+    if cfg.max_rot_retries == 0 {
+        assert_eq!(sum.commits(CommitKind::Rot), 0, "ROTs disabled by config");
+        for b in [AbortBucket::RotConflicts, AbortBucket::RotCapacity] {
+            assert_eq!(sum.aborts(b), 0, "ROT abort bucket {b:?} without ROTs");
+        }
+    }
+    if cfg.fair {
+        assert_eq!(sum.reader_retreats, 0, "fair readers never retreat");
+    } else {
+        assert_eq!(sum.reader_waits, 0, "unfair readers never wait in place");
+    }
+}
+
+#[test]
+fn opt_schedules() {
+    sched::explore("rwle-opt", 0..300, |seed| {
+        run_schedule(RwLeConfig::opt(), seed)
+    });
+}
+
+#[test]
+fn pes_schedules() {
+    sched::explore("rwle-pes", 0..250, |seed| {
+        run_schedule(RwLeConfig::pes(), seed)
+    });
+}
+
+#[test]
+fn htm_only_schedules() {
+    sched::explore("rwle-htm-only", 0..250, |seed| {
+        run_schedule(RwLeConfig::htm_only(), seed)
+    });
+}
+
+#[test]
+fn fair_htm_only_schedules() {
+    sched::explore("rwle-fair-htm-only", 0..250, |seed| {
+        run_schedule(RwLeConfig::fair_htm_only(), seed)
+    });
+}
+
+#[test]
+fn ns_single_pass_schedules() {
+    // Retries zeroed: every write lands on the NS path, exercising the
+    // single-pass blocked-readers barrier (and, in debug builds, the
+    // assertion that it only runs while the held NS lock blocks readers).
+    sched::explore("rwle-ns-single-pass", 0..150, |seed| {
+        run_schedule(RwLeConfig::opt().with_retries(0, 0), seed)
+    });
+}
+
+#[test]
+fn ns_two_pass_schedules() {
+    let cfg = RwLeConfig {
+        single_pass_quiesce: false,
+        ..RwLeConfig::opt()
+    };
+    sched::explore("rwle-ns-two-pass", 0..100, |seed| {
+        run_schedule(cfg.with_retries(0, 0), seed)
+    });
+}
+
+#[test]
+fn fair_ns_schedules() {
+    // Fair writers forced onto the NS path: every commit runs the fair
+    // version-skipping barrier against in-place-waiting readers.
+    sched::explore("rwle-fair-ns", 0..100, |seed| {
+        run_schedule(RwLeConfig::fair_htm_only().with_retries(0, 0), seed)
+    });
+}
+
+#[test]
+fn slow_read_entry_schedules() {
+    // §3.3 fast read entry disabled: the check-then-enter reader loop.
+    let cfg = RwLeConfig {
+        fast_read_entry: false,
+        ..RwLeConfig::opt()
+    };
+    sched::explore("rwle-slow-read-entry", 0..100, |seed| {
+        run_schedule(cfg, seed)
+    });
+}

@@ -138,6 +138,11 @@ pub struct ThreadStats {
     /// writer (RW-LE's lines 14–16 retreat) — the starvation signal the
     /// fair variant (§3.3) exists to eliminate.
     pub reader_retreats: u64,
+    /// Times a fair-variant reader found the lock held at entry and
+    /// waited in place for the current owner (§3.3). The fair counterpart
+    /// of [`ThreadStats::reader_retreats`]: bounded at one wait per
+    /// entry, because a fair reader can never be overtaken.
+    pub reader_waits: u64,
 }
 
 impl ThreadStats {
@@ -185,6 +190,8 @@ pub struct StatsSummary {
     pub ops: u64,
     /// Total reader retreats (see [`ThreadStats::reader_retreats`]).
     pub reader_retreats: u64,
+    /// Total fair-path reader waits (see [`ThreadStats::reader_waits`]).
+    pub reader_waits: u64,
 }
 
 impl StatsSummary {
@@ -196,6 +203,7 @@ impl StatsSummary {
             aborts,
             ops,
             reader_retreats: 0,
+            reader_waits: 0,
         }
     }
 
@@ -211,6 +219,7 @@ impl StatsSummary {
             }
             s.ops += t.ops;
             s.reader_retreats += t.reader_retreats;
+            s.reader_waits += t.reader_waits;
         }
         s
     }

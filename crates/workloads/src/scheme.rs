@@ -7,8 +7,8 @@ use std::sync::Arc;
 use hle::{AdaptiveHle, Hle, ScmHle};
 use htm::{AbortCause, MemAccess, ThreadCtx};
 use locks::{BrLock, PthreadRwLock, SpinMutex};
-use rwle::{RwLe, RwLeConfig};
-use simmem::{AllocError, SimAlloc};
+use rwle::{RwLe, RwLeConfig, RwLeError};
+use simmem::SimAlloc;
 use stats::{CommitKind, ThreadStats};
 
 /// Which synchronization scheme to build (the paper's legend names).
@@ -109,7 +109,7 @@ impl Scheme {
         kind: SchemeKind,
         alloc: &SimAlloc,
         max_threads: usize,
-    ) -> Result<Self, AllocError> {
+    ) -> Result<Self, RwLeError> {
         Ok(match kind {
             SchemeKind::RwLeOpt => {
                 Scheme::RwLe(Arc::new(RwLe::new(alloc, max_threads, RwLeConfig::opt())?))
@@ -143,7 +143,7 @@ impl Scheme {
         alloc: &SimAlloc,
         max_threads: usize,
         cfg: RwLeConfig,
-    ) -> Result<Self, AllocError> {
+    ) -> Result<Self, RwLeError> {
         Ok(Scheme::RwLe(Arc::new(RwLe::new(alloc, max_threads, cfg)?)))
     }
 

@@ -1,0 +1,197 @@
+//! Offline stand-in for the `criterion` crate (API subset).
+//!
+//! The build environment has no crates.io access, so this workspace
+//! vendors the narrow slice of Criterion its benchmarks use:
+//! [`Criterion::benchmark_group`] / [`Criterion::bench_function`],
+//! [`Bencher::iter`], [`black_box`], and the [`criterion_group!`] /
+//! [`criterion_main!`] macros.
+//!
+//! Timing methodology is intentionally simple — a short calibrated warm-up
+//! followed by one timed batch, reporting mean ns/iter to stdout. It is
+//! good enough for the CI smoke run (`cargo bench -- --test` executes each
+//! benchmark body once) and for coarse local comparisons; it does not do
+//! outlier analysis or statistical resampling.
+
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+/// Prevents the optimizer from deleting a benchmarked computation.
+#[inline]
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Drives one benchmark's iterations.
+pub struct Bencher {
+    /// `--test` mode: run the body once, skip timing.
+    smoke: bool,
+    /// Filled by [`Bencher::iter`] for the caller to report.
+    result: Option<Duration>,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Times `f`, storing the mean per-iteration cost.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        if self.smoke {
+            black_box(f());
+            self.result = Some(Duration::ZERO);
+            self.iters = 1;
+            return;
+        }
+        // Calibrate: grow the batch until it runs for ~5ms.
+        let mut batch: u64 = 1;
+        loop {
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            let elapsed = t0.elapsed();
+            if elapsed >= Duration::from_millis(5) || batch >= (1 << 24) {
+                self.result = Some(elapsed);
+                self.iters = batch;
+                return;
+            }
+            batch *= 2;
+        }
+    }
+}
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    smoke: bool,
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let mut smoke = false;
+        let mut filter = None;
+        for arg in std::env::args().skip(1) {
+            match arg.as_str() {
+                "--test" => smoke = true,
+                "--bench" => {}
+                s if !s.starts_with('-') => filter = Some(s.to_string()),
+                _ => {}
+            }
+        }
+        Criterion { smoke, filter }
+    }
+}
+
+impl Criterion {
+    /// Runs a single named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<String>,
+        f: F,
+    ) -> &mut Self {
+        let id = id.into();
+        run_one(&id, self.smoke, self.filter.as_deref(), f);
+        self
+    }
+
+    /// Opens a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            c: self,
+            name: name.into(),
+        }
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    c: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Runs a benchmark inside this group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<String>,
+        f: F,
+    ) -> &mut Self {
+        let id = format!("{}/{}", self.name, id.into());
+        run_one(&id, self.c.smoke, self.c.filter.as_deref(), f);
+        self
+    }
+
+    /// Ends the group (report flushing is a no-op here).
+    pub fn finish(self) {}
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(id: &str, smoke: bool, filter: Option<&str>, mut f: F) {
+    if let Some(filter) = filter {
+        if !id.contains(filter) {
+            return;
+        }
+    }
+    let mut b = Bencher {
+        smoke,
+        result: None,
+        iters: 0,
+    };
+    f(&mut b);
+    match (smoke, b.result) {
+        (true, Some(_)) => println!("bench {id}: ok (smoke)"),
+        (false, Some(elapsed)) => {
+            let per_iter = elapsed.as_nanos() as f64 / b.iters.max(1) as f64;
+            println!("bench {id}: {per_iter:.1} ns/iter ({} iters)", b.iters);
+        }
+        (_, None) => println!("bench {id}: no measurement (Bencher::iter not called)"),
+    }
+}
+
+/// Declares a group function running the listed benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Declares `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_mode_runs_body_once() {
+        let mut runs = 0;
+        let mut b = Bencher {
+            smoke: true,
+            result: None,
+            iters: 0,
+        };
+        b.iter(|| runs += 1);
+        assert_eq!(runs, 1);
+        assert_eq!(b.iters, 1);
+    }
+
+    #[test]
+    fn measurement_calibrates_batches() {
+        let mut b = Bencher {
+            smoke: false,
+            result: None,
+            iters: 0,
+        };
+        b.iter(|| std::hint::black_box(3u64.wrapping_mul(7)));
+        assert!(b.iters >= 1);
+        assert!(b.result.is_some());
+    }
+}

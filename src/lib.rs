@@ -9,6 +9,8 @@
 //! * [`htm`] — POWER8-like best-effort hardware transactional memory
 //!   (HTM + rollback-only transactions + suspend/resume) in software.
 //! * [`epoch`] — RCU-like per-thread epoch clocks and quiescence.
+//! * [`sched`] — deterministic cooperative schedule exploration used by
+//!   the protocol test suites.
 //! * [`stats`] — commit-path / abort-cause accounting.
 //! * [`locks`] — baseline locks (SGL, pthread-style RW lock, BRLock...).
 //! * [`hle`] — classic single-lock hardware lock elision (the baseline).
@@ -28,6 +30,7 @@ pub use htm;
 pub use locks;
 pub use rlu;
 pub use rwle;
+pub use sched;
 pub use simmem;
 pub use stats;
 pub use workloads;

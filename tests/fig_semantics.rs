@@ -7,6 +7,7 @@ use std::sync::Arc;
 
 use hrwle::htm::{AbortCause, HtmConfig, HtmRuntime, TxMode};
 use hrwle::rwle::{RwLe, RwLeConfig};
+use hrwle::sched;
 use hrwle::simmem::{SharedMem, SimAlloc};
 use hrwle::stats::ThreadStats;
 
@@ -20,11 +21,88 @@ fn setup() -> (Arc<HtmRuntime>, SimAlloc) {
 /// Figure 1: a writer whose critical section falls entirely between two
 /// reads of an overlapping reader must delay its commit until the reader
 /// finishes — otherwise the reader observes a mix of old and new values.
+///
+/// Explored as deterministic seeded schedules: each seed pins one
+/// interleaving of the reader's `r(x) .. r(y)` against the writer's
+/// `w-lock .. w(x) w(y) .. w-unlock`, so the quiescence window is driven
+/// by the scheduler rather than by a sleep. A failure prints the
+/// reproducing seed.
 #[test]
 fn fig1_writer_commit_is_delayed_past_overlapping_readers() {
+    sched::explore("fig1", 0..200, |seed| {
+        let (rt, alloc) = setup();
+        let rwle = Arc::new(RwLe::new(&alloc, 8, RwLeConfig::opt()).unwrap());
+        // x and y on different cache lines.
+        let x = alloc.alloc(1).unwrap();
+        let y = alloc.alloc(1).unwrap();
+        rt.mem().store(x, 10);
+        rt.mem().store(y, 10);
+
+        let reader_in = Arc::new(AtomicBool::new(false));
+        let reader_exited = Arc::new(AtomicBool::new(false));
+
+        let mut s = sched::Scheduler::new(seed);
+        {
+            let rt = Arc::clone(&rt);
+            let rwle = Arc::clone(&rwle);
+            let reader_in = Arc::clone(&reader_in);
+            let reader_exited = Arc::clone(&reader_exited);
+            s.spawn(move || {
+                let reader_ctx = rt.register();
+                let reader_tid = reader_ctx.slot();
+                // Reader enters its critical section and reads x.
+                rwle.epochs().enter(reader_tid);
+                assert_eq!(reader_ctx.read_nt(x), 10);
+                reader_in.store(true, Ordering::SeqCst);
+                sched::yield_point();
+                // The reader's second read — r(y) in the figure — must
+                // still see the old value on EVERY schedule: the writer
+                // is parked in quiescence until the reader exits.
+                let ry = reader_ctx.read_nt(y);
+                assert_eq!(ry, 10, "reader saw a mixed snapshot (x old, y new)");
+                reader_exited.store(true, Ordering::SeqCst);
+                rwle.epochs().exit(reader_tid);
+            });
+        }
+        {
+            let rt = Arc::clone(&rt);
+            let rwle = Arc::clone(&rwle);
+            let reader_exited = Arc::clone(&reader_exited);
+            s.spawn(move || {
+                // w-lock .. w(x) w(y) .. w-unlock, entirely within the
+                // reader's critical section.
+                while !reader_in.load(Ordering::SeqCst) {
+                    sched::yield_point();
+                }
+                let mut writer_ctx = rt.register();
+                let mut st = ThreadStats::new();
+                rwle.write_cs(&mut writer_ctx, &mut st, &mut |acc| {
+                    acc.write(x, 20)?;
+                    acc.write(y, 20)?;
+                    Ok(())
+                });
+                // The delayed commit must not complete before the reader
+                // left.
+                assert!(
+                    reader_exited.load(Ordering::SeqCst),
+                    "writer committed while the overlapping reader was active"
+                );
+            });
+        }
+        s.run();
+
+        // After the writer drained the reader, both updates are visible.
+        assert_eq!(rt.mem().load(x), 20);
+        assert_eq!(rt.mem().load(y), 20);
+    });
+}
+
+/// One real-thread preemptive run of the Figure 1 scenario, as a smoke
+/// test alongside the schedule exploration above.
+#[test]
+fn fig1_real_threads_smoke() {
     let (rt, alloc) = setup();
     let rwle = Arc::new(RwLe::new(&alloc, 8, RwLeConfig::opt()).unwrap());
-    // x and y on different cache lines.
     let x = alloc.alloc(1).unwrap();
     let y = alloc.alloc(1).unwrap();
     rt.mem().store(x, 10);
@@ -34,10 +112,8 @@ fn fig1_writer_commit_is_delayed_past_overlapping_readers() {
     let reader_ctx = rt.register();
     let reader_tid = reader_ctx.slot();
 
-    // Reader enters its critical section and reads x.
     rwle.epochs().enter(reader_tid);
-    let rx = reader_ctx.read_nt(x);
-    assert_eq!(rx, 10);
+    assert_eq!(reader_ctx.read_nt(x), 10);
 
     let reader_exited = AtomicBool::new(false);
     std::thread::scope(|s| {
@@ -45,24 +121,19 @@ fn fig1_writer_commit_is_delayed_past_overlapping_readers() {
         let reader_exited = &reader_exited;
         let writer = s.spawn(move || {
             let mut st = ThreadStats::new();
-            // w-lock .. w(x) w(y) .. w-unlock, entirely within the
-            // reader's critical section.
             rwle2.write_cs(&mut writer_ctx, &mut st, &mut |acc| {
                 acc.write(x, 20)?;
                 acc.write(y, 20)?;
                 Ok(())
             });
-            // The delayed commit must not complete before the reader left.
             assert!(
                 reader_exited.load(Ordering::SeqCst),
                 "writer committed while the overlapping reader was active"
             );
         });
 
-        // Give the writer ample time to reach its quiescence barrier.
-        std::thread::sleep(std::time::Duration::from_millis(30));
-        // The reader's second read — r(y) in the figure — must still see
-        // the old value: the writer is parked in quiescence.
+        // Give the writer time to reach its quiescence barrier.
+        std::thread::sleep(std::time::Duration::from_millis(10));
         let ry = reader_ctx.read_nt(y);
         assert_eq!(ry, 10, "reader saw a mixed snapshot (x old, y new)");
         reader_exited.store(true, Ordering::SeqCst);
@@ -70,7 +141,6 @@ fn fig1_writer_commit_is_delayed_past_overlapping_readers() {
         writer.join().unwrap();
     });
 
-    // After the writer drained the reader, both updates are visible.
     assert_eq!(rt.mem().load(x), 20);
     assert_eq!(rt.mem().load(y), 20);
 }
