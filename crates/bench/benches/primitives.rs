@@ -107,12 +107,71 @@ fn bench_htm_engine(c: &mut Criterion) {
     g.finish();
 }
 
+fn bench_sched_gate(c: &mut Criterion) {
+    // No schedule exploration runs in a bench process, so the gate is
+    // closed: `step()` must reduce to one relaxed load and a not-taken
+    // branch. `step_via_tls` is the pre-gate implementation (TLS lookup +
+    // RefCell borrow on every call), kept public for this comparison —
+    // the fast-path overhaul claims a ≥10× gap between the two.
+    // `noop_baseline` measures the harness loop itself; subtract it from
+    // both step variants before comparing their per-call costs.
+    let mut g = c.benchmark_group("sched_gate");
+    g.bench_function("noop_baseline", |b| b.iter(|| ()));
+    g.bench_function("step_gated_inactive", |b| b.iter(sched::step));
+    g.bench_function("step_tls_refcell", |b| b.iter(sched::step_via_tls));
+    g.finish();
+}
+
+fn bench_tx_access_cache(c: &mut Criterion) {
+    // The last-granule ownership cache: a repeat read of the line just
+    // read skips the read-set probe, reader-bit republication and
+    // writer resolution, paying only the relaxed doom pre-check. The
+    // miss case alternates two lines so the cache never matches (both
+    // lines stay tracked, so this isolates the cache itself, not
+    // first-touch tracking).
+    let mem = Arc::new(SharedMem::new_lines(1024));
+    let rt = HtmRuntime::new(Arc::clone(&mem), HtmConfig::default());
+    let mut ctx = rt.register();
+    let line_a = simmem::Addr(0);
+    let line_b = simmem::Addr(64);
+
+    let mut g = c.benchmark_group("tx_access_cache");
+    g.bench_function("read_hit_same_line", |b| {
+        let mut tx = ctx.begin(TxMode::Htm);
+        tx.read(line_a).unwrap();
+        b.iter(|| tx.read(line_a).unwrap());
+        drop(tx);
+    });
+    g.bench_function("read_miss_alternating_lines", |b| {
+        let mut tx = ctx.begin(TxMode::Htm);
+        tx.read(line_a).unwrap();
+        tx.read(line_b).unwrap();
+        let mut flip = false;
+        b.iter(|| {
+            flip = !flip;
+            tx.read(if flip { line_b } else { line_a }).unwrap()
+        });
+        drop(tx);
+    });
+    g.bench_function("write_hit_same_line", |b| {
+        let mut tx = ctx.begin(TxMode::Htm);
+        tx.write(line_a, 1).unwrap();
+        b.iter(|| tx.write(line_a, 2).unwrap());
+        drop(tx);
+    });
+    g.finish();
+}
+
 fn bench_quiescence(c: &mut Criterion) {
     let mut g = c.benchmark_group("quiescence");
     for n in [8usize, 32, 128] {
         let epochs = epoch::EpochSet::new(n);
         g.bench_function(format!("synchronize_idle_{n}_threads"), |b| {
             b.iter(|| epochs.synchronize(Some(0)))
+        });
+        let mut snap = Vec::new();
+        g.bench_function(format!("synchronize_in_idle_{n}_threads"), |b| {
+            b.iter(|| epochs.synchronize_in(Some(0), &mut snap))
         });
         g.bench_function(format!("single_pass_idle_{n}_threads"), |b| {
             b.iter(|| epochs.synchronize_blocked_readers(Some(0)))
@@ -152,6 +211,8 @@ criterion_group!(
     bench_read_side,
     bench_write_paths,
     bench_htm_engine,
+    bench_sched_gate,
+    bench_tx_access_cache,
     bench_quiescence,
     bench_locks
 );

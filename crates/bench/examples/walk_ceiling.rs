@@ -1,0 +1,90 @@
+//! Profiling probe: upper bound on hc-lc lookup throughput.
+//!
+//! Replicates the sensitivity hc-lc memory layout (10 000 buckets ×
+//! 200 items, one line per node, population order = key order) and times
+//! three single-threaded walk variants:
+//!
+//! * `raw`   — plain `SharedMem` loads, no synchronization machinery;
+//! * `nt`    — the full `NonTx` accessor (metadata resolve per access);
+//! * `epoch` — the claim-filtered, stride-prefetching `EpochReader`.
+//!
+//! The gap between `raw` and `nt` is the access-pipeline overhead; the
+//! gap between `raw` and `epoch` is what the claim filter plus stride
+//! prefetcher buy on a dependent pointer chase.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use htm::{HtmConfig, HtmRuntime};
+use simmem::{Addr, SharedMem, SimAlloc};
+use workloads::hashmap::SimHashMap;
+
+const BUCKETS: u32 = 10_000;
+const ITEMS: u64 = 200 * BUCKETS as u64;
+const LOOKUPS: u64 = 3_000;
+
+fn main() {
+    let node_lines = ITEMS + ITEMS / 8;
+    let lines = node_lines + (BUCKETS as u64).div_ceil(8) + 4096;
+    let mem = Arc::new(SharedMem::new_lines(lines as u32 * 9 / 8));
+    let rt = HtmRuntime::new(Arc::clone(&mem), HtmConfig::default());
+    let alloc = SimAlloc::new(Arc::clone(&mem));
+    let map = SimHashMap::create(&alloc, BUCKETS).unwrap();
+    map.populate(&alloc, ITEMS).unwrap();
+    let ctx = rt.register();
+
+    // The bucket array is the map's first allocation, so bucket `b` lives
+    // at word `b` (an assumption of this probe only, not of the map).
+    let raw_lookup = |key: u64| -> Option<u64> {
+        let mut cur = Addr::from_word(mem.load(Addr((key % BUCKETS as u64) as u32)));
+        while !cur.is_null() {
+            if mem.load(cur) == key {
+                return Some(mem.load(cur.offset(1)));
+            }
+            cur = Addr::from_word(mem.load(cur.offset(2)));
+        }
+        None
+    };
+
+    let mut seed = 0x12345u64;
+    let mut next_key = move || {
+        seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+        (seed >> 33) % (ITEMS * 2)
+    };
+
+    let t = Instant::now();
+    let mut hits = 0u64;
+    for _ in 0..LOOKUPS {
+        if raw_lookup(next_key()).is_some() {
+            hits += 1;
+        }
+    }
+    report("raw  ", t.elapsed().as_secs_f64(), hits);
+
+    let mut nt = ctx.non_tx();
+    let t = Instant::now();
+    let mut hits = 0u64;
+    for _ in 0..LOOKUPS {
+        if map.lookup(&mut nt, next_key()).unwrap().is_some() {
+            hits += 1;
+        }
+    }
+    report("nt   ", t.elapsed().as_secs_f64(), hits);
+
+    let mut ep = ctx.epoch_reader();
+    let t = Instant::now();
+    let mut hits = 0u64;
+    for _ in 0..LOOKUPS {
+        if map.lookup(&mut ep, next_key()).unwrap().is_some() {
+            hits += 1;
+        }
+    }
+    report("epoch", t.elapsed().as_secs_f64(), hits);
+}
+
+fn report(label: &str, secs: f64, hits: u64) {
+    println!(
+        "{label}: {:>8.1} us/op  ({hits} hits)",
+        secs * 1e6 / LOOKUPS as f64
+    );
+}

@@ -6,7 +6,7 @@
 //! cargo run --release -p bench --bin ablation
 //! ```
 
-use bench::{average, print_header, print_row, Args};
+use bench::{average, Args, Output, OutputMode};
 use rwle::RwLeConfig;
 use workloads::driver::{run_threads, Scenario};
 use workloads::hashmap::SimHashMap;
@@ -84,9 +84,11 @@ fn main() {
     let runs: usize = args.get_or("runs", 1);
     let seed: u64 = args.get_or("seed", 42);
     let w: u32 = args.get_or("writes", 10);
-    let csv = args.flag("csv");
+    let mut out = Output::from_args(&args);
 
-    println!("# §3.3 optimization ablations (hc-hc hashmap, w={w}%, {threads} threads)");
+    out.section(format!(
+        "§3.3 optimization ablations (hc-hc hashmap, w={w}%, {threads} threads)"
+    ));
     let variants: Vec<(&str, RwLeConfig)> = vec![
         ("full-OPT", RwLeConfig::opt()),
         (
@@ -120,16 +122,17 @@ fn main() {
             },
         ),
     ];
-    print_header(csv);
+    out.header();
     for (name, cfg) in &variants {
         let results: Vec<_> = (0..runs)
             .map(|r| run_custom(*cfg, Scenario::HcHc, w, threads, ops, seed + r as u64))
             .collect();
         let (secs, tput, summary) = average(&results);
-        if !csv {
+        if out.mode() == OutputMode::Text {
             println!("--- {name}");
         }
-        print_row(csv, SchemeKind::RwLeOpt, threads, w, secs, tput, &summary);
+        out.tag(format!("§3.3 optimization ablations — {name}"));
+        out.row(SchemeKind::RwLeOpt, threads, w, secs, tput, &summary);
     }
 
     // The paper's conclusion argues other vendors should adopt POWER8's
@@ -138,36 +141,44 @@ fn main() {
     // regular transactions (writers lose the HTM path → PES); without
     // ROTs capacity-hostile writers land on the global lock; without
     // both, every writer serializes.
-    println!("\n# Hardware-feature ablation (what suspend/resume and ROTs buy)");
+    if out.mode() != OutputMode::Json {
+        println!();
+    }
+    out.section("Hardware-feature ablation (what suspend/resume and ROTs buy)");
     let features: Vec<(&str, RwLeConfig)> = vec![
         ("both features (OPT)", RwLeConfig::opt()),
         ("no suspend/resume (→ROT only)", RwLeConfig::pes()),
         ("no ROTs (→HTM+NS)", RwLeConfig::htm_only()),
         ("neither (→NS only)", RwLeConfig::opt().with_retries(0, 0)),
     ];
-    print_header(csv);
+    out.header();
     for (name, cfg) in &features {
         let results: Vec<_> = (0..runs)
             .map(|r| run_custom(*cfg, Scenario::HcHc, w, threads, ops, seed + r as u64))
             .collect();
         let (secs, tput, summary) = average(&results);
-        if !csv {
+        if out.mode() == OutputMode::Text {
             println!("--- {name}");
         }
-        print_row(csv, SchemeKind::RwLeOpt, threads, w, secs, tput, &summary);
+        out.tag(format!("Hardware-feature ablation — {name}"));
+        out.row(SchemeKind::RwLeOpt, threads, w, secs, tput, &summary);
     }
 
-    println!("\n# Retry-budget sweep (the paper settled on 5/5)");
-    print_header(csv);
+    if out.mode() != OutputMode::Json {
+        println!();
+    }
+    out.section("Retry-budget sweep (the paper settled on 5/5)");
+    out.header();
     for budget in [1u32, 2, 5, 10, 20] {
         let cfg = RwLeConfig::opt().with_retries(budget, budget);
         let results: Vec<_> = (0..runs)
             .map(|r| run_custom(cfg, Scenario::HcHc, w, threads, ops, seed + r as u64))
             .collect();
         let (secs, tput, summary) = average(&results);
-        if !csv {
+        if out.mode() == OutputMode::Text {
             println!("--- retries={budget}");
         }
-        print_row(csv, SchemeKind::RwLeOpt, threads, w, secs, tput, &summary);
+        out.tag(format!("Retry-budget sweep — retries={budget}"));
+        out.row(SchemeKind::RwLeOpt, threads, w, secs, tput, &summary);
     }
 }

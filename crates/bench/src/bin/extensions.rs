@@ -7,7 +7,7 @@
 //! cargo run --release -p bench --bin extensions
 //! ```
 
-use bench::{average, print_header, print_row, Args};
+use bench::{average, Args, Output};
 use workloads::driver::{run_sensitivity, Scenario, SensitivityParams};
 use workloads::SchemeKind;
 
@@ -18,7 +18,7 @@ fn main() {
     let runs: usize = args.get_or("runs", 1);
     let seed: u64 = args.get_or("seed", 42);
     let w: u32 = args.get_or("writes", 50);
-    let csv = args.flag("csv");
+    let mut out = Output::from_args(&args);
     let schemes = [
         SchemeKind::Hle,
         SchemeKind::ScmHle,
@@ -27,13 +27,13 @@ fn main() {
     ];
 
     for scenario in [Scenario::HcHc, Scenario::LcHc] {
-        println!(
-            "# HLE conflict-management extensions — {} ({} bucket(s) × {} items), w={w}%",
+        out.section(format!(
+            "HLE conflict-management extensions — {} ({} bucket(s) × {} items), w={w}%",
             scenario.name(),
             scenario.buckets(),
             scenario.items_per_bucket()
-        );
-        print_header(csv);
+        ));
+        out.header();
         for &t in &threads {
             for scheme in schemes {
                 let results: Vec<_> = (0..runs)
@@ -50,11 +50,9 @@ fn main() {
                     })
                     .collect();
                 let (secs, tput, summary) = average(&results);
-                print_row(csv, scheme, t, w, secs, tput, &summary);
+                out.row(scheme, t, w, secs, tput, &summary);
             }
-            if !csv {
-                println!();
-            }
+            out.gap();
         }
     }
 }

@@ -8,7 +8,7 @@
 //! cargo run --release -p bench --bin fairness
 //! ```
 
-use bench::{average, print_header, print_row, Args};
+use bench::{average, Args, Output, OutputMode};
 use workloads::driver::{run_sensitivity, Scenario, SensitivityParams};
 use workloads::SchemeKind;
 
@@ -22,11 +22,11 @@ fn main() {
     let ops: u64 = args.get_or("ops", 300);
     let runs: usize = args.get_or("runs", 1);
     let seed: u64 = args.get_or("seed", 42);
-    let csv = args.flag("csv");
+    let mut out = Output::from_args(&args);
 
-    println!("# Figure 7 — fairness stress (hc-hc hashmap, ROT path disabled)");
-    println!("# ops/thread={ops} runs={runs} seed={seed}");
-    print_header(csv);
+    out.section("Figure 7 — fairness stress (hc-hc hashmap, ROT path disabled)");
+    out.note(format_args!("ops/thread={ops} runs={runs} seed={seed}"));
+    out.header();
     for &w in &write_pcts {
         for &t in &threads {
             for scheme in [SchemeKind::RwLeHtmOnly, SchemeKind::RwLeFair] {
@@ -44,8 +44,8 @@ fn main() {
                     })
                     .collect();
                 let (secs, tput, summary) = average(&results);
-                print_row(csv, scheme, t, w, secs, tput, &summary);
-                if !csv {
+                out.row(scheme, t, w, secs, tput, &summary);
+                if out.mode() == OutputMode::Text {
                     let reads = summary.commits(stats::CommitKind::Uninstrumented).max(1);
                     println!(
                         "{:>46} reader retreats/1k reads: {:.2}  waits/1k reads: {:.2}",
@@ -56,8 +56,6 @@ fn main() {
                 }
             }
         }
-        if !csv {
-            println!();
-        }
+        out.gap();
     }
 }

@@ -7,7 +7,7 @@
 //! cargo run --release -p bench --bin kyoto
 //! ```
 
-use bench::{average, print_header, print_row, Args};
+use bench::{average, Args, Output};
 use workloads::driver::{run_kyoto, KyotoParams};
 use workloads::SchemeKind;
 
@@ -24,11 +24,13 @@ fn main() {
     let runs: usize = args.get_or("runs", 1);
     let seed: u64 = args.get_or("seed", 42);
     let n_slots: u32 = args.get_or("slots", 16);
-    let csv = args.flag("csv");
+    let mut out = Output::from_args(&args);
 
-    println!("# Figure 9 — Kyoto CacheDB wicked ({n_slots} slots; w column is per-mille)");
-    println!("# ops/thread={ops} runs={runs} seed={seed}");
-    print_header(csv);
+    out.section(format!(
+        "Figure 9 — Kyoto CacheDB wicked ({n_slots} slots; w column is per-mille)"
+    ));
+    out.note(format_args!("ops/thread={ops} runs={runs} seed={seed}"));
+    out.header();
     for &w in &write_permilles {
         for &t in &threads {
             for &scheme in &schemes {
@@ -47,11 +49,9 @@ fn main() {
                     })
                     .collect();
                 let (secs, tput, summary) = average(&results);
-                print_row(csv, scheme, t, w, secs, tput, &summary);
+                out.row(scheme, t, w, secs, tput, &summary);
             }
         }
-        if !csv {
-            println!();
-        }
+        out.gap();
     }
 }

@@ -1,0 +1,97 @@
+//! Benchmark-regression gate for CI.
+//!
+//! Compares a freshly measured harness result file against the committed
+//! benchmark record (`BENCH_rwle.json`): every fresh row whose
+//! (section, scheme, threads, w) configuration appears in the record's
+//! `"set": "current"` rows must reach at least `(100 - tolerance)%` of
+//! the recorded throughput. Rows only present on one side are reported
+//! but do not fail the gate; zero matched rows does.
+//!
+//! The default tolerance is deliberately generous (30%): CI runners are
+//! noisy and the goal is to catch order-of-magnitude fast-path
+//! regressions, not single-digit drift.
+//!
+//! ```text
+//! cargo run --release -p bench --bin sensitivity -- --scenario hc-lc > fresh.txt
+//! cargo run --release -p bench --bin regress -- --file fresh.txt --against BENCH_rwle.json
+//! ```
+
+use std::collections::BTreeMap;
+
+use bench::{parse_json_result_row, parse_results, Args, ResultRow};
+
+/// Loads the `"set": "current"` rows of a benchmark-record JSON.
+fn load_record(path: &str) -> Vec<(String, ResultRow)> {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("cannot read {path}: {e}");
+        std::process::exit(2);
+    });
+    text.lines()
+        .filter(|l| l.trim_start().starts_with('{') && l.contains("\"set\": \"current\""))
+        .filter_map(parse_json_result_row)
+        .collect()
+}
+
+fn main() {
+    let args = Args::parse();
+    let (Some(file), Some(against)) = (args.get("file"), args.get("against")) else {
+        eprintln!(
+            "usage: regress --file <fresh-results> --against <BENCH_rwle.json> [--tolerance 30]"
+        );
+        std::process::exit(2);
+    };
+    let tolerance: f64 = args.get_or("tolerance", 30.0);
+    let fresh = parse_results(file);
+    let record = load_record(against);
+    if record.is_empty() {
+        eprintln!("no \"set\": \"current\" rows found in {against}");
+        std::process::exit(2);
+    }
+
+    let mut recorded: BTreeMap<(&str, &str, u32, u32), f64> = BTreeMap::new();
+    for (section, r) in &record {
+        recorded.insert((section, &r.scheme, r.threads, r.w), r.ops_per_s);
+    }
+
+    let floor = 1.0 - tolerance / 100.0;
+    let mut matched = 0usize;
+    let mut failures = 0usize;
+    println!("# Regression check: {file} vs {against} (tolerance {tolerance}%)");
+    println!(
+        "{:<11} {:>3} {:>4} {:>12} {:>12} {:>7}  verdict",
+        "scheme", "thr", "w", "recorded", "fresh", "ratio"
+    );
+    for (section, r) in &fresh {
+        let Some(&base) = recorded.get(&(section.as_str(), r.scheme.as_str(), r.threads, r.w))
+        else {
+            continue;
+        };
+        matched += 1;
+        let ratio = if base > 0.0 { r.ops_per_s / base } else { 1.0 };
+        let ok = ratio >= floor;
+        if !ok {
+            failures += 1;
+        }
+        println!(
+            "{:<11} {:>3} {:>4} {:>12.0} {:>12.0} {:>6.2}x  {}",
+            r.scheme,
+            r.threads,
+            r.w,
+            base,
+            r.ops_per_s,
+            ratio,
+            if ok { "ok" } else { "REGRESSION" }
+        );
+    }
+    if matched == 0 {
+        eprintln!(
+            "no fresh row matched the record — section/scheme/threads/w keys \
+             must line up with the committed BENCH_rwle.json"
+        );
+        std::process::exit(1);
+    }
+    println!("# {matched} row(s) compared, {failures} regression(s)");
+    if failures > 0 {
+        std::process::exit(1);
+    }
+}

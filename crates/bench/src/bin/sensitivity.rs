@@ -10,7 +10,7 @@
 //! cargo run --release -p bench --bin sensitivity -- --full --runs 3
 //! ```
 
-use bench::{average, print_header, print_row, Args};
+use bench::{average, Args, Output};
 use workloads::driver::{run_sensitivity, Scenario, SensitivityParams};
 use workloads::SchemeKind;
 
@@ -35,19 +35,21 @@ fn main() {
     // SMT resource sharing (paper footnote 4): --smt 8 models the
     // paper's 8-way POWER8 cores; default 1 (independent threads).
     let smt: u32 = args.get_or("smt", 1);
-    let csv = args.flag("csv");
+    let mut out = Output::from_args(&args);
 
     for scenario in scenarios {
-        println!(
-            "# {} — sensitivity {} ({} bucket(s) × {} items, page-fault p={})",
+        out.section(format!(
+            "{} — sensitivity {} ({} bucket(s) × {} items, page-fault p={})",
             scenario.figure(),
             scenario.name(),
             scenario.buckets(),
             scenario.items_per_bucket(),
             scenario.page_fault_prob()
-        );
-        println!("# ops/thread={ops} runs={runs} seed={seed} smt-group={smt}");
-        print_header(csv);
+        ));
+        out.note(format_args!(
+            "ops/thread={ops} runs={runs} seed={seed} smt-group={smt}"
+        ));
+        out.header();
         for &w in &write_pcts {
             for &t in &threads {
                 for &scheme in &schemes {
@@ -65,12 +67,10 @@ fn main() {
                         })
                         .collect();
                     let (secs, tput, summary) = average(&results);
-                    print_row(csv, scheme, t, w, secs, tput, &summary);
+                    out.row(scheme, t, w, secs, tput, &summary);
                 }
             }
-            if !csv {
-                println!();
-            }
+            out.gap();
         }
     }
 }

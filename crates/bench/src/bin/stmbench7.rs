@@ -4,7 +4,7 @@
 //! cargo run --release -p bench --bin stmbench7
 //! ```
 
-use bench::{average, print_header, print_row, Args};
+use bench::{average, Args, Output};
 use workloads::driver::{run_stmbench7, Bench7Params};
 use workloads::SchemeKind;
 
@@ -21,11 +21,13 @@ fn main() {
     let seed: u64 = args.get_or("seed", 42);
     let n_composite: u32 = args.get_or("composites", 200);
     let parts: u32 = args.get_or("parts", 100);
-    let csv = args.flag("csv");
+    let mut out = Output::from_args(&args);
 
-    println!("# Figure 8 — STMBench7 ({n_composite} composite parts × {parts} atomic parts)");
-    println!("# ops/thread={ops} runs={runs} seed={seed}");
-    print_header(csv);
+    out.section(format!(
+        "Figure 8 — STMBench7 ({n_composite} composite parts × {parts} atomic parts)"
+    ));
+    out.note(format_args!("ops/thread={ops} runs={runs} seed={seed}"));
+    out.header();
     for &w in &write_pcts {
         for &t in &threads {
             for &scheme in &schemes {
@@ -43,11 +45,9 @@ fn main() {
                     })
                     .collect();
                 let (secs, tput, summary) = average(&results);
-                print_row(csv, scheme, t, w, secs, tput, &summary);
+                out.row(scheme, t, w, secs, tput, &summary);
             }
         }
-        if !csv {
-            println!();
-        }
+        out.gap();
     }
 }

@@ -1,72 +1,124 @@
 //! Post-processes figure-harness output into paper-style comparisons.
 //!
 //! Reads one or more result files produced by the other binaries (text
-//! table format) and prints, per (section, w, threads), each scheme's
-//! speedup over the baselines the paper compares against (HLE and SGL).
+//! table or `--json` format) and prints, per (section, w, threads), each
+//! scheme's speedup over the baselines the paper compares against (HLE
+//! and SGL). With `--json-out PATH` it also writes the machine-readable
+//! benchmark record (`BENCH_rwle.json` at the repo root by convention):
+//! every row of `--file` tagged `"set": "current"`, every row of the
+//! optional `--prev` file tagged `"set": "baseline"`, plus per-row
+//! speedup comparisons wherever the two sets share a configuration.
 //!
 //! ```text
 //! cargo run --release -p bench --bin summarize -- --file results/sensitivity_full.txt
+//! cargo run --release -p bench --bin summarize -- \
+//!     --file results/sensitivity_post.txt --prev results/sensitivity_default.txt \
+//!     --json-out BENCH_rwle.json
 //! ```
 
 use std::collections::BTreeMap;
+use std::fmt::Write as _;
 
-use bench::Args;
+use bench::{json_string, parse_results as parse, Args, ResultRow as Row};
 
-#[derive(Debug, Clone)]
-struct Row {
-    scheme: String,
-    threads: u32,
-    w: u32,
-    ops_per_s: f64,
-    abort_pct: f64,
+/// One `"set": ...` row object of the benchmark-record JSON.
+fn json_row(set: &str, section: &str, r: &Row) -> String {
+    format!(
+        "{{\"set\": {}, \"section\": {}, \"scheme\": {}, \"threads\": {}, \"w\": {}, \
+         \"time_s\": {:.6}, \"ops_per_s\": {:.1}, \"abort_pct\": {:.2}, \
+         \"c_htm\": {:.2}, \"c_rot\": {:.2}, \"c_sgl\": {:.2}, \"c_uninstr\": {:.2}}}",
+        json_string(set),
+        json_string(section),
+        json_string(&r.scheme),
+        r.threads,
+        r.w,
+        r.time_s,
+        r.ops_per_s,
+        r.abort_pct,
+        r.commit_mix[0],
+        r.commit_mix[1],
+        r.commit_mix[2],
+        r.commit_mix[3],
+    )
 }
 
-/// Parses a harness text table, tracking `# ...` section headers.
-fn parse(path: &str) -> Vec<(String, Row)> {
-    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
-        eprintln!("cannot read {path}: {e}");
-        std::process::exit(2);
-    });
-    let mut section = String::from("(top)");
-    let mut rows = Vec::new();
-    for line in text.lines() {
-        if let Some(h) = line.strip_prefix("# ") {
-            if !h.starts_with("ops/thread") {
-                section = h.to_string();
-            }
-            continue;
-        }
-        let cols: Vec<&str> = line.split_whitespace().collect();
-        // scheme thr w time ops/s abort% | ... — rows start with a scheme
-        // label followed by at least five numeric fields.
-        if cols.len() < 6 || cols[0] == "scheme" {
-            continue;
-        }
-        let (Ok(threads), Ok(w)) = (cols[1].parse(), cols[2].parse()) else {
-            continue;
-        };
-        let (Ok(ops_per_s), Ok(abort_pct)) = (cols[4].parse::<f64>(), cols[5].parse::<f64>())
-        else {
-            continue;
-        };
-        rows.push((
-            section.clone(),
-            Row {
-                scheme: cols[0].to_string(),
-                threads,
-                w,
-                ops_per_s,
-                abort_pct,
-            },
-        ));
+/// Writes the benchmark-record JSON: current rows, baseline rows, and a
+/// speedup comparison per configuration present in both sets.
+fn write_json_record(
+    path: &str,
+    current: &[(String, Row)],
+    current_src: &str,
+    baseline: &[(String, Row)],
+    baseline_src: Option<&str>,
+) {
+    let mut doc = String::new();
+    doc.push_str("{\n");
+    let _ = writeln!(doc, "  \"schema\": \"hrwle-bench-v1\",");
+    let _ = writeln!(doc, "  \"current_source\": {},", json_string(current_src));
+    if let Some(src) = baseline_src {
+        let _ = writeln!(doc, "  \"baseline_source\": {},", json_string(src));
     }
-    rows
+    doc.push_str("  \"rows\": [\n");
+    let mut first = true;
+    for (section, row) in baseline {
+        if !first {
+            doc.push_str(",\n");
+        }
+        first = false;
+        let _ = write!(doc, "    {}", json_row("baseline", section, row));
+    }
+    for (section, row) in current {
+        if !first {
+            doc.push_str(",\n");
+        }
+        first = false;
+        let _ = write!(doc, "    {}", json_row("current", section, row));
+    }
+    doc.push_str("\n  ],\n  \"comparisons\": [\n");
+    let mut index: BTreeMap<(&str, &str, u32, u32), f64> = BTreeMap::new();
+    for (section, r) in baseline {
+        index.insert((section, &r.scheme, r.threads, r.w), r.ops_per_s);
+    }
+    first = true;
+    for (section, r) in current {
+        let Some(&base) = index.get(&(section.as_str(), r.scheme.as_str(), r.threads, r.w)) else {
+            continue;
+        };
+        if base <= 0.0 {
+            continue;
+        }
+        if !first {
+            doc.push_str(",\n");
+        }
+        first = false;
+        let _ = write!(
+            doc,
+            "    {{\"section\": {}, \"scheme\": {}, \"threads\": {}, \"w\": {}, \
+             \"baseline_ops_per_s\": {:.1}, \"current_ops_per_s\": {:.1}, \"speedup\": {:.3}}}",
+            json_string(section),
+            json_string(&r.scheme),
+            r.threads,
+            r.w,
+            base,
+            r.ops_per_s,
+            r.ops_per_s / base,
+        );
+    }
+    doc.push_str("\n  ]\n}\n");
+    if let Err(e) = std::fs::write(path, &doc) {
+        eprintln!("cannot write {path}: {e}");
+        std::process::exit(2);
+    }
+    eprintln!("wrote {path}");
 }
 
 fn main() {
     let args = Args::parse();
     let Some(path) = args.get("file") else {
-        eprintln!("usage: summarize --file <results.txt> [--baseline HLE]");
+        eprintln!(
+            "usage: summarize --file <results.txt> [--baseline HLE] \
+             [--prev <old-results.txt>] [--json-out <BENCH_rwle.json>]"
+        );
         std::process::exit(2);
     };
     let baseline = args.get("baseline").unwrap_or("HLE").to_string();
@@ -74,6 +126,15 @@ fn main() {
     if rows.is_empty() {
         eprintln!("no result rows found in {path}");
         std::process::exit(1);
+    }
+
+    if let Some(json_out) = args.get("json-out") {
+        let prev_rows = args.get("prev").map(|p| (parse(p), p));
+        let (baseline_rows, baseline_src) = match &prev_rows {
+            Some((rows, src)) => (rows.as_slice(), Some(*src)),
+            None => (&[][..], None),
+        };
+        write_json_record(json_out, &rows, path, baseline_rows, baseline_src);
     }
 
     // Group by (section, w, threads).

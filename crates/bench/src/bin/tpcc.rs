@@ -7,7 +7,7 @@
 //! cargo run --release -p bench --bin tpcc
 //! ```
 
-use bench::{average, print_header, print_row, Args};
+use bench::{average, Args, Output, OutputMode};
 use workloads::driver::{run_tpcc, TpccParams};
 use workloads::tpcc::TpccScale;
 use workloads::SchemeKind;
@@ -23,14 +23,14 @@ fn main() {
     let ops: u64 = args.get_or("ops", 200);
     let runs: usize = args.get_or("runs", 1);
     let seed: u64 = args.get_or("seed", 42);
-    let csv = args.flag("csv");
     let scale = TpccScale::default();
+    let mut out = Output::from_args(&args);
 
-    println!(
-        "# Figure 10 — TPC-C ({} warehouses, {} items); speedup vs SGL @ 1 thread",
+    out.section(format!(
+        "Figure 10 — TPC-C ({} warehouses, {} items); speedup vs SGL @ 1 thread",
         scale.warehouses, scale.items
-    );
-    println!("# ops/thread={ops} runs={runs} seed={seed}");
+    ));
+    out.note(format_args!("ops/thread={ops} runs={runs} seed={seed}"));
     for &w in &write_pcts {
         // Paper baseline: single-threaded SGL.
         let base: Vec<_> = (0..runs)
@@ -46,8 +46,10 @@ fn main() {
             })
             .collect();
         let (_, base_tput, _) = average(&base);
-        println!("\n## w={w}% — SGL@1thr baseline: {base_tput:.0} tx/s");
-        print_header(csv);
+        if out.mode() != OutputMode::Json {
+            println!("\n## w={w}% — SGL@1thr baseline: {base_tput:.0} tx/s");
+        }
+        out.header();
         for &t in &threads {
             for &scheme in &schemes {
                 let results: Vec<_> = (0..runs)
@@ -63,8 +65,8 @@ fn main() {
                     })
                     .collect();
                 let (secs, tput, summary) = average(&results);
-                print_row(csv, scheme, t, w, secs, tput, &summary);
-                if !csv {
+                out.row(scheme, t, w, secs, tput, &summary);
+                if out.mode() == OutputMode::Text {
                     println!("{:>44} speedup vs SGL@1: {:.2}x", "", tput / base_tput);
                 }
             }

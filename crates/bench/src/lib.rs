@@ -11,7 +11,8 @@
 //! * `--ops N` — operations per thread;
 //! * `--runs N` — repetitions averaged per configuration;
 //! * `--seed N` — base RNG seed;
-//! * `--csv` — machine-readable output;
+//! * `--csv` — machine-readable CSV output;
+//! * `--json` — machine-readable JSON-lines output (one object per row);
 //! * `--full` — the paper's full grid (thread counts up to 80).
 
 #![warn(missing_docs)]
@@ -22,7 +23,7 @@ use stats::{AbortBucket, CommitKind, StatsSummary};
 use workloads::driver::RunResult;
 use workloads::SchemeKind;
 
-/// A minimal `--flag value` / `--flag` argument parser.
+/// A minimal `--flag value` / `--flag` / `--flag=value` argument parser.
 pub struct Args {
     named: HashMap<String, String>,
     flags: Vec<String>,
@@ -30,12 +31,25 @@ pub struct Args {
 
 impl Args {
     /// Parses `std::env::args()` (skipping the binary name).
+    ///
+    /// A flag followed by a non-`--` token consumes it as its value; a
+    /// value that itself starts with `--` must be attached with
+    /// `--flag=value` (the parser cannot tell it from the next flag).
     pub fn parse() -> Args {
+        Self::parse_from(std::env::args().skip(1))
+    }
+
+    /// [`Args::parse`] over an explicit token stream (testable).
+    pub fn parse_from(args: impl IntoIterator<Item = String>) -> Args {
         let mut named = HashMap::new();
         let mut flags = Vec::new();
-        let mut it = std::env::args().skip(1).peekable();
+        let mut it = args.into_iter().peekable();
         while let Some(arg) = it.next() {
             if let Some(name) = arg.strip_prefix("--") {
+                if let Some((name, value)) = name.split_once('=') {
+                    named.insert(name.to_string(), value.to_string());
+                    continue;
+                }
                 match it.peek() {
                     Some(v) if !v.starts_with("--") => {
                         named.insert(name.to_string(), it.next().unwrap());
@@ -50,8 +64,20 @@ impl Args {
     }
 
     /// Named value, if present.
+    ///
+    /// Exits with an error if `name` was given as a bare flag: the
+    /// intended value started with `--` and was parsed as the next flag,
+    /// which `--{name}=value` disambiguates.
     pub fn get(&self, name: &str) -> Option<&str> {
-        self.named.get(name).map(|s| s.as_str())
+        let v = self.named.get(name).map(|s| s.as_str());
+        if v.is_none() && self.flags.iter().any(|f| f == name) {
+            eprintln!(
+                "--{name} expects a value; if the value starts with \"--\", \
+                 write --{name}=VALUE"
+            );
+            std::process::exit(2);
+        }
+        v
     }
 
     /// Bare flag presence.
@@ -131,73 +157,369 @@ pub fn average(results: &[RunResult]) -> (f64, f64, StatsSummary) {
     )
 }
 
-/// Prints the table header for one figure panel set.
-pub fn print_header(csv: bool) {
-    if csv {
-        println!(
-            "scheme,threads,w,time_s,ops_per_s,abort_pct,htm_tx,htm_nontx,htm_cap,lock,rot_cf,rot_cap,c_htm,c_rot,c_sgl,c_uninstr"
-        );
-    } else {
-        println!(
-            "{:<11} {:>3} {:>4} {:>9} {:>12} {:>7} | {:>6} {:>7} {:>7} {:>6} {:>6} {:>7} | {:>6} {:>6} {:>6} {:>8}",
-            "scheme", "thr", "w%", "time(s)", "ops/s", "abort%",
-            "HTMtx", "HTMntx", "HTMcap", "Lock", "ROTcf", "ROTcap",
-            "HTM%", "ROT%", "SGL%", "Uninstr%"
-        );
+/// Row output format, selected by `--csv` / `--json`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OutputMode {
+    /// Aligned human-readable tables (the default).
+    Text,
+    /// One CSV header plus one comma-separated line per row.
+    Csv,
+    /// JSON lines: one self-contained object per result row. Section
+    /// headers are carried inside each object, so the stream needs no
+    /// surrounding context to parse.
+    Json,
+}
+
+/// Row sink shared by the figure binaries: tracks the current `# ...`
+/// section so JSON rows can be self-contained.
+pub struct Output {
+    mode: OutputMode,
+    section: String,
+}
+
+impl Output {
+    /// Builds the sink from `--csv` / `--json` (mutually exclusive).
+    pub fn from_args(args: &Args) -> Output {
+        let mode = match (args.flag("csv"), args.flag("json")) {
+            (true, true) => {
+                eprintln!("--csv and --json are mutually exclusive");
+                std::process::exit(2);
+            }
+            (true, false) => OutputMode::Csv,
+            (false, true) => OutputMode::Json,
+            (false, false) => OutputMode::Text,
+        };
+        Output {
+            mode,
+            section: String::from("(top)"),
+        }
+    }
+
+    /// The selected format.
+    pub fn mode(&self) -> OutputMode {
+        self.mode
+    }
+
+    /// Starts a new section: printed as a `# ...` header line in
+    /// text/CSV mode, attached to each subsequent row in JSON mode.
+    pub fn section(&mut self, text: impl Into<String>) {
+        self.section = text.into();
+        if self.mode != OutputMode::Json {
+            println!("# {}", self.section);
+        }
+    }
+
+    /// A free-form comment line (text/CSV only; JSON streams stay pure).
+    pub fn note(&self, text: impl std::fmt::Display) {
+        if self.mode != OutputMode::Json {
+            println!("# {text}");
+        }
+    }
+
+    /// Updates the section carried by JSON rows without printing a header
+    /// line — for sub-labels that text mode renders its own way.
+    pub fn tag(&mut self, text: impl Into<String>) {
+        self.section = text.into();
+    }
+
+    /// Prints the table header for one figure panel set.
+    pub fn header(&self) {
+        match self.mode {
+            OutputMode::Csv => println!(
+                "scheme,threads,w,time_s,ops_per_s,abort_pct,htm_tx,htm_nontx,htm_cap,lock,rot_cf,rot_cap,c_htm,c_rot,c_sgl,c_uninstr"
+            ),
+            OutputMode::Text => println!(
+                "{:<11} {:>3} {:>4} {:>9} {:>12} {:>7} | {:>6} {:>7} {:>7} {:>6} {:>6} {:>7} | {:>6} {:>6} {:>6} {:>8}",
+                "scheme", "thr", "w%", "time(s)", "ops/s", "abort%",
+                "HTMtx", "HTMntx", "HTMcap", "Lock", "ROTcf", "ROTcap",
+                "HTM%", "ROT%", "SGL%", "Uninstr%"
+            ),
+            OutputMode::Json => {}
+        }
+    }
+
+    /// Prints one result row.
+    pub fn row(
+        &self,
+        scheme: SchemeKind,
+        threads: usize,
+        w: u32,
+        secs: f64,
+        tput: f64,
+        s: &StatsSummary,
+    ) {
+        use AbortBucket as B;
+        use CommitKind as C;
+        match self.mode {
+            OutputMode::Csv => println!(
+                "{},{},{},{:.6},{:.1},{:.2},{:.2},{:.2},{:.2},{:.2},{:.2},{:.2},{:.2},{:.2},{:.2},{:.2}",
+                scheme.label(),
+                threads,
+                w,
+                secs,
+                tput,
+                s.abort_rate_pct(),
+                s.abort_share_pct(B::HtmTx),
+                s.abort_share_pct(B::HtmNonTx),
+                s.abort_share_pct(B::HtmCapacity),
+                s.abort_share_pct(B::LockAborts),
+                s.abort_share_pct(B::RotConflicts),
+                s.abort_share_pct(B::RotCapacity),
+                s.commit_share_pct(C::Htm),
+                s.commit_share_pct(C::Rot),
+                s.commit_share_pct(C::Sgl),
+                s.commit_share_pct(C::Uninstrumented),
+            ),
+            OutputMode::Text => println!(
+                "{:<11} {:>3} {:>4} {:>9.4} {:>12.0} {:>7.1} | {:>6.1} {:>7.1} {:>7.1} {:>6.1} {:>6.1} {:>7.1} | {:>6.1} {:>6.1} {:>6.1} {:>8.1}",
+                scheme.label(),
+                threads,
+                w,
+                secs,
+                tput,
+                s.abort_rate_pct(),
+                s.abort_share_pct(B::HtmTx),
+                s.abort_share_pct(B::HtmNonTx),
+                s.abort_share_pct(B::HtmCapacity),
+                s.abort_share_pct(B::LockAborts),
+                s.abort_share_pct(B::RotConflicts),
+                s.abort_share_pct(B::RotCapacity),
+                s.commit_share_pct(C::Htm),
+                s.commit_share_pct(C::Rot),
+                s.commit_share_pct(C::Sgl),
+                s.commit_share_pct(C::Uninstrumented),
+            ),
+            OutputMode::Json => println!(
+                "{{\"section\": {}, \"scheme\": {}, \"threads\": {threads}, \"w\": {w}, \
+                 \"time_s\": {secs:.6}, \"ops_per_s\": {tput:.1}, \"abort_pct\": {:.2}, \
+                 \"c_htm\": {:.2}, \"c_rot\": {:.2}, \"c_sgl\": {:.2}, \"c_uninstr\": {:.2}}}",
+                json_string(&self.section),
+                json_string(scheme.label()),
+                s.abort_rate_pct(),
+                s.commit_share_pct(C::Htm),
+                s.commit_share_pct(C::Rot),
+                s.commit_share_pct(C::Sgl),
+                s.commit_share_pct(C::Uninstrumented),
+            ),
+        }
+    }
+
+    /// A visual blank between row groups (text mode only).
+    pub fn gap(&self) {
+        if self.mode == OutputMode::Text {
+            println!();
+        }
     }
 }
 
-/// Prints one result row.
-pub fn print_row(
-    csv: bool,
-    scheme: SchemeKind,
-    threads: usize,
-    w: u32,
-    secs: f64,
-    tput: f64,
-    s: &StatsSummary,
-) {
-    use AbortBucket as B;
-    use CommitKind as C;
-    if csv {
-        println!(
-            "{},{},{},{:.6},{:.1},{:.2},{:.2},{:.2},{:.2},{:.2},{:.2},{:.2},{:.2},{:.2},{:.2},{:.2}",
-            scheme.label(),
-            threads,
-            w,
-            secs,
-            tput,
-            s.abort_rate_pct(),
-            s.abort_share_pct(B::HtmTx),
-            s.abort_share_pct(B::HtmNonTx),
-            s.abort_share_pct(B::HtmCapacity),
-            s.abort_share_pct(B::LockAborts),
-            s.abort_share_pct(B::RotConflicts),
-            s.abort_share_pct(B::RotCapacity),
-            s.commit_share_pct(C::Htm),
-            s.commit_share_pct(C::Rot),
-            s.commit_share_pct(C::Sgl),
-            s.commit_share_pct(C::Uninstrumented),
-        );
+/// Serializes `s` as a JSON string literal.
+pub fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Extracts the value of `"key": <value>` from one line of JSON emitted
+/// by this crate's writers (one object per line, no nested objects with
+/// colliding keys). Returns the raw value token (string values keep
+/// their quotes).
+pub fn json_field<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+    let pat = format!("\"{key}\":");
+    let start = line.find(&pat)? + pat.len();
+    let rest = line[start..].trim_start();
+    if let Some(stripped) = rest.strip_prefix('"') {
+        let mut escaped = false;
+        for (i, c) in stripped.char_indices() {
+            match c {
+                _ if escaped => escaped = false,
+                '\\' => escaped = true,
+                '"' => return Some(&rest[..i + 2]),
+                _ => {}
+            }
+        }
+        None
     } else {
-        println!(
-            "{:<11} {:>3} {:>4} {:>9.4} {:>12.0} {:>7.1} | {:>6.1} {:>7.1} {:>7.1} {:>6.1} {:>6.1} {:>7.1} | {:>6.1} {:>6.1} {:>6.1} {:>8.1}",
-            scheme.label(),
-            threads,
-            w,
-            secs,
-            tput,
-            s.abort_rate_pct(),
-            s.abort_share_pct(B::HtmTx),
-            s.abort_share_pct(B::HtmNonTx),
-            s.abort_share_pct(B::HtmCapacity),
-            s.abort_share_pct(B::LockAborts),
-            s.abort_share_pct(B::RotConflicts),
-            s.abort_share_pct(B::RotCapacity),
-            s.commit_share_pct(C::Htm),
-            s.commit_share_pct(C::Rot),
-            s.commit_share_pct(C::Sgl),
-            s.commit_share_pct(C::Uninstrumented),
+        let end = rest.find([',', '}', ']']).unwrap_or(rest.len());
+        Some(rest[..end].trim_end())
+    }
+}
+
+/// [`json_field`] parsed as `f64` (string quotes stripped first).
+pub fn json_f64(line: &str, key: &str) -> Option<f64> {
+    json_field(line, key)?.trim_matches('"').parse().ok()
+}
+
+/// One parsed result row from a harness output file.
+#[derive(Debug, Clone)]
+pub struct ResultRow {
+    /// Scheme label (e.g. `RW-LE_OPT`).
+    pub scheme: String,
+    /// Thread count.
+    pub threads: u32,
+    /// Write percentage (or per-mille for the Kyoto harness).
+    pub w: u32,
+    /// Mean wall-clock seconds.
+    pub time_s: f64,
+    /// Mean throughput.
+    pub ops_per_s: f64,
+    /// Abort rate (percent of attempts).
+    pub abort_pct: f64,
+    /// Commit mix: HTM / ROT / SGL / uninstrumented shares (percent).
+    pub commit_mix: [f64; 4],
+}
+
+/// Parses a harness result file — text tables (tracking `# ...` section
+/// headers), CSV, or `--json` JSON-lines output — into `(section, row)`
+/// pairs. Exits with an error if the file cannot be read.
+pub fn parse_results(path: &str) -> Vec<(String, ResultRow)> {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("cannot read {path}: {e}");
+        std::process::exit(2);
+    });
+    let mut section = String::from("(top)");
+    let mut rows = Vec::new();
+    for line in text.lines() {
+        if line.trim_start().starts_with('{') {
+            if let Some(row) = parse_json_result_row(line) {
+                rows.push(row);
+            }
+            continue;
+        }
+        if let Some(h) = line.strip_prefix("# ") {
+            if !h.starts_with("ops/thread") {
+                section = h.to_string();
+            }
+            continue;
+        }
+        let cols: Vec<&str> = line.split_whitespace().collect();
+        // scheme thr w time ops/s abort% | 6 abort shares | 4 commit
+        // shares — rows start with a scheme label followed by at least
+        // five numeric fields.
+        if cols.len() < 6 || cols[0] == "scheme" {
+            continue;
+        }
+        let (Ok(threads), Ok(w)) = (cols[1].parse(), cols[2].parse()) else {
+            continue;
+        };
+        let (Ok(time_s), Ok(ops_per_s), Ok(abort_pct)) = (
+            cols[3].parse::<f64>(),
+            cols[4].parse::<f64>(),
+            cols[5].parse::<f64>(),
+        ) else {
+            continue;
+        };
+        // Text rows carry the commit mix in the trailing panel (after the
+        // second `|`).
+        let commit_mix = if cols.len() >= 18 && cols[6] == "|" && cols[13] == "|" {
+            let mut m = [0.0; 4];
+            for (i, c) in cols[14..18].iter().enumerate() {
+                m[i] = c.parse().unwrap_or(0.0);
+            }
+            m
+        } else {
+            [0.0; 4]
+        };
+        rows.push((
+            section.clone(),
+            ResultRow {
+                scheme: cols[0].to_string(),
+                threads,
+                w,
+                time_s,
+                ops_per_s,
+                abort_pct,
+                commit_mix,
+            },
+        ));
+    }
+    rows
+}
+
+/// Parses one JSON-lines row emitted by a bin's `--json` mode (or a
+/// `"rows"` entry of the benchmark-record JSON, which has the same keys).
+pub fn parse_json_result_row(line: &str) -> Option<(String, ResultRow)> {
+    Some((
+        json_str(line, "section")?,
+        ResultRow {
+            scheme: json_str(line, "scheme")?,
+            threads: json_f64(line, "threads")? as u32,
+            w: json_f64(line, "w")? as u32,
+            time_s: json_f64(line, "time_s")?,
+            ops_per_s: json_f64(line, "ops_per_s")?,
+            abort_pct: json_f64(line, "abort_pct")?,
+            commit_mix: [
+                json_f64(line, "c_htm")?,
+                json_f64(line, "c_rot")?,
+                json_f64(line, "c_sgl")?,
+                json_f64(line, "c_uninstr")?,
+            ],
+        },
+    ))
+}
+
+/// [`json_field`] decoded as an unescaped string value.
+pub fn json_str(line: &str, key: &str) -> Option<String> {
+    let raw = json_field(line, key)?;
+    let inner = raw.strip_prefix('"')?.strip_suffix('"')?;
+    let mut out = String::with_capacity(inner.len());
+    let mut chars = inner.chars();
+    while let Some(c) = chars.next() {
+        if c == '\\' {
+            match chars.next() {
+                Some('n') => out.push('\n'),
+                Some(e) => out.push(e),
+                None => break,
+            }
+        } else {
+            out.push(c);
+        }
+    }
+    Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(tokens: &[&str]) -> Args {
+        Args::parse_from(tokens.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn parse_named_and_bare_flags() {
+        let a = args(&["--ops", "500", "--csv", "--threads", "1,2"]);
+        assert_eq!(a.get("ops"), Some("500"));
+        assert!(a.flag("csv"));
+        assert_eq!(a.thread_list(&[4]), vec![1, 2]);
+        assert_eq!(a.get_or("seed", 42u64), 42);
+    }
+
+    #[test]
+    fn equals_form_allows_values_starting_with_dashes() {
+        let a = args(&["--filter=--weird", "--ops=7"]);
+        assert_eq!(a.get("filter"), Some("--weird"));
+        assert_eq!(a.get_or("ops", 0u64), 7);
+    }
+
+    #[test]
+    fn json_roundtrip_helpers() {
+        let line = format!(
+            "{{\"section\": {}, \"ops_per_s\": 123.4, \"threads\": 8}}",
+            json_string("Figure \"4\" — hc-lc")
         );
+        assert_eq!(json_str(&line, "section").unwrap(), "Figure \"4\" — hc-lc");
+        assert_eq!(json_f64(&line, "ops_per_s"), Some(123.4));
+        assert_eq!(json_f64(&line, "threads"), Some(8.0));
+        assert_eq!(json_field(&line, "missing"), None);
     }
 }

@@ -107,23 +107,32 @@ impl EpochSet {
     #[inline]
     pub fn enter(&self, tid: usize) {
         sched::step();
-        self.update_clock(tid, 0, "nested enter");
+        // SeqCst (load-bearing, the paper's MEM_FENCE): the odd clock must
+        // be totally ordered against the reader's subsequent lock-word
+        // check — store clock, then load lock, racing a writer's lock CAS
+        // then clock scan. This is the one clock store that must not be
+        // weakened; see docs/PROTOCOL.md §5.
+        self.update_clock(tid, 0, "nested enter", Ordering::SeqCst);
     }
 
     /// Marks thread `tid` as outside its read-side critical section.
+    ///
+    /// Release store: a writer that observes the even clock (Acquire)
+    /// synchronizes with every load this critical section performed —
+    /// exit needs no total-order fence, unlike [`EpochSet::enter`].
     #[inline]
     pub fn exit(&self, tid: usize) {
         sched::step();
-        self.update_clock(tid, 1, "exit without enter");
+        self.update_clock(tid, 1, "exit without enter", Ordering::Release);
     }
 
     /// The shared non-atomic clock increment (see [`EpochSet::enter`] for
     /// the single-writer discipline that makes it sound).
     #[inline]
-    fn update_clock(&self, tid: usize, expect_parity: u64, parity_msg: &str) {
+    fn update_clock(&self, tid: usize, expect_parity: u64, parity_msg: &str, order: Ordering) {
         #[cfg(debug_assertions)]
         {
-            let prev = self.owners[tid].0.swap(thread_token(), Ordering::SeqCst);
+            let prev = self.owners[tid].0.swap(thread_token(), Ordering::AcqRel);
             debug_assert_eq!(
                 prev, 0,
                 "slot {tid}: overlapping clock updates from two OS threads"
@@ -132,21 +141,21 @@ impl EpochSet {
         let c = &self.clocks[tid].0;
         let v = c.load(Ordering::Relaxed);
         debug_assert_eq!(v % 2, expect_parity, "{}", parity_msg);
-        c.store(v + 1, Ordering::SeqCst);
+        c.store(v + 1, order);
         #[cfg(debug_assertions)]
-        self.owners[tid].0.store(0, Ordering::SeqCst);
+        self.owners[tid].0.store(0, Ordering::Release);
     }
 
     /// Returns `true` if thread `tid` is inside a critical section.
     #[inline]
     pub fn is_active(&self, tid: usize) -> bool {
-        self.clocks[tid].0.load(Ordering::SeqCst) % 2 == 1
+        self.clocks[tid].0.load(Ordering::Acquire) % 2 == 1
     }
 
     /// Reads thread `tid`'s clock.
     #[inline]
     pub fn read_clock(&self, tid: usize) -> u64 {
-        self.clocks[tid].0.load(Ordering::SeqCst)
+        self.clocks[tid].0.load(Ordering::Acquire)
     }
 
     /// The general quiescence barrier (`RWLE_SYNCHRONIZE`, Algorithm 1).
@@ -158,17 +167,30 @@ impl EpochSet {
     /// New readers entering *after* the snapshot are not waited for — they
     /// are handled by conflict detection (they abort the suspended writer
     /// if they touch its write set).
+    ///
+    /// Allocates a fresh snapshot; hot paths should pass a reusable buffer
+    /// to [`EpochSet::synchronize_in`] instead.
     pub fn synchronize(&self, skip: Option<usize>) {
-        let snapshot: Vec<u64> = self
-            .clocks
-            .iter()
-            .map(|c| c.0.load(Ordering::SeqCst))
-            .collect();
-        for (tid, &snap) in snapshot.iter().enumerate() {
-            if Some(tid) == skip || snap % 2 == 0 {
+        self.synchronize_in(skip, &mut Vec::new());
+    }
+
+    /// [`EpochSet::synchronize`] with a caller-owned scratch buffer:
+    /// the snapshot reuses `snap`'s capacity, so a buffer threaded through
+    /// repeated barriers makes quiescence allocation-free after warm-up.
+    ///
+    /// Barrier loads are Acquire: observing a clock move past the snapshot
+    /// synchronizes with that reader's critical-section loads (its exit is
+    /// a Release store). The writer's own lock acquisition — an RMW that
+    /// precedes this barrier — orders the snapshot against reader entries,
+    /// so no total-order fence is needed here.
+    pub fn synchronize_in(&self, skip: Option<usize>, snap: &mut Vec<u64>) {
+        snap.clear();
+        snap.extend(self.clocks.iter().map(|c| c.0.load(Ordering::Acquire)));
+        for (tid, &snapped) in snap.iter().enumerate() {
+            if Some(tid) == skip || snapped % 2 == 0 {
                 continue;
             }
-            while self.clocks[tid].0.load(Ordering::SeqCst) == snap {
+            while self.clocks[tid].0.load(Ordering::Acquire) == snapped {
                 sched::yield_point();
             }
         }
@@ -178,22 +200,26 @@ impl EpochSet {
     ///
     /// Valid only when new readers are blocked (the caller holds the
     /// global lock in a state readers wait on): each clock only needs to
-    /// be observed even once, with no snapshot pass.
+    /// be observed even once, with no snapshot pass (and no allocation).
     pub fn synchronize_blocked_readers(&self, skip: Option<usize>) {
         for tid in 0..self.clocks.len() {
             if Some(tid) == skip {
                 continue;
             }
-            while self.clocks[tid].0.load(Ordering::SeqCst) % 2 == 1 {
+            while self.clocks[tid].0.load(Ordering::Acquire) % 2 == 1 {
                 sched::yield_point();
             }
         }
     }
 
     /// Records the lock version a reader observed at entry (fair variant).
+    ///
+    /// Release: pairs with the barrier's Acquire version check; the fair
+    /// barrier re-checks versions while waiting, so a briefly stale value
+    /// only delays the skip decision, never breaks it.
     #[inline]
     pub fn record_version(&self, tid: usize, version: u64) {
-        self.versions[tid].0.store(version, Ordering::SeqCst);
+        self.versions[tid].0.store(version, Ordering::Release);
     }
 
     /// Fair quiescence: waits only for active readers whose recorded
@@ -210,9 +236,31 @@ impl EpochSet {
     /// for the lock in place — waiting for its clock here would deadlock
     /// (writer awaits reader's exit, reader awaits writer's release).
     pub fn synchronize_fair(&self, skip: Option<usize>, writer_version: u64) {
-        for (tid, snap) in self.fair_wait_set(skip, writer_version) {
-            while self.clocks[tid].0.load(Ordering::SeqCst) == snap
-                && self.versions[tid].0.load(Ordering::SeqCst) < writer_version
+        self.synchronize_fair_in(skip, writer_version, &mut Vec::new());
+    }
+
+    /// [`EpochSet::synchronize_fair`] with a caller-owned scratch buffer
+    /// (same contract as [`EpochSet::synchronize_in`]): the snapshot
+    /// reuses `snap`'s capacity, keeping the fair barrier allocation-free
+    /// across repeated commits. The wait rule is the one specified (and
+    /// tested) by [`EpochSet::fair_wait_set`].
+    pub fn synchronize_fair_in(
+        &self,
+        skip: Option<usize>,
+        writer_version: u64,
+        snap: &mut Vec<u64>,
+    ) {
+        snap.clear();
+        snap.extend(self.clocks.iter().map(|c| c.0.load(Ordering::Acquire)));
+        for (tid, &snapped) in snap.iter().enumerate() {
+            if Some(tid) == skip
+                || snapped % 2 == 0
+                || self.versions[tid].0.load(Ordering::Acquire) >= writer_version
+            {
+                continue;
+            }
+            while self.clocks[tid].0.load(Ordering::Acquire) == snapped
+                && self.versions[tid].0.load(Ordering::Acquire) < writer_version
             {
                 sched::yield_point();
             }
@@ -230,7 +278,7 @@ impl EpochSet {
         let snapshot: Vec<u64> = self
             .clocks
             .iter()
-            .map(|c| c.0.load(Ordering::SeqCst))
+            .map(|c| c.0.load(Ordering::Acquire))
             .collect();
         snapshot
             .into_iter()
@@ -238,7 +286,7 @@ impl EpochSet {
             .filter(|&(tid, snap)| {
                 Some(tid) != skip
                     && snap % 2 == 1
-                    && self.versions[tid].0.load(Ordering::SeqCst) < writer_version
+                    && self.versions[tid].0.load(Ordering::Acquire) < writer_version
             })
             .collect()
     }

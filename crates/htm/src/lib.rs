@@ -55,7 +55,7 @@ pub use config::{HtmConfig, MAX_SLOTS};
 pub use intmap::{IntMap, IntSet};
 pub use runtime::{HtmRuntime, Telemetry};
 pub use trace::{TraceBuffer, TraceEvent, TraceRecord};
-pub use tx::{MemAccess, NonTx, ThreadCtx, Tx, ABORT_CANCELLED};
+pub use tx::{EpochReader, MemAccess, NonTx, ThreadCtx, Tx, ABORT_CANCELLED};
 
 #[cfg(test)]
 mod tests {

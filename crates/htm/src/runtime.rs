@@ -25,8 +25,22 @@
 //! resolution is requester-wins, matching coherence behaviour: any load
 //! that touches a foreign speculatively-written line dooms the writer, and
 //! any store dooms the writer and every tracked reader.
+//!
+//! # Memory-ordering discipline
+//!
+//! Only four access kinds need `SeqCst` — the two publications and two
+//! checks of the store-buffering race R1 (reader: `add_reader` fetch_or
+//! then `resolve_writer` load; writer: claim CAS then `doom_readers`
+//! scan), where the single total order guarantees at least one side sees
+//! the other. Everything that races on a *single* word (doom vs commit
+//! CASes on a slot's lifecycle word, claim steal vs cleanup on a line's
+//! writer word) is already decided by modification order and runs
+//! AcqRel/Acquire; releases of claims and slots are `Release` so waiters
+//! synchronize with the protected stores; pure-retry probe loads are
+//! `Acquire`; counters and ID allocation are `Relaxed`. The per-site
+//! table lives in `docs/PROTOCOL.md` §5.
 
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU32, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, OnceLock};
 
 use simmem::{Addr, SharedMem};
@@ -121,6 +135,12 @@ struct LineMeta {
     readers1: AtomicU64,
 }
 
+/// Counters in the transactional-claim filter: a power of two, 4 KiB of
+/// `AtomicU32` total, small enough to stay L1-resident. Lines hash in by
+/// `line & CLAIM_FILTER_MASK`; collisions only cost a spurious slow path.
+const CLAIM_FILTER_SLOTS: usize = 1024;
+const CLAIM_FILTER_MASK: usize = CLAIM_FILTER_SLOTS - 1;
+
 /// Outcome of a doom attempt against another slot's transaction.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub(crate) enum DoomOutcome {
@@ -168,6 +188,15 @@ pub struct HtmRuntime {
     cfg: HtmConfig,
     slots: Box<[SlotState]>,
     lines: Box<[LineMeta]>,
+    /// Counting filter of in-flight transactional claims, hashed by line.
+    /// A zero counter proves no granule hashing to it is claimed, letting
+    /// epoch-protected readers skip the (cache-cold) per-line metadata —
+    /// see [`HtmRuntime::read_epoch_as`] for the soundness argument.
+    claim_filter: Box<[AtomicU32]>,
+    /// `log2(granule_words)` when the granule size is a power of two
+    /// (`u32::MAX` otherwise): turns the per-access address→line division
+    /// into a shift on the hot path.
+    granule_shift: u32,
     next_slot: AtomicUsize,
     telemetry: Telemetry,
     /// Concurrently active transactions per SMT group (see
@@ -194,11 +223,19 @@ impl HtmRuntime {
             readers1: AtomicU64::new(0),
         });
         let n_groups = MAX_SLOTS.div_ceil(cfg.smt_group_size.max(1) as usize);
+        let gw = cfg.granule_words.max(1);
+        let granule_shift = if gw.is_power_of_two() {
+            gw.trailing_zeros()
+        } else {
+            u32::MAX
+        };
         Arc::new(HtmRuntime {
             mem,
             cfg,
             slots: slots.into_boxed_slice(),
             lines: lines.into_boxed_slice(),
+            claim_filter: (0..CLAIM_FILTER_SLOTS).map(|_| AtomicU32::new(0)).collect(),
+            granule_shift,
             next_slot: AtomicUsize::new(0),
             telemetry: Telemetry::default(),
             group_active: (0..n_groups).map(|_| AtomicUsize::new(0)).collect(),
@@ -243,14 +280,16 @@ impl HtmRuntime {
     ///
     /// Panics if more than [`MAX_SLOTS`] threads register.
     pub fn register(self: &Arc<Self>) -> ThreadCtx {
-        let slot = self.next_slot.fetch_add(1, Ordering::SeqCst);
+        // Relaxed: a pure ID allocator; the returned context is handed to
+        // its thread through normal synchronization (move/channel/join).
+        let slot = self.next_slot.fetch_add(1, Ordering::Relaxed);
         assert!(slot < MAX_SLOTS, "too many threads registered");
         ThreadCtx::new(Arc::clone(self), slot)
     }
 
     /// Number of threads registered so far.
     pub fn registered(&self) -> usize {
-        self.next_slot.load(Ordering::SeqCst).min(MAX_SLOTS)
+        self.next_slot.load(Ordering::Relaxed).min(MAX_SLOTS)
     }
 
     #[inline]
@@ -270,7 +309,11 @@ impl HtmRuntime {
     /// Conflict granule containing `addr` (a cache line by default).
     #[inline]
     pub(crate) fn granule_of(&self, addr: Addr) -> usize {
-        (addr.0 / self.cfg.granule_words) as usize
+        if self.granule_shift != u32::MAX {
+            (addr.0 >> self.granule_shift) as usize
+        } else {
+            (addr.0 / self.cfg.granule_words) as usize
+        }
     }
 
     #[inline]
@@ -295,12 +338,18 @@ impl HtmRuntime {
 
     /// Starts a new transaction on `slot`; returns the new sequence number.
     pub(crate) fn slot_begin(&self, slot: usize) -> u64 {
-        let st = self.slot_state(slot).load(Ordering::SeqCst);
+        // Relaxed load: only the owner moves the slot out of Idle, so the
+        // previous value is this thread's own store. Release store:
+        // doomers CAS the same word (an RMW always sees the latest value
+        // in modification order), and Release keeps the new seq's
+        // publication ordered before the transaction's accesses as
+        // observed through it.
+        let st = self.slot_state(slot).load(Ordering::Relaxed);
         let (seq, phase, _, _) = unpack_state(st);
         debug_assert_eq!(phase, PHASE_IDLE, "begin while a transaction is live");
         let new_seq = (seq + 1) & SEQ_MASK;
         self.slot_state(slot)
-            .store(pack_state(new_seq, PHASE_ACTIVE, 0, 0), Ordering::SeqCst);
+            .store(pack_state(new_seq, PHASE_ACTIVE, 0, 0), Ordering::Release);
         self.telemetry.begins.fetch_add(1, Ordering::Relaxed);
         if self.cfg.smt_group_size > 1 {
             self.group_active[self.group_of(slot)].fetch_add(1, Ordering::Relaxed);
@@ -309,15 +358,32 @@ impl HtmRuntime {
     }
 
     /// Returns the doom cause if `slot`'s transaction `seq` has been doomed.
+    ///
+    /// Acquire: reading our own slot as `Doomed` must also make visible
+    /// whatever the doomer published before its doom CAS (AcqRel), and the
+    /// post-load confirm in `Tx::read` relies on the chain
+    /// doom-CAS → committed store (Release) → our load (Acquire) → this
+    /// check, which coherence then forbids from missing the doom.
     #[inline]
     pub(crate) fn slot_doomed(&self, slot: usize, seq: u64) -> Option<AbortCause> {
-        let st = self.slot_state(slot).load(Ordering::SeqCst);
+        let st = self.slot_state(slot).load(Ordering::Acquire);
         let (s, phase, tag, code) = unpack_state(st);
         if s == seq && phase == PHASE_DOOMED {
             Some(AbortCause::decode(tag, code))
         } else {
             None
         }
+    }
+
+    /// Relaxed doom pre-check for the last-granule fast path: may lag the
+    /// doomer briefly (callers escalate to [`HtmRuntime::slot_doomed`] on
+    /// a hit, and the commit-point CAS can never miss a doom), but costs
+    /// no ordering on the per-access hot path.
+    #[inline]
+    pub(crate) fn slot_doomed_relaxed(&self, slot: usize, seq: u64) -> bool {
+        let st = self.slot_state(slot).load(Ordering::Relaxed);
+        let (s, phase, _, _) = unpack_state(st);
+        s == seq && phase == PHASE_DOOMED
     }
 
     /// Tries to doom our own transaction (capacity, interrupt, explicit).
@@ -329,9 +395,11 @@ impl HtmRuntime {
         let (tag, code) = cause.encode();
         let cur = pack_state(seq, PHASE_ACTIVE, 0, 0);
         let new = pack_state(seq, PHASE_DOOMED, tag, code);
+        // AcqRel: same-word atomicity with conflicting doom/commit CASes
+        // comes from modification order; no cross-location ordering needed.
         match self
             .slot_state(slot)
-            .compare_exchange(cur, new, Ordering::SeqCst, Ordering::SeqCst)
+            .compare_exchange(cur, new, Ordering::AcqRel, Ordering::Acquire)
         {
             Ok(_) => cause,
             Err(actual) => {
@@ -349,9 +417,13 @@ impl HtmRuntime {
     pub(crate) fn slot_try_commit(&self, slot: usize, seq: u64) -> Result<(), AbortCause> {
         let cur = pack_state(seq, PHASE_ACTIVE, 0, 0);
         let new = pack_state(seq, PHASE_COMMITTING, 0, 0);
+        // AcqRel: commit/doom atomicity is same-word (whichever CAS lands
+        // first in modification order wins); Release orders the buffered
+        // write-back after the commit point for accessors that observe
+        // `Committing`, Acquire makes a winning doomer's cause readable.
         match self
             .slot_state(slot)
-            .compare_exchange(cur, new, Ordering::SeqCst, Ordering::SeqCst)
+            .compare_exchange(cur, new, Ordering::AcqRel, Ordering::Acquire)
         {
             Ok(_) => Ok(()),
             Err(actual) => {
@@ -364,8 +436,10 @@ impl HtmRuntime {
 
     /// Moves the slot back to `Idle` after commit write-back or rollback.
     pub(crate) fn slot_finish(&self, slot: usize, seq: u64) {
+        // Release: waiters polling past `Committing` must see the
+        // completed write-back and line releases that precede this store.
         self.slot_state(slot)
-            .store(pack_state(seq, PHASE_IDLE, 0, 0), Ordering::SeqCst);
+            .store(pack_state(seq, PHASE_IDLE, 0, 0), Ordering::Release);
         if self.cfg.smt_group_size > 1 {
             self.group_active[self.group_of(slot)].fetch_sub(1, Ordering::Relaxed);
         }
@@ -385,7 +459,11 @@ impl HtmRuntime {
         let (tag, code) = cause.encode();
         let state = self.slot_state(victim_slot);
         loop {
-            let st = state.load(Ordering::SeqCst);
+            // Acquire load / AcqRel CAS: the doom race is decided on this
+            // one word by modification order; Release in the CAS keeps
+            // anything we published (e.g. a prior store) visible to the
+            // victim's Acquire doom check.
+            let st = state.load(Ordering::Acquire);
             let (seq, phase, _, _) = unpack_state(st);
             if seq != victim_seq {
                 return DoomOutcome::Gone;
@@ -394,7 +472,7 @@ impl HtmRuntime {
                 PHASE_ACTIVE => {
                     let new = pack_state(seq, PHASE_DOOMED, tag, code);
                     if state
-                        .compare_exchange(st, new, Ordering::SeqCst, Ordering::SeqCst)
+                        .compare_exchange(st, new, Ordering::AcqRel, Ordering::Relaxed)
                         .is_ok()
                     {
                         self.telemetry.dooms.fetch_add(1, Ordering::Relaxed);
@@ -420,14 +498,15 @@ impl HtmRuntime {
         let (tag, code) = cause.encode();
         let state = self.slot_state(victim_slot);
         loop {
-            let st = state.load(Ordering::SeqCst);
+            // Same discipline as `doom`: one-word race, AcqRel suffices.
+            let st = state.load(Ordering::Acquire);
             let (seq, phase, _, _) = unpack_state(st);
             if phase != PHASE_ACTIVE {
                 return;
             }
             let new = pack_state(seq, PHASE_DOOMED, tag, code);
             if state
-                .compare_exchange(st, new, Ordering::SeqCst, Ordering::SeqCst)
+                .compare_exchange(st, new, Ordering::AcqRel, Ordering::Relaxed)
                 .is_ok()
             {
                 self.telemetry.dooms.fetch_add(1, Ordering::Relaxed);
@@ -439,6 +518,12 @@ impl HtmRuntime {
     /// Dooms every tracked HTM reader of `line` except `me`.
     pub(crate) fn doom_readers(&self, line: usize, me: usize, cause: AbortCause) {
         let meta = self.line(line);
+        // SeqCst (load-bearing): writer side of the store-buffering race
+        // R1 — claim CAS (SeqCst) then this reader scan, against a
+        // reader's `add_reader` fetch_or (SeqCst) then writer-word load
+        // (SeqCst). The single total order guarantees at least one side
+        // sees the other; weaken any of the four and a reader could slip
+        // in unseen while the writer misses its bit.
         let words = [
             meta.readers0.load(Ordering::SeqCst),
             meta.readers1.load(Ordering::SeqCst),
@@ -466,6 +551,9 @@ impl HtmRuntime {
     pub(crate) fn resolve_writer(&self, line: usize, me: usize, cause: AbortCause) {
         let meta = self.line(line);
         loop {
+            // SeqCst (load-bearing): reader side of race R1 — this load
+            // follows the reader's SeqCst `add_reader` publication; see
+            // `doom_readers` for the pairing argument.
             let w = meta.writer.load(Ordering::SeqCst);
             match unpack_writer(w) {
                 Claim::Free | Claim::Nt(_) => return,
@@ -474,9 +562,11 @@ impl HtmRuntime {
                     DoomOutcome::Doomed | DoomOutcome::Gone => return,
                     DoomOutcome::Committing => {
                         // Wait out the write-back so we never observe a
-                        // torn aggregate store.
+                        // torn aggregate store. Acquire: reading the
+                        // release (a Release CAS) synchronizes with the
+                        // completed write-back.
                         self.telemetry.commit_waits.fetch_add(1, Ordering::Relaxed);
-                        while meta.writer.load(Ordering::SeqCst) == w {
+                        while meta.writer.load(Ordering::Acquire) == w {
                             spin_wait();
                         }
                     }
@@ -495,12 +585,17 @@ impl HtmRuntime {
         let meta = self.line(line);
         let mine = pack_nt_claim(me);
         loop {
-            let w = meta.writer.load(Ordering::SeqCst);
+            // The claim CASes stay SeqCst (load-bearing): an NT store is
+            // the writer side of race R1 — publish the claim, then scan
+            // reader bits in `doom_readers` — so the publication must
+            // participate in the single total order. The probe load and
+            // the wait loops only feed retries: Acquire suffices there.
+            let w = meta.writer.load(Ordering::Acquire);
             match unpack_writer(w) {
                 Claim::Free => {
                     if meta
                         .writer
-                        .compare_exchange(0, mine, Ordering::SeqCst, Ordering::SeqCst)
+                        .compare_exchange(0, mine, Ordering::SeqCst, Ordering::Relaxed)
                         .is_ok()
                     {
                         return;
@@ -508,7 +603,7 @@ impl HtmRuntime {
                 }
                 Claim::Nt(_) => {
                     // Another in-flight non-transactional store; brief.
-                    while meta.writer.load(Ordering::SeqCst) == w {
+                    while meta.writer.load(Ordering::Acquire) == w {
                         spin_wait();
                     }
                 }
@@ -523,14 +618,23 @@ impl HtmRuntime {
                             // Steal: the doomed owner's cleanup CAS will fail.
                             if meta
                                 .writer
-                                .compare_exchange(w, mine, Ordering::SeqCst, Ordering::SeqCst)
+                                .compare_exchange(w, mine, Ordering::SeqCst, Ordering::Relaxed)
                                 .is_ok()
                             {
+                                // The transactional claim this replaced is
+                                // gone and its owner's release CAS will fail
+                                // (skipping the decrement), so retire its
+                                // filter count here. NT claims themselves are
+                                // never counted: their single store is
+                                // word-atomic, so unfiltered readers see the
+                                // old or the new value either way.
+                                self.claim_filter[line & CLAIM_FILTER_MASK]
+                                    .fetch_sub(1, Ordering::SeqCst);
                                 return;
                             }
                         }
                         DoomOutcome::Committing => {
-                            while meta.writer.load(Ordering::SeqCst) == w {
+                            while meta.writer.load(Ordering::Acquire) == w {
                                 spin_wait();
                             }
                         }
@@ -541,11 +645,13 @@ impl HtmRuntime {
     }
 
     fn release_nt_claim(&self, line: usize, me: usize) {
+        // Release: waiters that observe the line free synchronize with the
+        // store this claim covered.
         let res = self.line(line).writer.compare_exchange(
             pack_nt_claim(me),
             0,
-            Ordering::SeqCst,
-            Ordering::SeqCst,
+            Ordering::Release,
+            Ordering::Relaxed,
         );
         debug_assert!(res.is_ok(), "NT claims are never stolen");
     }
@@ -560,14 +666,26 @@ impl HtmRuntime {
         let meta = self.line(line);
         let mine = pack_writer(me, my_seq);
         loop {
-            let w = meta.writer.load(Ordering::SeqCst);
+            // The claim CASes stay SeqCst (load-bearing): writer side of
+            // race R1 — the claim publication must be totally ordered
+            // against reader-bit publication so the `doom_readers` scan
+            // below cannot miss a concurrent reader (see `doom_readers`).
+            // Probe and wait-loop loads only feed retries: Acquire.
+            let w = meta.writer.load(Ordering::Acquire);
             match unpack_writer(w) {
                 Claim::Free => {
                     if meta
                         .writer
-                        .compare_exchange(0, mine, Ordering::SeqCst, Ordering::SeqCst)
+                        .compare_exchange(0, mine, Ordering::SeqCst, Ordering::Relaxed)
                         .is_ok()
                     {
+                        // SeqCst (load-bearing): epoch readers' filter check
+                        // orders against this increment in the single total
+                        // order — see `read_epoch_as`. A steal inherits the
+                        // victim's count instead (the victim's failed release
+                        // CAS skips the decrement), so the counter stays ≥ 1
+                        // for as long as *anyone* holds the claim.
+                        self.claim_filter[line & CLAIM_FILTER_MASK].fetch_add(1, Ordering::SeqCst);
                         break;
                     }
                 }
@@ -581,7 +699,7 @@ impl HtmRuntime {
                         // simply fail and skip the line.
                         if meta
                             .writer
-                            .compare_exchange(w, mine, Ordering::SeqCst, Ordering::SeqCst)
+                            .compare_exchange(w, mine, Ordering::SeqCst, Ordering::Relaxed)
                             .is_ok()
                         {
                             self.telemetry.steals.fetch_add(1, Ordering::Relaxed);
@@ -590,14 +708,14 @@ impl HtmRuntime {
                     }
                     DoomOutcome::Committing => {
                         self.telemetry.commit_waits.fetch_add(1, Ordering::Relaxed);
-                        while meta.writer.load(Ordering::SeqCst) == w {
+                        while meta.writer.load(Ordering::Acquire) == w {
                             spin_wait();
                         }
                     }
                 },
                 Claim::Nt(_) => {
                     // In-flight non-transactional store; wait it out.
-                    while meta.writer.load(Ordering::SeqCst) == w {
+                    while meta.writer.load(Ordering::Acquire) == w {
                         spin_wait();
                     }
                 }
@@ -610,11 +728,20 @@ impl HtmRuntime {
     pub(crate) fn release_line(&self, line: usize, me: usize, my_seq: u64) {
         let mine = pack_writer(me, my_seq);
         // A failed CAS means a requester-wins steal took the line; nothing
-        // to release then.
-        let _ =
-            self.line(line)
-                .writer
-                .compare_exchange(mine, 0, Ordering::SeqCst, Ordering::SeqCst);
+        // to release then. Release: accessors observing the line free
+        // synchronize with the committed write-back that preceded this.
+        if self
+            .line(line)
+            .writer
+            .compare_exchange(mine, 0, Ordering::Release, Ordering::Relaxed)
+            .is_ok()
+        {
+            // Decrement only on a successful release: a stolen claim's
+            // filter count now belongs to the stealer, who decrements it
+            // when *its* release CAS succeeds. Exactly one decrement per
+            // fresh-claim increment, so the filter drains back to zero.
+            self.claim_filter[line & CLAIM_FILTER_MASK].fetch_sub(1, Ordering::SeqCst);
+        }
     }
 
     // ------------------------------------------------------------------
@@ -622,6 +749,10 @@ impl HtmRuntime {
     // ------------------------------------------------------------------
 
     /// Sets `me`'s reader bit on `line`.
+    ///
+    /// SeqCst (load-bearing): reader side of race R1 — publish the bit,
+    /// then load the writer word in `resolve_writer`; paired with the
+    /// writer's SeqCst claim CAS + reader scan (see `doom_readers`).
     pub(crate) fn add_reader(&self, line: usize, me: usize) {
         let meta = self.line(line);
         let bit = 1u64 << (me % 64);
@@ -633,13 +764,19 @@ impl HtmRuntime {
     }
 
     /// Clears `me`'s reader bit on `line`.
+    ///
+    /// Release only: a writer that still sees a stale set bit merely dooms
+    /// the slot's *next* transaction spuriously (conservative, and real
+    /// best-effort HTM behaves the same); a missed clear cannot hide a
+    /// reader. Release keeps the finished transaction's loads ordered
+    /// before the bit disappears.
     pub(crate) fn remove_reader(&self, line: usize, me: usize) {
         let meta = self.line(line);
         let bit = 1u64 << (me % 64);
         if me < 64 {
-            meta.readers0.fetch_and(!bit, Ordering::SeqCst);
+            meta.readers0.fetch_and(!bit, Ordering::Release);
         } else {
-            meta.readers1.fetch_and(!bit, Ordering::SeqCst);
+            meta.readers1.fetch_and(!bit, Ordering::Release);
         }
     }
 
@@ -655,6 +792,48 @@ impl HtmRuntime {
     pub(crate) fn read_nt_as(&self, slot: usize, addr: Addr, cause: AbortCause) -> u64 {
         sched::step();
         self.resolve_writer(self.granule_of(addr), slot, cause);
+        self.mem.load(addr)
+    }
+
+    /// Load of `addr` for an **epoch-protected** reader (RW-LE read-side
+    /// critical sections).
+    ///
+    /// Identical to [`HtmRuntime::read_nt_as`] except that the per-line
+    /// metadata is consulted only when the claim filter admits a possible
+    /// transactional claim near the line. In the common no-conflict case
+    /// the read touches one L1-resident filter word plus the data itself —
+    /// no cache-cold `LineMeta` load.
+    ///
+    /// # Soundness
+    ///
+    /// Sound **only** for readers that (a) published their epoch entry
+    /// with a `SeqCst` RMW (`EpochSet::enter`, the paper's `MEM_FENCE`)
+    /// before any access, and (b) race exclusively against writers that
+    /// claim their whole write set, then quiesce on the epoch set, and
+    /// only then write back. For such pairs the `SeqCst` total order
+    /// yields a dichotomy per (reader load, writer claim increment):
+    ///
+    /// * the increment precedes the filter load — the reader observes a
+    ///   non-zero counter and takes the full resolve path (dooming the
+    ///   writer or waiting out its write-back), exactly as before; or
+    /// * the filter load precedes the increment — then the reader's epoch
+    ///   `enter` (program-order before the load, also `SeqCst`) precedes
+    ///   the writer's quiescence scan (program-order after the increment),
+    ///   so the writer sees the reader in its epoch and delays write-back
+    ///   until the reader exits. The skipped metadata check could only
+    ///   have found buffered state that will not reach memory during this
+    ///   reader's critical section.
+    ///
+    /// Generic (non-quiescing) transactions get no such guarantee, which
+    /// is why this is a separate entry point and not a change to
+    /// `read_nt_as`.
+    pub(crate) fn read_epoch_as(&self, slot: usize, addr: Addr, cause: AbortCause) -> u64 {
+        sched::step();
+        let line = self.granule_of(addr);
+        // SeqCst (load-bearing): the reader side of the dichotomy above.
+        if self.claim_filter[line & CLAIM_FILTER_MASK].load(Ordering::SeqCst) != 0 {
+            self.resolve_writer(line, slot, cause);
+        }
         self.mem.load(addr)
     }
 
@@ -709,7 +888,7 @@ impl HtmRuntime {
     /// (probe for tests).
     #[doc(hidden)]
     pub fn probe_line_writer(&self, line: usize) -> Option<(usize, u64)> {
-        match unpack_writer(self.line(line).writer.load(Ordering::SeqCst)) {
+        match unpack_writer(self.line(line).writer.load(Ordering::Acquire)) {
             Claim::Tx(slot, seq) => Some((slot, seq)),
             _ => None,
         }
@@ -719,8 +898,18 @@ impl HtmRuntime {
     /// 0 idle, 1 active, 2 committing, 3 doomed.
     #[doc(hidden)]
     pub fn probe_slot(&self, slot: usize) -> (u64, u64) {
-        let (seq, phase, _, _) = unpack_state(self.slot_state(slot).load(Ordering::SeqCst));
+        let (seq, phase, _, _) = unpack_state(self.slot_state(slot).load(Ordering::Acquire));
         (seq, phase)
+    }
+
+    /// Sum of all claim-filter counters (probe for tests): zero exactly
+    /// when no transactional claim is in flight anywhere.
+    #[doc(hidden)]
+    pub fn probe_claim_filter_sum(&self) -> u64 {
+        self.claim_filter
+            .iter()
+            .map(|c| u64::from(c.load(Ordering::SeqCst)))
+            .sum()
     }
 }
 
@@ -899,6 +1088,71 @@ mod tests {
         // A suspended transaction's own non-transactional load must not
         // doom itself.
         let _ = rt.read_nt_as(0, Addr(1), AbortCause::ConflictNonTx);
+        assert_eq!(rt.slot_doomed(0, seq), None);
+    }
+
+    #[test]
+    fn claim_filter_counts_claims_and_transfers_on_steal() {
+        let mem = Arc::new(SharedMem::new_lines(4));
+        let rt = HtmRuntime::new(mem, HtmConfig::default());
+        assert_eq!(rt.probe_claim_filter_sum(), 0);
+        let seq_a = rt.slot_begin(0);
+        rt.claim_line(1, 0, seq_a, AbortCause::ConflictTx);
+        assert_eq!(rt.probe_claim_filter_sum(), 1);
+        // A requester-wins steal inherits the victim's count: still 1.
+        let seq_b = rt.slot_begin(1);
+        rt.claim_line(1, 1, seq_b, AbortCause::ConflictTx);
+        assert_eq!(rt.probe_claim_filter_sum(), 1);
+        // The victim's release CAS fails and must not decrement.
+        rt.release_line(1, 0, seq_a);
+        assert_eq!(rt.probe_claim_filter_sum(), 1);
+        // The stealer's release drains the filter back to zero.
+        rt.release_line(1, 1, seq_b);
+        assert_eq!(rt.probe_claim_filter_sum(), 0);
+        // Double release stays balanced.
+        rt.release_line(1, 1, seq_b);
+        assert_eq!(rt.probe_claim_filter_sum(), 0);
+    }
+
+    #[test]
+    fn claim_filter_drains_when_nt_store_steals() {
+        let mem = Arc::new(SharedMem::new_lines(4));
+        let rt = HtmRuntime::new(Arc::clone(&mem), HtmConfig::default());
+        let seq = rt.slot_begin(0);
+        rt.claim_line(0, 0, seq, AbortCause::ConflictTx);
+        assert_eq!(rt.probe_claim_filter_sum(), 1);
+        // The NT store dooms the writer and steals its claim (a Tx→NT
+        // transition); the victim's count must retire with the steal.
+        rt.write_nt_as(9, Addr(0), 42, AbortCause::ConflictNonTx);
+        assert_eq!(rt.probe_claim_filter_sum(), 0);
+        rt.release_line(0, 0, seq);
+        assert_eq!(rt.probe_claim_filter_sum(), 0);
+    }
+
+    #[test]
+    fn epoch_read_still_dooms_a_claimed_writer() {
+        let mem = Arc::new(SharedMem::new_lines(4));
+        let rt = HtmRuntime::new(Arc::clone(&mem), HtmConfig::default());
+        mem.store(Addr(0), 7);
+        let seq_w = rt.slot_begin(0);
+        rt.claim_line(0, 0, seq_w, AbortCause::ConflictTx);
+        // The filter counter is non-zero, so the epoch read must take the
+        // full resolve path and doom the speculative writer.
+        assert_eq!(rt.read_epoch_as(9, Addr(0), AbortCause::ConflictNonTx), 7);
+        assert_eq!(rt.slot_doomed(0, seq_w), Some(AbortCause::ConflictNonTx));
+    }
+
+    #[test]
+    fn epoch_read_of_unclaimed_line_dooms_nobody() {
+        let mem = Arc::new(SharedMem::new_lines(4));
+        let rt = HtmRuntime::new(Arc::clone(&mem), HtmConfig::default());
+        mem.store(Addr(8), 5);
+        let seq = rt.slot_begin(0);
+        rt.claim_line(0, 0, seq, AbortCause::ConflictTx);
+        // Addr(8) lives in line 1: unclaimed, and hashing to a different
+        // filter slot than line 0, so the read skips the metadata and the
+        // claimed writer survives.
+        assert_eq!(rt.read_epoch_as(9, Addr(8), AbortCause::ConflictNonTx), 5);
         assert_eq!(rt.slot_doomed(0, seq), None);
     }
 

@@ -52,11 +52,19 @@ pub struct ThreadCtx {
     write_lines: IntSet,
     read_lines: IntSet,
     rng: SmallRng,
+    /// Hoisted `page_fault_prob > 0` so the per-access interrupt hook is a
+    /// plain branch when injection is off (the config is immutable).
+    interrupts: bool,
+    /// Reusable scratch words for callers (e.g. quiescence snapshots);
+    /// lent out via [`ThreadCtx::take_scratch`] so barriers stay
+    /// allocation-free across critical sections.
+    scratch: Vec<u64>,
 }
 
 impl ThreadCtx {
     pub(crate) fn new(rt: Arc<HtmRuntime>, slot: usize) -> Self {
         let seed = rt.config().seed ^ ((slot as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15));
+        let interrupts = rt.config().page_fault_prob > 0.0;
         ThreadCtx {
             rt,
             slot,
@@ -65,7 +73,25 @@ impl ThreadCtx {
             write_lines: IntSet::with_capacity(64),
             read_lines: IntSet::with_capacity(128),
             rng: SmallRng::seed_from_u64(seed),
+            interrupts,
+            scratch: Vec::new(),
         }
+    }
+
+    /// Lends out this thread's scratch buffer (cleared). Pair with
+    /// [`ThreadCtx::restore_scratch`] so its capacity is reused by the
+    /// next borrower instead of reallocated.
+    #[inline]
+    pub fn take_scratch(&mut self) -> Vec<u64> {
+        let mut s = std::mem::take(&mut self.scratch);
+        s.clear();
+        s
+    }
+
+    /// Returns a buffer obtained from [`ThreadCtx::take_scratch`].
+    #[inline]
+    pub fn restore_scratch(&mut self, scratch: Vec<u64>) {
+        self.scratch = scratch;
     }
 
     /// This thread's slot index (usable as a dense thread id).
@@ -99,6 +125,9 @@ impl ThreadCtx {
             ctx: self,
             mode,
             finished: false,
+            last_read_granule: NO_GRANULE,
+            last_write_granule: NO_GRANULE,
+            prefetch: simmem::StridePrefetcher::new(),
         }
     }
 
@@ -107,6 +136,16 @@ impl ThreadCtx {
         NonTx {
             rt: &self.rt,
             slot: self.slot,
+        }
+    }
+
+    /// Returns an access handle for an **epoch-protected read-side
+    /// critical section** (see [`EpochReader`] for the contract).
+    pub fn epoch_reader(&self) -> EpochReader<'_> {
+        EpochReader {
+            rt: &self.rt,
+            slot: self.slot,
+            prefetch: simmem::StridePrefetcher::new(),
         }
     }
 
@@ -136,6 +175,9 @@ impl ThreadCtx {
 // a worker thread) but deliberately !Sync — all methods take &mut self or
 // access only the Sync runtime.
 
+/// Sentinel for the last-granule caches: no granule tracked yet.
+const NO_GRANULE: u32 = u32::MAX;
+
 /// A live transaction (regular HTM or ROT).
 ///
 /// All operations return `Err(AbortCause)` once the transaction is doomed;
@@ -146,6 +188,20 @@ pub struct Tx<'c> {
     ctx: &'c mut ThreadCtx,
     mode: TxMode,
     finished: bool,
+    /// Last granule this transaction read-tracked (HTM mode only): its
+    /// reader bit is published and any foreign writer was resolved, and
+    /// both facts outlive the transaction (the bit is only cleared at
+    /// commit/rollback; a new conflicting writer dooms us through the
+    /// slot-state word). Repeat reads can therefore skip the read-set
+    /// probe, `add_reader`, and `resolve_writer` — only doom must still
+    /// be observed on every access.
+    last_read_granule: u32,
+    /// Last granule this transaction write-claimed; same reasoning via
+    /// the line's writer claim (a steal dooms us first).
+    last_write_granule: u32,
+    /// Stride prefetcher fed by this transaction's loads (a latency hint
+    /// only — see [`simmem::StridePrefetcher`]).
+    prefetch: simmem::StridePrefetcher,
 }
 
 impl<'c> Tx<'c> {
@@ -209,11 +265,26 @@ impl<'c> Tx<'c> {
     }
 
     /// Simulated transient interrupt (page fault etc.), per access.
+    ///
+    /// When injection is configured off (the common case) this is a
+    /// single branch on a hoisted flag — no config load, no RNG draw.
     #[inline]
     fn maybe_interrupt(&mut self) -> Result<(), AbortCause> {
-        let p = self.rt().config().page_fault_prob;
-        if p > 0.0 && self.ctx.rng.gen::<f64>() < p {
+        if self.ctx.interrupts && self.ctx.rng.gen::<f64>() < self.rt().config().page_fault_prob {
             return Err(self.self_abort(AbortCause::TransientInterrupt));
+        }
+        Ok(())
+    }
+
+    /// Cheap doom observation for the last-granule fast path: a relaxed
+    /// pre-check of the slot-state word, escalating to the Acquire confirm
+    /// (and rollback) only when it indicates doom. Callers that return a
+    /// memory value must still run [`Tx::check_doom`] *after* the load —
+    /// that check is what makes the value sound (see `docs/PROTOCOL.md`).
+    #[inline]
+    fn precheck_doom(&mut self) -> Result<(), AbortCause> {
+        if self.rt().slot_doomed_relaxed(self.ctx.slot, self.ctx.seq) {
+            self.check_doom()?;
         }
         Ok(())
     }
@@ -225,12 +296,27 @@ impl<'c> Tx<'c> {
     pub fn read(&mut self, addr: Addr) -> Result<u64, AbortCause> {
         debug_assert!(!self.finished, "access after commit/abort");
         sched::step();
+        self.prefetch.touch(self.ctx.rt.mem(), addr);
         self.maybe_interrupt()?;
+        let granule = self.rt().granule_of(addr) as u32;
+        if granule == self.last_read_granule {
+            // Fast path: our reader bit on this line is already published
+            // and its writer already resolved, so republication is
+            // redundant — any conflicting writer arriving since then must
+            // doom us through the slot-state word, which the pre-check and
+            // the post-load confirm still observe.
+            self.precheck_doom()?;
+            if let Some(v) = self.ctx.write_buf.get(addr.0) {
+                return Ok(v);
+            }
+            let v = self.rt().mem().load(addr);
+            self.check_doom()?;
+            return Ok(v);
+        }
         self.check_doom()?;
         if let Some(v) = self.ctx.write_buf.get(addr.0) {
             return Ok(v);
         }
-        let granule = self.rt().granule_of(addr) as u32;
         if self.mode == TxMode::Htm && !self.ctx.read_lines.contains(granule) {
             self.ctx.read_lines.insert(granule);
             let cap = self
@@ -247,6 +333,12 @@ impl<'c> Tx<'c> {
         // The load is only valid if nobody doomed us up to this point
         // (e.g. a writer claimed the line after our reader bit was set).
         self.check_doom()?;
+        if self.mode == TxMode::Htm {
+            // Only tracked (HTM) reads may skip republication: ROT reads
+            // carry no reader bit, so they must resolve the writer anew on
+            // every access.
+            self.last_read_granule = granule;
+        }
         Ok(v)
     }
 
@@ -255,8 +347,17 @@ impl<'c> Tx<'c> {
         debug_assert!(!self.finished, "access after commit/abort");
         sched::step();
         self.maybe_interrupt()?;
-        self.check_doom()?;
         let granule = self.rt().granule_of(addr) as u32;
+        if granule == self.last_write_granule {
+            // Fast path: we still hold (or were doomed losing) this line's
+            // writer claim; a steal dooms us first, so the relaxed
+            // pre-check — and, failing that, the commit-point CAS —
+            // observes it. The store itself is local buffering.
+            self.precheck_doom()?;
+            self.ctx.write_buf.insert(addr.0, val);
+            return Ok(());
+        }
+        self.check_doom()?;
         if !self.ctx.write_lines.contains(granule) {
             let budget = match self.mode {
                 TxMode::Htm => self.rt().config().htm_write_capacity,
@@ -276,6 +377,7 @@ impl<'c> Tx<'c> {
             // Claiming may have raced with a conflictor dooming us.
             self.check_doom()?;
         }
+        self.last_write_granule = granule;
         self.ctx.write_buf.insert(addr.0, val);
         Ok(())
     }
@@ -424,6 +526,77 @@ impl MemAccess for NonTx<'_> {
     #[inline]
     fn cas(&mut self, addr: Addr, cur: u64, new: u64) -> Result<Result<u64, u64>, AbortCause> {
         Ok(NonTx::cas_nt(self, addr, cur, new))
+    }
+
+    #[inline]
+    fn is_speculative(&self) -> bool {
+        false
+    }
+}
+
+/// Access handle for epoch-protected read-side critical sections.
+///
+/// Behaves like [`NonTx`] but routes loads through the engine's claim
+/// filter: when no transactional claim can exist near the touched line
+/// (one L1-resident counter word proves it), the load skips the per-line
+/// conflict metadata entirely — the common case for RW-LE readers, whose
+/// working set rarely intersects an in-flight writer. Stores and CASes
+/// fall back to the fully instrumented non-transactional operations.
+///
+/// # Contract
+///
+/// Only sound for threads inside an epoch-protected read-side section
+/// whose writers quiesce on the epoch set *after* claiming their write
+/// set and *before* writing back (the RW-LE write path does exactly
+/// this). The `SeqCst` epoch entry plays the role of the paper's
+/// `MEM_FENCE`; see `HtmRuntime::read_epoch_as` for the full dichotomy
+/// argument. Generic code racing with non-quiescing transactions must
+/// use [`NonTx`] instead.
+pub struct EpochReader<'a> {
+    rt: &'a HtmRuntime,
+    slot: usize,
+    prefetch: simmem::StridePrefetcher,
+}
+
+impl EpochReader<'_> {
+    /// Filtered epoch-protected load.
+    #[inline]
+    pub fn read(&mut self, addr: Addr) -> u64 {
+        self.prefetch.touch(self.rt.mem(), addr);
+        self.rt
+            .read_epoch_as(self.slot, addr, AbortCause::ConflictNonTx)
+    }
+
+    /// Non-transactional store (identical to [`NonTx::write`]).
+    #[inline]
+    pub fn write(&self, addr: Addr, val: u64) {
+        self.rt
+            .write_nt_as(self.slot, addr, val, AbortCause::ConflictNonTx);
+    }
+
+    /// Non-transactional compare-exchange (identical to [`NonTx::cas_nt`]).
+    #[inline]
+    pub fn cas_nt(&self, addr: Addr, cur: u64, new: u64) -> Result<u64, u64> {
+        self.rt
+            .cas_nt_as(self.slot, addr, cur, new, AbortCause::ConflictNonTx)
+    }
+}
+
+impl MemAccess for EpochReader<'_> {
+    #[inline]
+    fn read(&mut self, addr: Addr) -> Result<u64, AbortCause> {
+        Ok(EpochReader::read(self, addr))
+    }
+
+    #[inline]
+    fn write(&mut self, addr: Addr, val: u64) -> Result<(), AbortCause> {
+        EpochReader::write(self, addr, val);
+        Ok(())
+    }
+
+    #[inline]
+    fn cas(&mut self, addr: Addr, cur: u64, new: u64) -> Result<Result<u64, u64>, AbortCause> {
+        Ok(EpochReader::cas_nt(self, addr, cur, new))
     }
 
     #[inline]

@@ -207,3 +207,124 @@ fn many_threads_long_episodes() {
         run_schedule(seed, 10, 25, 24)
     });
 }
+
+#[test]
+fn two_line_space_stresses_granule_cache_transitions() {
+    // 16 addresses across exactly two lines: accesses constantly
+    // alternate between hitting the last-granule cache (same line as the
+    // previous access) and missing it (the other line), interleaved with
+    // dooming NT traffic — the transition matrix the cache must survive.
+    sched::explore("htm-episodes-cache", 0x7000..0x7200, |seed| {
+        run_schedule(seed, 6, 12, 16)
+    });
+}
+
+/// The last-granule cache must never outlive a doom: once a transaction
+/// is doomed, its next access — even one that hits the cache — returns
+/// the abort.
+mod doomed_while_cached {
+    use super::*;
+    use htm::AbortCause;
+
+    fn setup() -> (Arc<SharedMem>, Arc<HtmRuntime>) {
+        let mem = Arc::new(SharedMem::new_lines(16));
+        let rt = HtmRuntime::new(Arc::clone(&mem), HtmConfig::default());
+        (mem, rt)
+    }
+
+    #[test]
+    fn nt_store_dooms_read_cached_line() {
+        let (mem, rt) = setup();
+        let mut a = rt.register();
+        let b = rt.register();
+        let mut tx = a.begin(TxMode::Htm);
+        assert_eq!(tx.read(Addr(0)), Ok(0)); // caches granule 0
+                                             // Bystander NT store to another word of the same line dooms the
+                                             // reader through plain conflict detection...
+        b.write_nt(Addr(1), 7);
+        // ...and the cache-hit repeat read must still observe the doom.
+        assert_eq!(tx.read(Addr(0)), Err(AbortCause::ConflictNonTx));
+        drop(tx);
+        assert_eq!(mem.load(Addr(1)), 7);
+    }
+
+    #[test]
+    fn writer_steal_dooms_write_cached_line() {
+        let (mem, rt) = setup();
+        let mut a = rt.register();
+        let mut b = rt.register();
+        let mut tx_a = a.begin(TxMode::Htm);
+        tx_a.write(Addr(0), 1).unwrap(); // claims + caches line 0
+                                         // A second speculative writer steals the line (requester wins),
+                                         // dooming the first...
+        let mut tx_b = b.begin(TxMode::Htm);
+        tx_b.write(Addr(0), 2).unwrap();
+        // ...so the cache-hit repeat write must return the conflict.
+        assert_eq!(tx_a.write(Addr(0), 3), Err(AbortCause::ConflictTx));
+        drop(tx_a);
+        tx_b.commit().unwrap();
+        assert_eq!(mem.load(Addr(0)), 2);
+    }
+
+    #[test]
+    fn committing_writer_dooms_read_cached_line() {
+        let (mem, rt) = setup();
+        let mut a = rt.register();
+        let mut b = rt.register();
+        let mut tx_a = a.begin(TxMode::Htm);
+        assert_eq!(tx_a.read(Addr(0)), Ok(0)); // reader bit + cache
+                                               // A conflicting writer claims the line, dooming the tracked
+                                               // reader at claim time (requester wins)...
+        let mut tx_b = b.begin(TxMode::Htm);
+        tx_b.write(Addr(0), 9).unwrap();
+        tx_b.commit().unwrap();
+        // ...and the repeat read must abort rather than return 9 (or 0).
+        assert!(tx_a.read(Addr(0)).is_err());
+        drop(tx_a);
+        assert_eq!(mem.load(Addr(0)), 9);
+    }
+
+    #[test]
+    fn cache_is_rebuilt_after_rollback() {
+        // A doomed transaction's cache must not leak into the context's
+        // next transaction: the fresh transaction re-tracks the line and
+        // commits normally.
+        let (mem, rt) = setup();
+        let mut a = rt.register();
+        let b = rt.register();
+        let mut tx = a.begin(TxMode::Htm);
+        tx.write(Addr(0), 1).unwrap();
+        b.write_nt(Addr(0), 5); // dooms the writer
+        assert!(tx.write(Addr(0), 2).is_err());
+        drop(tx);
+        let mut tx = a.begin(TxMode::Htm);
+        assert_eq!(tx.read(Addr(0)), Ok(5));
+        tx.write(Addr(0), 6).unwrap();
+        tx.write(Addr(0), 7).unwrap(); // cache-hit write
+        tx.commit().unwrap();
+        assert_eq!(mem.load(Addr(0)), 7);
+    }
+
+    #[test]
+    fn rot_reads_bypass_the_read_cache() {
+        // ROT loads carry no reader bit, so a repeat ROT read must NOT
+        // be served from the cache's skip-resolve path: a foreign writer
+        // claiming the line between two ROT reads of the same granule
+        // must still be resolved (here: the second read aborts on the
+        // writer conflict rather than returning a stale value).
+        let (_mem, rt) = setup();
+        let mut a = rt.register();
+        let mut b = rt.register();
+        let mut rot = a.begin(TxMode::Rot);
+        assert_eq!(rot.read(Addr(0)), Ok(0));
+        // Foreign speculative writer claims the line; an untracked ROT
+        // reader must wait out or conflict with it on the next read.
+        let mut tx_b = b.begin(TxMode::Htm);
+        tx_b.write(Addr(0), 3).unwrap();
+        tx_b.commit().unwrap();
+        // The line's writer claim was released at commit; the repeat ROT
+        // read now resolves the committed value — never a stale cached 0.
+        assert_eq!(rot.read(Addr(0)), Ok(3));
+        rot.commit().unwrap();
+    }
+}

@@ -50,8 +50,10 @@ impl BasicRwLe {
     ) -> R {
         let tid = ctx.slot();
         self.epochs.enter(tid);
-        let mut nt = ctx.non_tx();
-        let r = body(&mut nt).expect("uninstrumented read cannot abort");
+        // Claim-filtered accessor: sound because every writer quiesces on
+        // this epoch set between claiming its write set and committing.
+        let mut acc = ctx.epoch_reader();
+        let r = body(&mut acc).expect("uninstrumented read cannot abort");
         self.epochs.exit(tid);
         stats.commit(CommitKind::Uninstrumented);
         r
@@ -67,6 +69,7 @@ impl BasicRwLe {
         body: &mut dyn FnMut(&mut dyn MemAccess) -> Result<R, AbortCause>,
     ) -> R {
         let tid = ctx.slot();
+        let mut snap = ctx.take_scratch();
         loop {
             // Lines 17–19: test-and-test-and-set writer lock.
             loop {
@@ -83,15 +86,15 @@ impl BasicRwLe {
                 Ok(r) => {
                     // Lines 22–26: suspend, release early, drain readers,
                     // resume (implicit), commit.
-                    let epochs = Arc::clone(&self.epochs);
-                    let (wlock, _) = (self.wlock, ());
+                    let wlock = self.wlock;
                     tx.suspend(|nt| {
                         nt.write(wlock, FREE); // release while suspended
-                        epochs.synchronize(Some(tid));
+                        self.epochs.synchronize_in(Some(tid), &mut snap);
                     });
                     match tx.commit() {
                         Ok(()) => {
                             stats.commit(CommitKind::Htm);
+                            ctx.restore_scratch(snap);
                             return r;
                         }
                         Err(cause) => stats.abort(TxMode::Htm, cause),

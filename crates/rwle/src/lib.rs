@@ -288,8 +288,12 @@ impl RwLe {
         } else {
             stats.reader_retreats += self.read_enter(ctx, tid);
         }
-        let mut nt = ctx.non_tx();
-        let r = body(&mut nt).expect("uninstrumented read cannot abort");
+        // Epoch-protected accessor: loads consult the engine's claim
+        // filter and skip the per-line conflict metadata when no writer
+        // can hold a claim nearby — sound here because every RW-LE writer
+        // quiesces on our epoch between claiming and writing back.
+        let mut acc = ctx.epoch_reader();
+        let r = body(&mut acc).expect("uninstrumented read cannot abort");
         self.epochs.exit(tid);
         stats.commit(CommitKind::Uninstrumented);
         r
@@ -371,6 +375,21 @@ impl RwLe {
         stats: &mut ThreadStats,
         body: &mut dyn FnMut(&mut dyn MemAccess) -> Result<R, AbortCause>,
     ) -> R {
+        // Quiescence snapshots reuse the context's scratch buffer, so the
+        // commit path allocates only on a thread's first write CS.
+        let mut snap = ctx.take_scratch();
+        let r = self.write_cs_in(ctx, stats, body, &mut snap);
+        ctx.restore_scratch(snap);
+        r
+    }
+
+    fn write_cs_in<R>(
+        &self,
+        ctx: &mut ThreadCtx,
+        stats: &mut ThreadStats,
+        body: &mut dyn FnMut(&mut dyn MemAccess) -> Result<R, AbortCause>,
+        snap: &mut Vec<u64>,
+    ) -> R {
         let mut path = if self.cfg.max_htm_retries > 0 {
             Path::Htm
         } else if self.cfg.max_rot_retries > 0 {
@@ -385,10 +404,10 @@ impl RwLe {
         };
         loop {
             let result = match path {
-                Path::Htm => self.write_htm(ctx, body),
-                Path::Rot => self.write_rot(ctx, body),
+                Path::Htm => self.write_htm(ctx, body, snap),
+                Path::Rot => self.write_rot(ctx, body, snap),
                 Path::Ns => {
-                    let r = self.write_ns(ctx, body);
+                    let r = self.write_ns(ctx, body, snap);
                     stats.commit(CommitKind::Sgl);
                     return r;
                 }
@@ -434,6 +453,7 @@ impl RwLe {
         &self,
         ctx: &mut ThreadCtx,
         body: &mut dyn FnMut(&mut dyn MemAccess) -> Result<R, AbortCause>,
+        snap: &mut Vec<u64>,
     ) -> Result<R, AbortCause> {
         let tid = ctx.slot();
         // Let non-HTM writers finish before starting (line 42).
@@ -457,8 +477,7 @@ impl RwLe {
             }
         }
         // Delayed commit (lines 69–72): suspend, drain readers, resume.
-        let epochs = Arc::clone(&self.epochs);
-        tx.suspend(|_nt| epochs.synchronize(Some(tid)));
+        tx.suspend(|_nt| self.epochs.synchronize_in(Some(tid), snap));
         tx.commit()?;
         Ok(r)
     }
@@ -470,6 +489,7 @@ impl RwLe {
         &self,
         ctx: &mut ThreadCtx,
         body: &mut dyn FnMut(&mut dyn MemAccess) -> Result<R, AbortCause>,
+        snap: &mut Vec<u64>,
     ) -> Result<R, AbortCause> {
         let tid = ctx.slot();
         let my_version = self.acquire_rot_lock(ctx);
@@ -484,9 +504,9 @@ impl RwLe {
                 // `my_version` lives in the same version domain readers
                 // record at entry.
                 debug_assert!(!self.cfg.split_locks);
-                self.epochs.synchronize_fair(Some(tid), my_version);
+                self.epochs.synchronize_fair_in(Some(tid), my_version, snap);
             } else {
-                self.epochs.synchronize(Some(tid));
+                self.epochs.synchronize_in(Some(tid), snap);
             }
             rot.commit()?;
             Ok(r)
@@ -500,6 +520,7 @@ impl RwLe {
         &self,
         ctx: &mut ThreadCtx,
         body: &mut dyn FnMut(&mut dyn MemAccess) -> Result<R, AbortCause>,
+        snap: &mut Vec<u64>,
     ) -> R {
         let tid = ctx.slot();
         let my_version = self.acquire_word(ctx, self.wlock, ST_NS);
@@ -513,14 +534,14 @@ impl RwLe {
         // Let readers drain (line 59). Readers are blocked by the held NS
         // lock, enabling the single-pass barrier (§3.3).
         if self.cfg.fair {
-            self.epochs.synchronize_fair(Some(tid), my_version);
+            self.epochs.synchronize_fair_in(Some(tid), my_version, snap);
         } else if self.cfg.single_pass_quiesce {
             // The single-pass barrier is only sound while the held NS lock
             // blocks new readers from entering.
             debug_assert_eq!(state(ctx.read_nt(self.wlock)), ST_NS);
             self.epochs.synchronize_blocked_readers(Some(tid));
         } else {
-            self.epochs.synchronize(Some(tid));
+            self.epochs.synchronize_in(Some(tid), snap);
         }
         let mut nt = ctx.non_tx();
         let r = body(&mut nt).expect("non-speculative execution cannot abort");

@@ -148,6 +148,90 @@ fn run_schedule(cfg: RwLeConfig, seed: u64) {
     }
 }
 
+/// Variant schedule whose bodies hammer one word: readers load it three
+/// times per critical section (all loads must agree — the record cannot
+/// change under a reader's feet), writers read-modify-write it twice per
+/// critical section with an own-write readback in between. Every repeat
+/// access after the first hits the transaction's last-granule cache on
+/// the HTM/ROT paths, so these schedules interleave cache hits with
+/// dooming conflicts at every instrumented step.
+fn run_same_word_schedule(cfg: RwLeConfig, seed: u64) {
+    let mem = Arc::new(SharedMem::new_lines(64));
+    let rt = HtmRuntime::new(Arc::clone(&mem), HtmConfig::default());
+    let alloc = SimAlloc::new(Arc::clone(&mem));
+    let rwle = Arc::new(RwLe::new(&alloc, READERS + WRITERS, cfg).unwrap());
+    let data = alloc.alloc(1).unwrap();
+
+    let total_writes = WRITERS as u64 * WRITES_PER_WRITER;
+    let mut s = sched::Scheduler::new(seed);
+    for _ in 0..READERS {
+        let rt = Arc::clone(&rt);
+        let rwle = Arc::clone(&rwle);
+        s.spawn(move || {
+            let mut ctx = rt.register();
+            let mut st = ThreadStats::new();
+            let mut last = 0;
+            for _ in 0..READS_PER_READER {
+                let v = rwle.read_cs(&mut ctx, &mut st, &mut |acc| {
+                    let v0 = acc.read(data)?;
+                    for _ in 0..2 {
+                        let again = acc.read(data)?;
+                        assert_eq!(v0, again, "seed {seed}: word changed under a reader");
+                    }
+                    Ok(v0)
+                });
+                assert!(
+                    v >= last,
+                    "seed {seed}: reader observed the word go backwards"
+                );
+                assert!(v <= total_writes, "seed {seed}: impossible reader value");
+                last = v;
+            }
+        });
+    }
+    for _ in 0..WRITERS {
+        let rt = Arc::clone(&rt);
+        let rwle = Arc::clone(&rwle);
+        s.spawn(move || {
+            let mut ctx = rt.register();
+            let mut st = ThreadStats::new();
+            for _ in 0..WRITES_PER_WRITER {
+                rwle.write_cs(&mut ctx, &mut st, &mut |acc| {
+                    let v = acc.read(data)?;
+                    acc.write(data, v + 1)?;
+                    let own = acc.read(data)?;
+                    assert_eq!(own, v + 1, "seed {seed}: own write not read back");
+                    acc.write(data, own)?;
+                    Ok(())
+                });
+            }
+        });
+    }
+    s.run();
+
+    assert_eq!(
+        mem.load(data),
+        total_writes,
+        "seed {seed}: lost writer increment"
+    );
+}
+
+#[test]
+fn same_word_opt_schedules() {
+    sched::explore("rwle-same-word-opt", 0x5000..0x5100, |seed| {
+        run_same_word_schedule(RwLeConfig::opt(), seed)
+    });
+}
+
+#[test]
+fn same_word_pes_schedules() {
+    // PES sends every writer through ROT first: repeat accesses exercise
+    // the cache's ROT write path (and the no-reader-bit ROT read rule).
+    sched::explore("rwle-same-word-pes", 0x5800..0x58c8, |seed| {
+        run_same_word_schedule(RwLeConfig::pes(), seed)
+    });
+}
+
 #[test]
 fn opt_schedules() {
     sched::explore("rwle-opt", 0..300, |seed| {

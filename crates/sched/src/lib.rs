@@ -53,6 +53,7 @@
 
 use std::cell::RefCell;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 
 pub use rand::rngs::SmallRng;
@@ -92,6 +93,15 @@ struct Shared {
 thread_local! {
     static CURRENT_WORKER: RefCell<Option<(Arc<Shared>, usize)>> = const { RefCell::new(None) };
 }
+
+/// Number of live scheduler worker threads process-wide ("exploration
+/// active" when non-zero). [`step`] and [`yield_point`] read this with a
+/// single relaxed load before touching any thread-local state, so outside
+/// schedule exploration the hooks cost one predictable branch. Relaxed
+/// suffices: a worker thread's own increment is sequenced before every
+/// step it takes, and non-worker threads fall through to the (correct,
+/// merely slower) thread-local check whenever the count is stale.
+static EXPLORATION_ACTIVE: AtomicUsize = AtomicUsize::new(0);
 
 impl Shared {
     /// Picks the next runnable thread (uniformly at random) and wakes it.
@@ -239,12 +249,14 @@ impl Scheduler {
             .map(|(id, body)| {
                 let shared = Arc::clone(&shared);
                 std::thread::spawn(move || {
+                    EXPLORATION_ACTIVE.fetch_add(1, Ordering::Relaxed);
                     CURRENT_WORKER.with(|w| *w.borrow_mut() = Some((Arc::clone(&shared), id)));
                     let result = catch_unwind(AssertUnwindSafe(|| {
                         shared.wait_for_baton(id);
                         body()
                     }));
                     CURRENT_WORKER.with(|w| *w.borrow_mut() = None);
+                    EXPLORATION_ACTIVE.fetch_sub(1, Ordering::Relaxed);
                     match result {
                         Ok(()) => shared.finish(id, None),
                         Err(p) => {
@@ -285,13 +297,17 @@ impl Scheduler {
 /// preserving the pre-existing behavior of every instrumented spin loop.
 #[inline]
 pub fn yield_point() {
-    let scheduled = CURRENT_WORKER.with(|w| {
-        let b = w.borrow();
-        b.as_ref().map(|(s, id)| (Arc::clone(s), *id))
-    });
-    match scheduled {
-        Some((shared, id)) => shared.step_from(id),
-        None => std::thread::yield_now(),
+    if EXPLORATION_ACTIVE.load(Ordering::Relaxed) == 0 {
+        std::thread::yield_now();
+        return;
+    }
+    yield_point_slow();
+}
+
+#[cold]
+fn yield_point_slow() {
+    if !step_via_tls() {
+        std::thread::yield_now();
     }
 }
 
@@ -299,22 +315,47 @@ pub fn yield_point() {
 /// accesses, epoch flips, lock-word operations).
 ///
 /// Under a [`Scheduler`] this is a full scheduling point, giving the
-/// explorer step granularity. Outside one it is a single thread-local
-/// read — cheap enough for the simulator's per-access hot path.
+/// explorer step granularity. Outside one it is a single relaxed atomic
+/// load and a predictable branch — no thread-local access, `RefCell`
+/// borrow, or `Arc` clone on the simulator's per-access hot path.
 #[inline]
 pub fn step() {
-    let scheduled = CURRENT_WORKER.with(|w| {
-        let b = w.borrow();
-        b.as_ref().map(|(s, id)| (Arc::clone(s), *id))
-    });
-    if let Some((shared, id)) = scheduled {
-        shared.step_from(id);
+    if EXPLORATION_ACTIVE.load(Ordering::Relaxed) == 0 {
+        return;
     }
+    step_slow();
+}
+
+#[cold]
+fn step_slow() {
+    step_via_tls();
+}
+
+/// The pre-gate scheduling probe: consults the thread-local registration
+/// and, when this thread is a scheduler worker, takes one full scheduling
+/// step. Returns whether a step was taken.
+///
+/// This is the slow path behind [`step`]/[`yield_point`]; it stays public
+/// (hidden) so the fast-path microbenchmarks can measure the gated hook
+/// against the thread-local probe it replaced.
+#[doc(hidden)]
+pub fn step_via_tls() -> bool {
+    CURRENT_WORKER.with(|w| {
+        // Hold the borrow across the step: nothing else runs on this
+        // thread while it waits for the baton, and an unwind (shutdown)
+        // releases the borrow on the way out.
+        if let Some((shared, id)) = w.borrow().as_ref() {
+            shared.step_from(*id);
+            true
+        } else {
+            false
+        }
+    })
 }
 
 /// Returns `true` when called from inside a [`Scheduler`] logical thread.
 pub fn is_scheduled() -> bool {
-    CURRENT_WORKER.with(|w| w.borrow().is_some())
+    EXPLORATION_ACTIVE.load(Ordering::Relaxed) != 0 && CURRENT_WORKER.with(|w| w.borrow().is_some())
 }
 
 /// Runs `body` for every seed in `seeds`, printing the reproducing seed
@@ -346,6 +387,31 @@ mod tests {
         assert!(!is_scheduled());
         step();
         yield_point();
+        assert!(!step_via_tls());
+    }
+
+    #[test]
+    fn exploration_gate_opens_and_closes() {
+        // Workers see the gate open (is_scheduled requires it); after the
+        // run every worker has unregistered, so back-to-back schedulers
+        // and plain threads keep the cheap unscheduled fast path.
+        for seed in 0..3 {
+            let mut s = Scheduler::new(seed);
+            for _ in 0..2 {
+                s.spawn(|| {
+                    assert!(is_scheduled());
+                    for _ in 0..10 {
+                        step();
+                    }
+                });
+            }
+            s.run();
+            // Workers unregister before run() returns; this thread was
+            // never one, so the hooks are back on the unscheduled path.
+            // (No exact-count assert: parallel tests in this binary may
+            // legitimately hold the gate open.)
+            assert!(!is_scheduled());
+        }
     }
 
     #[test]

@@ -40,4 +40,4 @@ mod mem;
 
 pub use addr::{Addr, LineId, LINE_BYTES, WORDS_PER_LINE};
 pub use alloc::{AllocError, AllocStats, SimAlloc};
-pub use mem::SharedMem;
+pub use mem::{SharedMem, StridePrefetcher};
