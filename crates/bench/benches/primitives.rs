@@ -187,6 +187,36 @@ fn bench_quiescence(c: &mut Criterion) {
     g.finish();
 }
 
+fn bench_barrier_scaling(c: &mut Criterion) {
+    // The scalable-quiescence claim: barrier cost tracks *active
+    // readers*, not registered threads. An idle barrier at any thread
+    // count reduces to the root summary word (sticky-empty → one load)
+    // plus grace-sequence bookkeeping, so the `total` series should be
+    // ~flat from 8 to 1024 slots; the `active` series walks exactly the
+    // k marked readers out of 1024 slots, so it should grow with k.
+    let mut g = c.benchmark_group("barrier_scaling");
+    for n in [8usize, 128, 1024] {
+        let epochs = epoch::EpochSet::new(n);
+        let mut snap = Vec::new();
+        g.bench_function(format!("synchronize_idle_total_{n}"), |b| {
+            b.iter(|| epochs.synchronize_in(Some(0), &mut snap))
+        });
+    }
+    for k in [0usize, 4, 64, 512] {
+        let epochs = epoch::EpochSet::new(1024);
+        for tid in 1..=k {
+            epochs.enter(tid);
+        }
+        // The summary scan alone (no waiting): the wait-set pass visits
+        // exactly the k active readers.
+        let mut buf = Vec::new();
+        g.bench_function(format!("scan_active_{k}_of_1024"), |b| {
+            b.iter(|| epochs.fair_wait_set_in(Some(0), 1, &mut buf))
+        });
+    }
+    g.finish();
+}
+
 fn bench_locks(c: &mut Criterion) {
     let mut g = c.benchmark_group("locks_uncontended");
     let spin = SpinMutex::new();
@@ -214,6 +244,7 @@ criterion_group!(
     bench_sched_gate,
     bench_tx_access_cache,
     bench_quiescence,
+    bench_barrier_scaling,
     bench_locks
 );
 criterion_main!(benches);

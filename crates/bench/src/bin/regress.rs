@@ -11,6 +11,16 @@
 //! noisy and the goal is to catch order-of-magnitude fast-path
 //! regressions, not single-digit drift.
 //!
+//! `--relative-to <scheme>` additionally divides every ratio by the
+//! named canary scheme's fresh/recorded ratio at the same
+//! (section, threads, w). Host-speed drift (a slower CI runner, a busy
+//! neighbour on a shared box) moves every scheme's absolute throughput
+//! together, so normalising by a scheme that uses none of the machinery
+//! under test (SGL — a single global lock) cancels the drift while a
+//! genuine fast-path regression still shows up as the instrumented
+//! schemes falling *relative to* the canary. The canary's own row always
+//! passes by construction and is reported as `canary`.
+//!
 //! ```text
 //! cargo run --release -p bench --bin sensitivity -- --scenario hc-lc > fresh.txt
 //! cargo run --release -p bench --bin regress -- --file fresh.txt --against BENCH_rwle.json
@@ -36,11 +46,13 @@ fn main() {
     let args = Args::parse();
     let (Some(file), Some(against)) = (args.get("file"), args.get("against")) else {
         eprintln!(
-            "usage: regress --file <fresh-results> --against <BENCH_rwle.json> [--tolerance 30]"
+            "usage: regress --file <fresh-results> --against <BENCH_rwle.json> \
+             [--tolerance 30] [--relative-to SGL]"
         );
         std::process::exit(2);
     };
     let tolerance: f64 = args.get_or("tolerance", 30.0);
+    let canary = args.get("relative-to").map(str::to_owned);
     let fresh = parse_results(file);
     let record = load_record(against);
     if record.is_empty() {
@@ -52,11 +64,36 @@ fn main() {
     for (section, r) in &record {
         recorded.insert((section, &r.scheme, r.threads, r.w), r.ops_per_s);
     }
+    // The canary's fresh/recorded drift per (section, threads, w): only
+    // configurations where the canary appears on both sides normalise;
+    // the rest fall back to the absolute ratio.
+    let mut drift: BTreeMap<(&str, u32, u32), f64> = BTreeMap::new();
+    if let Some(canary) = &canary {
+        for (section, r) in &fresh {
+            if &r.scheme != canary {
+                continue;
+            }
+            let Some(&base) = recorded.get(&(section.as_str(), canary.as_str(), r.threads, r.w))
+            else {
+                continue;
+            };
+            if base > 0.0 && r.ops_per_s > 0.0 {
+                drift.insert((section.as_str(), r.threads, r.w), r.ops_per_s / base);
+            }
+        }
+        if drift.is_empty() {
+            eprintln!("--relative-to {canary}: no canary row present on both sides");
+            std::process::exit(2);
+        }
+    }
 
     let floor = 1.0 - tolerance / 100.0;
     let mut matched = 0usize;
     let mut failures = 0usize;
     println!("# Regression check: {file} vs {against} (tolerance {tolerance}%)");
+    if let Some(canary) = &canary {
+        println!("# ratios normalised by the {canary} fresh/recorded drift per configuration");
+    }
     println!(
         "{:<11} {:>3} {:>4} {:>12} {:>12} {:>7}  verdict",
         "scheme", "thr", "w", "recorded", "fresh", "ratio"
@@ -67,8 +104,14 @@ fn main() {
             continue;
         };
         matched += 1;
-        let ratio = if base > 0.0 { r.ops_per_s / base } else { 1.0 };
-        let ok = ratio >= floor;
+        let mut ratio = if base > 0.0 { r.ops_per_s / base } else { 1.0 };
+        let is_canary = canary.as_deref() == Some(r.scheme.as_str());
+        if !is_canary {
+            if let Some(d) = drift.get(&(section.as_str(), r.threads, r.w)) {
+                ratio /= d;
+            }
+        }
+        let ok = is_canary || ratio >= floor;
         if !ok {
             failures += 1;
         }
@@ -80,7 +123,13 @@ fn main() {
             base,
             r.ops_per_s,
             ratio,
-            if ok { "ok" } else { "REGRESSION" }
+            if is_canary {
+                "canary"
+            } else if ok {
+                "ok"
+            } else {
+                "REGRESSION"
+            }
         );
     }
     if matched == 0 {

@@ -26,7 +26,15 @@ fn main() {
     let threads = args.thread_list(&[1, 2, 4, 8]);
     let schemes = args.scheme_list(&SchemeKind::SENSITIVITY);
     let write_pcts: Vec<u32> = match args.get("writes") {
-        Some(v) => v.split(',').map(|s| s.trim().parse().unwrap()).collect(),
+        Some(v) => v
+            .split(',')
+            .map(|s| {
+                s.trim().parse().unwrap_or_else(|_| {
+                    eprintln!("bad write percentage in --writes: {s:?}");
+                    std::process::exit(2);
+                })
+            })
+            .collect(),
         None => vec![1, 10, 90],
     };
     let ops: u64 = args.get_or("ops", 300);

@@ -102,7 +102,12 @@ impl Args {
         if let Some(v) = self.get("threads") {
             return v
                 .split(',')
-                .map(|s| s.trim().parse().expect("bad thread count"))
+                .map(|s| {
+                    s.trim().parse().unwrap_or_else(|_| {
+                        eprintln!("bad thread count in --threads: {s:?}");
+                        std::process::exit(2);
+                    })
+                })
                 .collect();
         }
         if self.flag("full") {

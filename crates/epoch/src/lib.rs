@@ -34,8 +34,12 @@
 #![warn(missing_docs)]
 
 mod reclaim;
+mod scalable;
 
 pub use reclaim::Reclaimer;
+pub use scalable::BarrierOutcome;
+
+use scalable::{AdaptiveWaiter, GraceSeq, Parking, Summary};
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -51,6 +55,14 @@ pub struct EpochSet {
     clocks: Box<[PaddedU64]>,
     /// Fair variant: version of the global lock observed at reader entry.
     versions: Box<[PaddedU64]>,
+    /// Active-reader summary tree: barriers scan this instead of every
+    /// clock line, so a barrier costs O(active readers) not O(threads).
+    summary: Summary,
+    /// Grace-period start/done sequence for quiescence sharing between
+    /// concurrently committing writers.
+    grace: GraceSeq,
+    /// Condvar rendezvous for parked barrier waiters.
+    parking: Parking,
     /// Debug builds only: token of the OS thread currently updating the
     /// slot's clock (0 = none), used to detect two OS threads racing the
     /// non-atomic load-then-store clock update.
@@ -75,6 +87,9 @@ impl EpochSet {
         EpochSet {
             clocks: (0..n).map(mk).collect(),
             versions: (0..n).map(mk).collect(),
+            summary: Summary::new(n),
+            grace: GraceSeq::new(),
+            parking: Parking::new(),
             #[cfg(debug_assertions)]
             owners: (0..n).map(mk).collect(),
         }
@@ -107,6 +122,11 @@ impl EpochSet {
     #[inline]
     pub fn enter(&self, tid: usize) {
         sched::step();
+        // The summary bits go up first: both are SeqCst, so they precede
+        // the clock store in the SeqCst total order and any barrier scan
+        // that could observe the odd clock observes the bits (the
+        // enter-vs-scan dichotomy; see docs/PROTOCOL.md §5).
+        self.summary.mark_enter(tid);
         // SeqCst (load-bearing, the paper's MEM_FENCE): the odd clock must
         // be totally ordered against the reader's subsequent lock-word
         // check — store clock, then load lock, racing a writer's lock CAS
@@ -124,6 +144,11 @@ impl EpochSet {
     pub fn exit(&self, tid: usize) {
         sched::step();
         self.update_clock(tid, 1, "exit without enter", Ordering::Release);
+        // Retract the summary bit only after the clock is even, so the
+        // bit covers the clock's entire odd window, then wake any barrier
+        // parked on this reader (one load when nobody is parked).
+        self.summary.mark_exit(tid);
+        self.parking.wake_all();
     }
 
     /// The shared non-atomic clock increment (see [`EpochSet::enter`] for
@@ -158,41 +183,143 @@ impl EpochSet {
         self.clocks[tid].0.load(Ordering::Acquire)
     }
 
+    /// The grace-period sequence value at this instant — the snapshot a
+    /// committing writer takes once all of its speculative claims are
+    /// published (SeqCst, so it orders after those claims). Feed it to
+    /// the `*_from` barrier variants: if another writer's barrier starts
+    /// and completes after this snapshot, the barrier is skipped.
+    #[inline]
+    pub fn grace_snapshot(&self) -> u64 {
+        self.grace.snapshot()
+    }
+
+    /// Completed full grace periods so far (monotone; tests and stats).
+    pub fn graces_completed(&self) -> u64 {
+        self.grace.completed()
+    }
+
+    /// Whether the summary tree currently marks `tid` active. Always set
+    /// while `tid`'s clock is odd; may be transiently set just before
+    /// entry or just after exit (the conservative direction).
+    pub fn summary_active(&self, tid: usize) -> bool {
+        self.summary.leaf_word(tid / 64) & (1 << (tid % 64)) != 0
+    }
+
+    /// Raw summary words, exposed for schedule tests and microbenches.
+    #[doc(hidden)]
+    pub fn summary_words(&self) -> (u64, Vec<u64>) {
+        let root = self.summary.root_word();
+        let leaves = (0..self.clocks.len().div_ceil(64))
+            .map(|g| self.summary.leaf_word(g))
+            .collect();
+        (root, leaves)
+    }
+
     /// The general quiescence barrier (`RWLE_SYNCHRONIZE`, Algorithm 1).
     ///
-    /// Snapshots every clock, then waits until each thread that was inside
-    /// a critical section (odd clock) has moved past that epoch. `skip`
-    /// names the caller's own slot, which must not be waited on.
+    /// Waits until every thread that was inside a critical section at the
+    /// scan (odd clock) has moved past that epoch. `skip` names the
+    /// caller's own slot, which must not be waited on.
     ///
-    /// New readers entering *after* the snapshot are not waited for — they
+    /// New readers entering *after* the scan are not waited for — they
     /// are handled by conflict detection (they abort the suspended writer
     /// if they touch its write set).
     ///
     /// Allocates a fresh snapshot; hot paths should pass a reusable buffer
     /// to [`EpochSet::synchronize_in`] instead.
-    pub fn synchronize(&self, skip: Option<usize>) {
-        self.synchronize_in(skip, &mut Vec::new());
+    pub fn synchronize(&self, skip: Option<usize>) -> BarrierOutcome {
+        self.synchronize_in(skip, &mut Vec::new())
     }
 
     /// [`EpochSet::synchronize`] with a caller-owned scratch buffer:
     /// the snapshot reuses `snap`'s capacity, so a buffer threaded through
     /// repeated barriers makes quiescence allocation-free after warm-up.
+    /// Takes the grace snapshot at barrier entry; callers that buffered
+    /// their stores earlier should take it themselves and use
+    /// [`EpochSet::synchronize_from`] for a wider sharing window.
+    pub fn synchronize_in(&self, skip: Option<usize>, snap: &mut Vec<u64>) -> BarrierOutcome {
+        self.synchronize_from(skip, self.grace.snapshot(), snap)
+    }
+
+    /// The scalable quiescence barrier.
     ///
-    /// Barrier loads are Acquire: observing a clock move past the snapshot
-    /// synchronizes with that reader's critical-section loads (its exit is
-    /// a Release store). The writer's own lock acquisition — an RMW that
-    /// precedes this barrier — orders the snapshot against reader entries,
-    /// so no total-order fence is needed here.
-    pub fn synchronize_in(&self, skip: Option<usize>, snap: &mut Vec<u64>) {
+    /// Three mechanisms replace the old full clock walk:
+    ///
+    /// 1. **Quiescence sharing**: if a full grace period started and
+    ///    completed after `grace_snap` (taken at the caller's commit
+    ///    point, after its claims were published), every reader the
+    ///    caller must drain has already been drained — return `shared`
+    ///    without scanning. The same check runs inside the wait loop, so
+    ///    a barrier already parked on a reader bails as soon as another
+    ///    writer's grace period covers it.
+    /// 2. **Summary scan**: only threads whose active-reader summary bit
+    ///    is set are visited; the snapshot holds `(tid, clock)` pairs for
+    ///    the odd ones, O(active readers) instead of O(threads).
+    /// 3. **Adaptive waiting**: each stalled iteration spins briefly,
+    ///    then yields, then parks on the exit-notified condvar; the stall
+    ///    count is returned for `ThreadStats::barrier_stalls`.
+    ///
+    /// Clock loads are Acquire: observing a clock move past the snapshot
+    /// synchronizes with that reader's critical-section loads (its exit
+    /// is a Release store). The summary loads are SeqCst — the scan side
+    /// of the enter-vs-scan dichotomy (docs/PROTOCOL.md §5).
+    pub fn synchronize_from(
+        &self,
+        skip: Option<usize>,
+        grace_snap: u64,
+        snap: &mut Vec<u64>,
+    ) -> BarrierOutcome {
+        if self.grace.covered(grace_snap) {
+            return BarrierOutcome {
+                stalls: 0,
+                shared: true,
+            };
+        }
+        let ticket = self.grace.begin();
         snap.clear();
-        snap.extend(self.clocks.iter().map(|c| c.0.load(Ordering::Acquire)));
-        for (tid, &snapped) in snap.iter().enumerate() {
-            if Some(tid) == skip || snapped % 2 == 0 {
+        let mut skip_active = false;
+        self.summary.scan(|tid| {
+            let c = self.clocks[tid].0.load(Ordering::Acquire);
+            if c % 2 != 1 {
+                return;
+            }
+            if Some(tid) == skip {
+                // The caller's own read-side section (nesting): this
+                // barrier does not drain it, so it must not be published
+                // as a full grace period for other writers to share.
+                skip_active = true;
+                return;
+            }
+            snap.push(tid as u64);
+            snap.push(c);
+        });
+        let mut waiter = AdaptiveWaiter::new(&self.parking);
+        let mut i = 0;
+        while i < snap.len() {
+            // Re-checked per entry, not only while blocked: once another
+            // writer's grace period covers us, the rest of the walk is
+            // redundant too (common when several writers were parked on
+            // the same reader — the first to finish publishes, the rest
+            // bail here).
+            if self.grace.covered(grace_snap) {
+                return BarrierOutcome {
+                    stalls: waiter.stalls,
+                    shared: true,
+                };
+            }
+            let (tid, snapped) = (snap[i] as usize, snap[i + 1]);
+            if self.clocks[tid].0.load(Ordering::Acquire) != snapped {
+                i += 2;
                 continue;
             }
-            while self.clocks[tid].0.load(Ordering::Acquire) == snapped {
-                sched::yield_point();
-            }
+            waiter.stall(|| self.clocks[tid].0.load(Ordering::Acquire) == snapped);
+        }
+        if !skip_active {
+            self.grace.publish(ticket);
+        }
+        BarrierOutcome {
+            stalls: waiter.stalls,
+            shared: false,
         }
     }
 
@@ -201,14 +328,65 @@ impl EpochSet {
     /// Valid only when new readers are blocked (the caller holds the
     /// global lock in a state readers wait on): each clock only needs to
     /// be observed even once, with no snapshot pass (and no allocation).
-    pub fn synchronize_blocked_readers(&self, skip: Option<usize>) {
-        for tid in 0..self.clocks.len() {
-            if Some(tid) == skip {
-                continue;
+    pub fn synchronize_blocked_readers(&self, skip: Option<usize>) -> BarrierOutcome {
+        self.synchronize_blocked_readers_from(skip, self.grace.snapshot())
+    }
+
+    /// [`EpochSet::synchronize_blocked_readers`] with a caller-taken
+    /// grace snapshot (see [`EpochSet::synchronize_from`]; for the NS
+    /// path the commit point is the lock acquisition, so take the
+    /// snapshot right after it). Waiting for every summarized clock to
+    /// turn even is a *full* grace period — stronger than the snapshot
+    /// barrier — so a completed single-pass barrier is published for
+    /// sharing too.
+    pub fn synchronize_blocked_readers_from(
+        &self,
+        skip: Option<usize>,
+        grace_snap: u64,
+    ) -> BarrierOutcome {
+        if self.grace.covered(grace_snap) {
+            return BarrierOutcome {
+                stalls: 0,
+                shared: true,
+            };
+        }
+        let ticket = self.grace.begin();
+        let mut waiter = AdaptiveWaiter::new(&self.parking);
+        let mut skip_active = false;
+        // Manual summary walk (the closure-based scan cannot host the
+        // wait loop): new readers are blocked, so a summary word loaded
+        // once stays conservative for this barrier's purposes.
+        let (root, leaves) = self.summary_words();
+        let mut root = root;
+        while root != 0 {
+            let g = root.trailing_zeros() as usize;
+            root &= root - 1;
+            let mut word = leaves[g];
+            while word != 0 {
+                let i = word.trailing_zeros() as usize;
+                word &= word - 1;
+                let tid = g * 64 + i;
+                if Some(tid) == skip {
+                    skip_active = self.clocks[tid].0.load(Ordering::Acquire) % 2 == 1;
+                    continue;
+                }
+                while self.clocks[tid].0.load(Ordering::Acquire) % 2 == 1 {
+                    if self.grace.covered(grace_snap) {
+                        return BarrierOutcome {
+                            stalls: waiter.stalls,
+                            shared: true,
+                        };
+                    }
+                    waiter.stall(|| self.clocks[tid].0.load(Ordering::Acquire) % 2 == 1);
+                }
             }
-            while self.clocks[tid].0.load(Ordering::Acquire) % 2 == 1 {
-                sched::yield_point();
-            }
+        }
+        if !skip_active {
+            self.grace.publish(ticket);
+        }
+        BarrierOutcome {
+            stalls: waiter.stalls,
+            shared: false,
         }
     }
 
@@ -235,8 +413,8 @@ impl EpochSet {
     /// observes the writer's lock and records its version, it will wait
     /// for the lock in place — waiting for its clock here would deadlock
     /// (writer awaits reader's exit, reader awaits writer's release).
-    pub fn synchronize_fair(&self, skip: Option<usize>, writer_version: u64) {
-        self.synchronize_fair_in(skip, writer_version, &mut Vec::new());
+    pub fn synchronize_fair(&self, skip: Option<usize>, writer_version: u64) -> BarrierOutcome {
+        self.synchronize_fair_in(skip, writer_version, &mut Vec::new())
     }
 
     /// [`EpochSet::synchronize_fair`] with a caller-owned scratch buffer
@@ -249,21 +427,64 @@ impl EpochSet {
         skip: Option<usize>,
         writer_version: u64,
         snap: &mut Vec<u64>,
-    ) {
-        snap.clear();
-        snap.extend(self.clocks.iter().map(|c| c.0.load(Ordering::Acquire)));
-        for (tid, &snapped) in snap.iter().enumerate() {
-            if Some(tid) == skip
-                || snapped % 2 == 0
+    ) -> BarrierOutcome {
+        self.synchronize_fair_from(skip, writer_version, self.grace.snapshot(), snap)
+    }
+
+    /// The fair barrier with a caller-taken grace snapshot.
+    ///
+    /// Grace sharing *consumes* here but never *publishes*: a completed
+    /// full grace period drains a superset of the fair wait set (everyone
+    /// active at the scan, regardless of recorded version), so `covered`
+    /// satisfies this barrier too — but a completed fair barrier waited
+    /// only for a subset and must not advance the shared sequence.
+    pub fn synchronize_fair_from(
+        &self,
+        skip: Option<usize>,
+        writer_version: u64,
+        grace_snap: u64,
+        snap: &mut Vec<u64>,
+    ) -> BarrierOutcome {
+        if self.grace.covered(grace_snap) {
+            return BarrierOutcome {
+                stalls: 0,
+                shared: true,
+            };
+        }
+        self.fair_wait_set_in(skip, writer_version, snap);
+        let mut waiter = AdaptiveWaiter::new(&self.parking);
+        let mut i = 0;
+        while i < snap.len() {
+            // Per-entry sharing check (see `synchronize_from`): a full
+            // grace period drains a superset of this wait set.
+            if self.grace.covered(grace_snap) {
+                return BarrierOutcome {
+                    stalls: waiter.stalls,
+                    shared: true,
+                };
+            }
+            let (tid, snapped) = (snap[i] as usize, snap[i + 1]);
+            // The recorded version is re-checked *while* waiting, not only
+            // in the initial pass: a reader flips its clock before
+            // recording the version it observed, so the scan can catch a
+            // reader between the two steps with a stale (older) version.
+            // If that reader then observes the writer's lock and records
+            // its version, it waits for the lock in place — waiting for
+            // its clock here would deadlock.
+            if self.clocks[tid].0.load(Ordering::Acquire) != snapped
                 || self.versions[tid].0.load(Ordering::Acquire) >= writer_version
             {
+                i += 2;
                 continue;
             }
-            while self.clocks[tid].0.load(Ordering::Acquire) == snapped
-                && self.versions[tid].0.load(Ordering::Acquire) < writer_version
-            {
-                sched::yield_point();
-            }
+            waiter.stall(|| {
+                self.clocks[tid].0.load(Ordering::Acquire) == snapped
+                    && self.versions[tid].0.load(Ordering::Acquire) < writer_version
+            });
+        }
+        BarrierOutcome {
+            stalls: waiter.stalls,
+            shared: false,
         }
     }
 
@@ -273,22 +494,29 @@ impl EpochSet {
     /// *and* recorded a version older than `writer_version`.
     ///
     /// Returns `(tid, snapshot_clock)` pairs; the barrier waits for each
-    /// listed clock to move past its snapshot value.
+    /// listed clock to move past its snapshot value. Allocates — hot
+    /// paths use [`EpochSet::fair_wait_set_in`].
     pub fn fair_wait_set(&self, skip: Option<usize>, writer_version: u64) -> Vec<(usize, u64)> {
-        let snapshot: Vec<u64> = self
-            .clocks
-            .iter()
-            .map(|c| c.0.load(Ordering::Acquire))
-            .collect();
-        snapshot
-            .into_iter()
-            .enumerate()
-            .filter(|&(tid, snap)| {
-                Some(tid) != skip
-                    && snap % 2 == 1
-                    && self.versions[tid].0.load(Ordering::Acquire) < writer_version
-            })
-            .collect()
+        let mut buf = Vec::new();
+        self.fair_wait_set_in(skip, writer_version, &mut buf);
+        buf.chunks(2).map(|p| (p[0] as usize, p[1])).collect()
+    }
+
+    /// Allocation-free [`EpochSet::fair_wait_set`]: fills `buf` with
+    /// flattened `(tid, snapshot_clock)` pairs (`tid` at even indices),
+    /// visiting only summary-marked threads in ascending tid order.
+    pub fn fair_wait_set_in(&self, skip: Option<usize>, writer_version: u64, buf: &mut Vec<u64>) {
+        buf.clear();
+        self.summary.scan(|tid| {
+            if Some(tid) == skip {
+                return;
+            }
+            let c = self.clocks[tid].0.load(Ordering::Acquire);
+            if c % 2 == 1 && self.versions[tid].0.load(Ordering::Acquire) < writer_version {
+                buf.push(tid as u64);
+                buf.push(c);
+            }
+        });
     }
 }
 

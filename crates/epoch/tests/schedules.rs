@@ -278,6 +278,175 @@ fn fair_release_by_record_schedules() {
     );
 }
 
+/// Summary-bitmap maintenance under reader enter/exit races with a
+/// quiescing writer. Two invariants at every scheduler pause point:
+///
+/// * **Safety direction of the bitmap**: a thread whose clock is odd has
+///   its summary bit set — a barrier scanning the summary can never miss
+///   an active reader (the bit goes up before the clock on enter and
+///   comes down after it on exit).
+/// * **Barrier contract**: after `synchronize` returns, every reader
+///   that was inside its critical section at the call has moved past the
+///   snapshotted epoch — whether the barrier walked clocks itself or was
+///   satisfied by another grace period.
+fn summary_bitmap_schedule(seed: u64) {
+    const READERS: usize = 3;
+    const WRITER: usize = READERS;
+    let epochs = Arc::new(EpochSet::new(READERS + 1));
+
+    let mut s = sched::Scheduler::new(seed);
+    for tid in 0..READERS {
+        let epochs = Arc::clone(&epochs);
+        s.spawn(move || {
+            for _ in 0..3 {
+                epochs.enter(tid);
+                assert!(
+                    epochs.summary_active(tid),
+                    "own summary bit clear inside the critical section"
+                );
+                sched::yield_point();
+                epochs.exit(tid);
+                sched::yield_point();
+            }
+        });
+    }
+    {
+        let epochs = Arc::clone(&epochs);
+        s.spawn(move || {
+            for _ in 0..2 {
+                // Clocks frozen relative to the barrier call: no pause
+                // point between this snapshot and entering the barrier.
+                let before: Vec<u64> = (0..READERS).map(|t| epochs.read_clock(t)).collect();
+                epochs.synchronize(Some(WRITER));
+                for (t, &c) in before.iter().enumerate() {
+                    if c % 2 == 1 {
+                        assert_ne!(
+                            epochs.read_clock(t),
+                            c,
+                            "barrier returned with reader {t} still in its snapshotted CS"
+                        );
+                    }
+                }
+            }
+        });
+    }
+    {
+        // Dedicated invariant checker: both loads run inside one
+        // scheduler turn (neither is an instrumented step), so they see
+        // a single pause-point state.
+        let epochs = Arc::clone(&epochs);
+        s.spawn(move || {
+            for _ in 0..12 {
+                for t in 0..READERS {
+                    if epochs.is_active(t) {
+                        assert!(
+                            epochs.summary_active(t),
+                            "active reader {t} missing from the summary bitmap"
+                        );
+                    }
+                }
+                sched::yield_point();
+            }
+        });
+    }
+    s.run();
+}
+
+#[test]
+fn summary_bitmap_schedules() {
+    sched::explore("epoch-summary-bitmap", 0..400, summary_bitmap_schedule);
+}
+
+/// Grace-period sharing at the `EpochSet` level: two writers snapshot
+/// the grace sequence and run `synchronize_from` concurrently against
+/// racing readers. The barrier contract (every reader active at the
+/// snapshot has drained on return) must hold on every schedule whether
+/// the barrier walked clocks itself or consumed another writer's grace
+/// period; across the exploration, at least one schedule must actually
+/// take the shared path.
+fn grace_sharing_schedule(seed: u64, shared_seen: &Arc<AtomicU64>) {
+    const READERS: usize = 2;
+    let epochs = Arc::new(EpochSet::new(READERS + 2));
+
+    let mut s = sched::Scheduler::new(seed);
+    for tid in 0..READERS {
+        let epochs = Arc::clone(&epochs);
+        s.spawn(move || {
+            for _ in 0..2 {
+                epochs.enter(tid);
+                sched::yield_point();
+                epochs.exit(tid);
+                sched::yield_point();
+            }
+        });
+    }
+    for w in [READERS, READERS + 1] {
+        let epochs = Arc::clone(&epochs);
+        let shared_seen = Arc::clone(shared_seen);
+        s.spawn(move || {
+            let mut buf = Vec::new();
+            // Snapshot and reference clocks in one turn (frozen).
+            let gp = epochs.grace_snapshot();
+            let before: Vec<u64> = (0..READERS).map(|t| epochs.read_clock(t)).collect();
+            sched::yield_point();
+            let o = epochs.synchronize_from(Some(w), gp, &mut buf);
+            for (t, &c) in before.iter().enumerate() {
+                if c % 2 == 1 {
+                    assert_ne!(
+                        epochs.read_clock(t),
+                        c,
+                        "shared={}: reader {t} not drained past its snapshot",
+                        o.shared
+                    );
+                }
+            }
+            if o.shared {
+                shared_seen.fetch_add(1, Ordering::SeqCst);
+            }
+        });
+    }
+    s.run();
+}
+
+#[test]
+fn grace_sharing_schedules() {
+    let shared = Arc::new(AtomicU64::new(0));
+    let counter = Arc::clone(&shared);
+    sched::explore("epoch-grace-sharing", 0..400, move |seed| {
+        grace_sharing_schedule(seed, &counter)
+    });
+    assert!(
+        shared.load(Ordering::SeqCst) > 0,
+        "no schedule exercised quiescence sharing"
+    );
+}
+
+/// The sharing skip is reachable without any scheduler: a completed full
+/// barrier advances the sequence past an earlier snapshot, a fair
+/// barrier does not (it waits for only a subset of readers).
+#[test]
+fn grace_sharing_publish_rules() {
+    let e = EpochSet::new(4);
+    let before = e.grace_snapshot();
+    assert!(!e.synchronize(None).shared, "nothing to share yet");
+    assert_eq!(e.graces_completed(), 1);
+    let mut buf = Vec::new();
+    let o = e.synchronize_from(None, before, &mut buf);
+    assert!(o.shared, "completed barrier must cover the older snapshot");
+    assert_eq!(o.stalls, 0);
+
+    // A fair barrier consumes but never publishes.
+    let snap = e.grace_snapshot();
+    e.synchronize_fair(None, 7);
+    assert_eq!(
+        e.graces_completed(),
+        1,
+        "fair barrier must not publish a grace period"
+    );
+    let o = e.synchronize_from(None, snap, &mut buf);
+    assert!(!o.shared, "nothing completed since the snapshot");
+}
+
 proptest! {
     /// The fair wait-set rule, over arbitrary clock/version states:
     /// `synchronize_fair` waits on a reader iff its clock is odd AND its

@@ -109,16 +109,6 @@ fn unpack_writer(w: u64) -> Claim {
     }
 }
 
-/// Yield-based wait step: on the single-CPU hosts this repository targets,
-/// burning cycles in a pause loop starves the very thread we are waiting
-/// for, so every spin in the engine goes through the scheduler. Under
-/// deterministic schedule exploration this is additionally a scheduling
-/// point: the baton passes instead of the OS yielding.
-#[inline]
-pub(crate) fn spin_wait() {
-    sched::yield_point();
-}
-
 /// Per-slot lifecycle state, padded to avoid false sharing.
 #[repr(align(64))]
 struct SlotState {
@@ -566,8 +556,9 @@ impl HtmRuntime {
                         // release (a Release CAS) synchronizes with the
                         // completed write-back.
                         self.telemetry.commit_waits.fetch_add(1, Ordering::Relaxed);
+                        let mut bo = sched::Backoff::new();
                         while meta.writer.load(Ordering::Acquire) == w {
-                            spin_wait();
+                            bo.snooze();
                         }
                     }
                 },
@@ -603,8 +594,9 @@ impl HtmRuntime {
                 }
                 Claim::Nt(_) => {
                     // Another in-flight non-transactional store; brief.
+                    let mut bo = sched::Backoff::new();
                     while meta.writer.load(Ordering::Acquire) == w {
-                        spin_wait();
+                        bo.snooze();
                     }
                 }
                 Claim::Tx(oslot, oseq) => {
@@ -634,8 +626,9 @@ impl HtmRuntime {
                             }
                         }
                         DoomOutcome::Committing => {
+                            let mut bo = sched::Backoff::new();
                             while meta.writer.load(Ordering::Acquire) == w {
-                                spin_wait();
+                                bo.snooze();
                             }
                         }
                     }
@@ -708,15 +701,17 @@ impl HtmRuntime {
                     }
                     DoomOutcome::Committing => {
                         self.telemetry.commit_waits.fetch_add(1, Ordering::Relaxed);
+                        let mut bo = sched::Backoff::new();
                         while meta.writer.load(Ordering::Acquire) == w {
-                            spin_wait();
+                            bo.snooze();
                         }
                     }
                 },
                 Claim::Nt(_) => {
                     // In-flight non-transactional store; wait it out.
+                    let mut bo = sched::Backoff::new();
                     while meta.writer.load(Ordering::Acquire) == w {
-                        spin_wait();
+                        bo.snooze();
                     }
                 }
             }

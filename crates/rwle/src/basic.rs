@@ -72,9 +72,10 @@ impl BasicRwLe {
         let mut snap = ctx.take_scratch();
         loop {
             // Lines 17–19: test-and-test-and-set writer lock.
+            let mut bo = sched::Backoff::new();
             loop {
                 while ctx.read_nt(self.wlock) != FREE {
-                    sched::yield_point();
+                    bo.snooze();
                 }
                 if ctx.cas_nt(self.wlock, FREE, HTM_LOCKED).is_ok() {
                     break;
@@ -87,10 +88,14 @@ impl BasicRwLe {
                     // Lines 22–26: suspend, release early, drain readers,
                     // resume (implicit), commit.
                     let wlock = self.wlock;
-                    tx.suspend(|nt| {
+                    let o = tx.suspend(|nt| {
                         nt.write(wlock, FREE); // release while suspended
-                        self.epochs.synchronize_in(Some(tid), &mut snap);
+                        self.epochs.synchronize_in(Some(tid), &mut snap)
                     });
+                    stats.barrier_stalls += o.stalls;
+                    if o.shared {
+                        stats.barriers_shared += 1;
+                    }
                     match tx.commit() {
                         Ok(()) => {
                             stats.commit(CommitKind::Htm);

@@ -313,14 +313,16 @@ impl RwLe {
                 }
                 self.epochs.exit(tid);
                 retreats += 1;
+                let mut bo = sched::Backoff::new();
                 while state(ctx.read_nt(self.wlock)) == ST_NS {
-                    sched::yield_point();
+                    bo.snooze();
                 }
             }
         }
         loop {
+            let mut bo = sched::Backoff::new();
             while state(ctx.read_nt(self.wlock)) == ST_NS {
-                sched::yield_point();
+                bo.snooze();
             }
             self.epochs.enter(tid);
             if state(ctx.read_nt(self.wlock)) != ST_NS {
@@ -350,8 +352,9 @@ impl RwLe {
         // clock while we wait for its release. Recording is safe here:
         // we have read no data since entering and will not until the
         // lock is free.
+        let mut bo = sched::Backoff::new();
         loop {
-            sched::yield_point();
+            bo.snooze();
             let now = ctx.read_nt(self.wlock);
             if state(now) != ST_NS {
                 return 1;
@@ -404,10 +407,10 @@ impl RwLe {
         };
         loop {
             let result = match path {
-                Path::Htm => self.write_htm(ctx, body, snap),
-                Path::Rot => self.write_rot(ctx, body, snap),
+                Path::Htm => self.write_htm(ctx, stats, body, snap),
+                Path::Rot => self.write_rot(ctx, stats, body, snap),
                 Path::Ns => {
-                    let r = self.write_ns(ctx, body, snap);
+                    let r = self.write_ns(ctx, stats, body, snap);
                     stats.commit(CommitKind::Sgl);
                     return r;
                 }
@@ -452,13 +455,15 @@ impl RwLe {
     fn write_htm<R>(
         &self,
         ctx: &mut ThreadCtx,
+        stats: &mut ThreadStats,
         body: &mut dyn FnMut(&mut dyn MemAccess) -> Result<R, AbortCause>,
         snap: &mut Vec<u64>,
     ) -> Result<R, AbortCause> {
         let tid = ctx.slot();
         // Let non-HTM writers finish before starting (line 42).
+        let mut bo = sched::Backoff::new();
         while state(ctx.read_nt(self.wlock)) != ST_FREE {
-            sched::yield_point();
+            bo.snooze();
         }
         let mut tx = ctx.begin(TxMode::Htm);
         // Eager subscription (lines 43–45): adds the lock to the read set,
@@ -476,10 +481,25 @@ impl RwLe {
                 return Err(AbortCause::Explicit(ABORT_LOCK_BUSY));
             }
         }
+        // Commit point for quiescence sharing: every claim this
+        // transaction will publish is published (claims go up as the body
+        // writes), so any full grace period whose scan starts after this
+        // snapshot drains every reader we must wait for.
+        let gp = self.epochs.grace_snapshot();
         // Delayed commit (lines 69–72): suspend, drain readers, resume.
-        tx.suspend(|_nt| self.epochs.synchronize_in(Some(tid), snap));
+        let o = tx.suspend(|_nt| self.epochs.synchronize_from(Some(tid), gp, snap));
+        self.note_barrier(stats, o);
         tx.commit()?;
         Ok(r)
+    }
+
+    /// Folds a quiescence barrier's outcome into the thread's counters.
+    #[inline]
+    fn note_barrier(&self, stats: &mut ThreadStats, o: epoch::BarrierOutcome) {
+        stats.barrier_stalls += o.stalls;
+        if o.shared {
+            stats.barriers_shared += 1;
+        }
     }
 
     /// ROT write path (Algorithm 2 lines 47–54 and 64–67): writers are
@@ -488,6 +508,7 @@ impl RwLe {
     fn write_rot<R>(
         &self,
         ctx: &mut ThreadCtx,
+        stats: &mut ThreadStats,
         body: &mut dyn FnMut(&mut dyn MemAccess) -> Result<R, AbortCause>,
         snap: &mut Vec<u64>,
     ) -> Result<R, AbortCause> {
@@ -496,18 +517,23 @@ impl RwLe {
         let result = (|| -> Result<R, AbortCause> {
             let mut rot = ctx.begin(TxMode::Rot);
             let r = body(&mut rot)?;
+            // Commit point for quiescence sharing: the body's claims are
+            // published, so a later-starting grace period covers us.
+            let gp = self.epochs.grace_snapshot();
             // Drain readers that may have observed pre-commit state; new
             // readers conflicting with our store set abort us instead.
-            if self.cfg.fair {
+            let o = if self.cfg.fair {
                 // Sound only because `fair` forbids `split_locks` (see
                 // `RwLe::new`): the ROT lock *is* the NS lock word, so
                 // `my_version` lives in the same version domain readers
                 // record at entry.
                 debug_assert!(!self.cfg.split_locks);
-                self.epochs.synchronize_fair_in(Some(tid), my_version, snap);
+                self.epochs
+                    .synchronize_fair_from(Some(tid), my_version, gp, snap)
             } else {
-                self.epochs.synchronize_in(Some(tid), snap);
-            }
+                self.epochs.synchronize_from(Some(tid), gp, snap)
+            };
+            self.note_barrier(stats, o);
             rot.commit()?;
             Ok(r)
         })();
@@ -519,6 +545,7 @@ impl RwLe {
     fn write_ns<R>(
         &self,
         ctx: &mut ThreadCtx,
+        stats: &mut ThreadStats,
         body: &mut dyn FnMut(&mut dyn MemAccess) -> Result<R, AbortCause>,
         snap: &mut Vec<u64>,
     ) -> R {
@@ -527,22 +554,30 @@ impl RwLe {
         if self.cfg.split_locks {
             // Writers must be mutually exclusive: wait for any ROT holder
             // (new ROTs check the NS lock before acquiring).
+            let mut bo = sched::Backoff::new();
             while state(ctx.read_nt(self.rot_lock)) != ST_FREE {
-                sched::yield_point();
+                bo.snooze();
             }
         }
+        // Commit point for quiescence sharing: the NS path's "claim" is
+        // the lock CAS itself — readers entering after it observe ST_NS
+        // and retreat/wait, so a grace period starting after this
+        // snapshot drains every reader that slipped in before the CAS.
+        let gp = self.epochs.grace_snapshot();
         // Let readers drain (line 59). Readers are blocked by the held NS
         // lock, enabling the single-pass barrier (§3.3).
-        if self.cfg.fair {
-            self.epochs.synchronize_fair_in(Some(tid), my_version, snap);
+        let o = if self.cfg.fair {
+            self.epochs
+                .synchronize_fair_from(Some(tid), my_version, gp, snap)
         } else if self.cfg.single_pass_quiesce {
             // The single-pass barrier is only sound while the held NS lock
             // blocks new readers from entering.
             debug_assert_eq!(state(ctx.read_nt(self.wlock)), ST_NS);
-            self.epochs.synchronize_blocked_readers(Some(tid));
+            self.epochs.synchronize_blocked_readers_from(Some(tid), gp)
         } else {
-            self.epochs.synchronize_in(Some(tid), snap);
-        }
+            self.epochs.synchronize_from(Some(tid), gp, snap)
+        };
+        self.note_barrier(stats, o);
         let mut nt = ctx.non_tx();
         let r = body(&mut nt).expect("non-speculative execution cannot abort");
         self.release_word(ctx, self.wlock);
@@ -555,8 +590,9 @@ impl RwLe {
             return self.acquire_word(ctx, self.wlock, ST_ROT);
         }
         loop {
+            let mut bo = sched::Backoff::new();
             while state(ctx.read_nt(self.wlock)) != ST_FREE {
-                sched::yield_point();
+                bo.snooze();
             }
             let v = self.acquire_word(ctx, self.rot_lock, ST_ROT);
             if state(ctx.read_nt(self.wlock)) == ST_FREE {
@@ -570,10 +606,11 @@ impl RwLe {
     /// Spin-acquires `addr` into `target_state`, bumping the version.
     /// Returns the new version.
     fn acquire_word(&self, ctx: &ThreadCtx, addr: Addr, target_state: u64) -> u64 {
+        let mut bo = sched::Backoff::new();
         loop {
             let w = ctx.read_nt(addr);
             if state(w) != ST_FREE {
-                sched::yield_point();
+                bo.snooze();
                 continue;
             }
             let new_version = version(w) + 1;

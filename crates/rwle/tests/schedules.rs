@@ -290,6 +290,92 @@ fn fair_ns_schedules() {
     });
 }
 
+/// Grace-period sharing across concurrent writers, with a writer doomed
+/// mid-barrier. Three HTM writers increment three *disjoint* lines, so
+/// their speculative bodies overlap and their commit barriers race: on
+/// many schedules one writer's completed grace period covers another's
+/// (surfaced as `ThreadStats::barriers_shared`). A reader hammers the
+/// third writer's line, so on some schedules that writer's suspended
+/// transaction is doomed mid-barrier by the reader's claim conflict and
+/// must retry — sharing must never let a doomed writer's stores become
+/// visible, and no increment may be lost or doubled.
+fn sharing_doomed_schedule(seed: u64, shared_seen: &Arc<std::sync::atomic::AtomicU64>) {
+    use std::sync::atomic::Ordering;
+    const W: usize = 3;
+    const WRITES: u64 = 2;
+    let mem = Arc::new(SharedMem::new_lines(64));
+    let rt = HtmRuntime::new(Arc::clone(&mem), HtmConfig::default());
+    let alloc = SimAlloc::new(Arc::clone(&mem));
+    let rwle = Arc::new(RwLe::new(&alloc, W + 1, RwLeConfig::opt()).unwrap());
+    let data = alloc.alloc(W as u32 * WORD_STRIDE).unwrap();
+
+    let all_stats: Arc<Mutex<Vec<ThreadStats>>> = Arc::new(Mutex::new(Vec::new()));
+    let mut s = sched::Scheduler::new(seed);
+    for w in 0..W {
+        let rt = Arc::clone(&rt);
+        let rwle = Arc::clone(&rwle);
+        let all_stats = Arc::clone(&all_stats);
+        let line = data.offset(w as u32 * WORD_STRIDE);
+        s.spawn(move || {
+            let mut ctx = rt.register();
+            let mut st = ThreadStats::new();
+            for _ in 0..WRITES {
+                rwle.write_cs(&mut ctx, &mut st, &mut |acc| {
+                    let v = acc.read(line)?;
+                    acc.write(line, v + 1)?;
+                    Ok(())
+                });
+            }
+            all_stats.lock().unwrap().push(st);
+        });
+    }
+    {
+        // The reader targets writer 2's line: a read while that writer
+        // sits suspended in its barrier dooms the writer (claim
+        // conflict), forcing the retry path under an in-flight grace
+        // period.
+        let rt = Arc::clone(&rt);
+        let rwle = Arc::clone(&rwle);
+        let line = data.offset(2 * WORD_STRIDE);
+        s.spawn(move || {
+            let mut ctx = rt.register();
+            let mut st = ThreadStats::new();
+            let mut last = 0;
+            for _ in 0..4 {
+                let v = rwle.read_cs(&mut ctx, &mut st, &mut |acc| acc.read(line));
+                assert!(v >= last, "reader observed the line go backwards");
+                assert!(v <= WRITES, "reader observed a lost or doubled increment");
+                last = v;
+            }
+        });
+    }
+    s.run();
+
+    for w in 0..W {
+        assert_eq!(
+            mem.load(data.offset(w as u32 * WORD_STRIDE)),
+            WRITES,
+            "writer {w}: increments lost or doubled"
+        );
+    }
+    let stats = all_stats.lock().unwrap();
+    let sum = StatsSummary::from_threads(stats.iter());
+    shared_seen.fetch_add(sum.barriers_shared, Ordering::SeqCst);
+}
+
+#[test]
+fn sharing_doomed_schedules() {
+    let shared = Arc::new(std::sync::atomic::AtomicU64::new(0));
+    let counter = Arc::clone(&shared);
+    sched::explore("rwle-sharing-doomed", 0x6000..0x6120, move |seed| {
+        sharing_doomed_schedule(seed, &counter)
+    });
+    assert!(
+        shared.load(std::sync::atomic::Ordering::SeqCst) > 0,
+        "no schedule exercised writer-to-writer quiescence sharing"
+    );
+}
+
 #[test]
 fn slow_read_entry_schedules() {
     // §3.3 fast read entry disabled: the check-then-enter reader loop.

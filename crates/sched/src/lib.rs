@@ -358,6 +358,56 @@ pub fn is_scheduled() -> bool {
     EXPLORATION_ACTIVE.load(Ordering::Relaxed) != 0 && CURRENT_WORKER.with(|w| w.borrow().is_some())
 }
 
+/// Adaptive backoff for protocol spin loops.
+///
+/// Production spin loops used to call [`yield_point`] — an unconditional
+/// `sched_yield` — on every iteration, which turns a short wait (a
+/// committing transaction finishing its write-back, a lock holder one
+/// store away from release) into scheduler churn. `Backoff` bounds the
+/// cost instead: a short [`std::hint::spin_loop`] phase for waits that
+/// resolve within a few cache-miss latencies, then `yield_now` so the
+/// awaited thread gets the CPU (this repo's benchmarks run on one core).
+///
+/// Under deterministic schedule exploration every [`Backoff::snooze`] is
+/// exactly one [`yield_point`]: the baton must keep moving and the
+/// interleaving must stay a pure function of the seed, so the adaptive
+/// phases are production-only.
+#[derive(Debug, Default)]
+pub struct Backoff {
+    iters: u32,
+}
+
+/// Iterations of [`std::hint::spin_loop`] before [`Backoff`] starts
+/// yielding. Small on purpose: on a single-CPU host spinning never makes
+/// the awaited condition true, it only delays the yield.
+const BACKOFF_SPIN_LIMIT: u32 = 16;
+
+impl Backoff {
+    /// Creates a fresh backoff (starts in the spin phase).
+    #[inline]
+    pub fn new() -> Self {
+        Backoff { iters: 0 }
+    }
+
+    /// One wait iteration: spin briefly, then yield the CPU.
+    #[inline]
+    pub fn snooze(&mut self) {
+        if EXPLORATION_ACTIVE.load(Ordering::Relaxed) != 0 {
+            // A scheduler may be live (this thread's or another test's):
+            // route through yield_point, which takes a deterministic
+            // baton step for workers and degrades to yield_now otherwise.
+            yield_point_slow();
+            return;
+        }
+        if self.iters < BACKOFF_SPIN_LIMIT {
+            self.iters += 1;
+            std::hint::spin_loop();
+        } else {
+            std::thread::yield_now();
+        }
+    }
+}
+
 /// Runs `body` for every seed in `seeds`, printing the reproducing seed
 /// on stderr before re-raising any failure.
 ///

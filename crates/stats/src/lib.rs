@@ -143,6 +143,12 @@ pub struct ThreadStats {
     /// of [`ThreadStats::reader_retreats`]: bounded at one wait per
     /// entry, because a fair reader can never be overtaken.
     pub reader_waits: u64,
+    /// Stalled iterations (spin, yield, or park) this thread's commit
+    /// barriers spent waiting for active readers to drain.
+    pub barrier_stalls: u64,
+    /// Commit barriers satisfied by another writer's completed grace
+    /// period instead of a full clock walk (quiescence sharing).
+    pub barriers_shared: u64,
 }
 
 impl ThreadStats {
@@ -192,6 +198,10 @@ pub struct StatsSummary {
     pub reader_retreats: u64,
     /// Total fair-path reader waits (see [`ThreadStats::reader_waits`]).
     pub reader_waits: u64,
+    /// Total barrier stall iterations (see [`ThreadStats::barrier_stalls`]).
+    pub barrier_stalls: u64,
+    /// Total shared (skipped) barriers (see [`ThreadStats::barriers_shared`]).
+    pub barriers_shared: u64,
 }
 
 impl StatsSummary {
@@ -204,6 +214,8 @@ impl StatsSummary {
             ops,
             reader_retreats: 0,
             reader_waits: 0,
+            barrier_stalls: 0,
+            barriers_shared: 0,
         }
     }
 
@@ -220,6 +232,8 @@ impl StatsSummary {
             s.ops += t.ops;
             s.reader_retreats += t.reader_retreats;
             s.reader_waits += t.reader_waits;
+            s.barrier_stalls += t.barrier_stalls;
+            s.barriers_shared += t.barriers_shared;
         }
         s
     }
