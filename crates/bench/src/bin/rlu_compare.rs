@@ -12,7 +12,7 @@
 //! cargo run --release -p bench --bin rlu_compare
 //! ```
 
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 use bench::Args;
@@ -38,20 +38,50 @@ struct Config {
     fine: bool,
 }
 
-fn run_rlu(cfg: &Config) -> f64 {
+/// Records the first allocation failure seen by any worker so the run
+/// can report it instead of tearing the process down mid-benchmark.
+struct FirstFailure(Mutex<Option<String>>);
+
+impl FirstFailure {
+    fn new() -> Self {
+        FirstFailure(Mutex::new(None))
+    }
+
+    fn record(&self, what: impl std::fmt::Display) {
+        let mut slot = self.0.lock().unwrap();
+        if slot.is_none() {
+            *slot = Some(what.to_string());
+        }
+    }
+
+    fn tripped(&self) -> bool {
+        self.0.lock().unwrap().is_some()
+    }
+
+    fn into_result(self) -> Result<(), String> {
+        match self.0.into_inner().unwrap() {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
+    }
+}
+
+fn run_rlu(cfg: &Config) -> Result<f64, String> {
     let mem = Arc::new(SharedMem::new_lines(1 << 18));
     let alloc = Arc::new(SimAlloc::new(Arc::clone(&mem)));
     let rt = RluRuntime::new(mem, alloc);
-    let list = Arc::new(RluList::new(&rt).unwrap());
+    let list = Arc::new(RluList::new(&rt).map_err(|e| format!("RLU list setup: {e}"))?);
     {
         let mut t = rt.register();
         let mut w = t.writer();
         for k in (1..=cfg.initial).map(|i| i * 2) {
-            list.add(&mut w, k).unwrap();
+            list.add(&mut w, k)
+                .map_err(|e| format!("RLU initial population (key {k}): {e}"))?;
         }
         w.commit();
     }
     let barrier = std::sync::Barrier::new(cfg.threads);
+    let failure = FirstFailure::new();
     let t0 = Instant::now();
     std::thread::scope(|s| {
         for t in 0..cfg.threads {
@@ -59,11 +89,12 @@ fn run_rlu(cfg: &Config) -> f64 {
             let list = Arc::clone(&list);
             let barrier = &barrier;
             let cfg = &cfg;
+            let failure = &failure;
             s.spawn(move || {
                 let mut th = rt.register();
                 let mut rng = SmallRng::seed_from_u64(cfg.seed ^ ((t as u64 + 1) * 0x9e37));
                 barrier.wait();
-                for _ in 0..cfg.ops {
+                'ops: for _ in 0..cfg.ops {
                     let key = rng.gen_range(1..cfg.key_range);
                     if rng.gen_range(0..100) < cfg.write_pct {
                         loop {
@@ -86,7 +117,11 @@ fn run_rlu(cfg: &Config) -> f64 {
                                     w.abort();
                                     std::thread::yield_now();
                                 }
-                                Err(e) => panic!("alloc failure: {e}"),
+                                Err(e) => {
+                                    w.abort();
+                                    failure.record(format_args!("RLU worker {t}: {e}"));
+                                    break 'ops;
+                                }
                             }
                         }
                     } else {
@@ -97,24 +132,30 @@ fn run_rlu(cfg: &Config) -> f64 {
             });
         }
     });
-    (cfg.threads as u64 * cfg.ops) as f64 / t0.elapsed().as_secs_f64()
+    let tput = (cfg.threads as u64 * cfg.ops) as f64 / t0.elapsed().as_secs_f64();
+    failure.into_result().map(|()| tput)
 }
 
-fn run_elision(kind: SchemeKind, cfg: &Config) -> f64 {
+fn run_elision(kind: SchemeKind, cfg: &Config) -> Result<f64, String> {
     let mem = Arc::new(SharedMem::new_lines(1 << 18));
     let rt = HtmRuntime::new(Arc::clone(&mem), HtmConfig::default().with_seed(cfg.seed));
     let alloc = SimAlloc::new(Arc::clone(&mem));
     // One extra slot: the setup context below registers before workers.
-    let scheme = Scheme::build(kind, &alloc, cfg.threads + 1).unwrap();
-    let list = SortedList::new(&alloc).unwrap();
+    let scheme = Scheme::build(kind, &alloc, cfg.threads + 1)
+        .map_err(|e| format!("{} scheme setup: {e}", kind.label()))?;
+    let list = SortedList::new(&alloc).map_err(|e| format!("{} list setup: {e}", kind.label()))?;
     {
         let ctx = rt.register();
         let mut nt = ctx.non_tx();
         for k in (1..=cfg.initial).map(|i| i * 2) {
-            let n = list.make_node(&alloc, k).unwrap();
-            list.add(&mut nt, n).unwrap();
+            let n = list
+                .make_node(&alloc, k)
+                .map_err(|e| format!("{} initial population (key {k}): {e}", kind.label()))?;
+            list.add(&mut nt, n)
+                .map_err(|e| format!("{} initial population (key {k}): {e:?}", kind.label()))?;
         }
     }
+    let failure = FirstFailure::new();
     let (wall, _stats) = run_threads(&rt, cfg.threads, |t, ctx, st| {
         let mut rng = SmallRng::seed_from_u64(cfg.seed ^ ((t as u64 + 1) * 0x9e37));
         let mut spare: Option<Addr> = None;
@@ -129,7 +170,13 @@ fn run_elision(kind: SchemeKind, cfg: &Config) -> f64 {
                             mem.store(n.offset(1), Addr::NULL.to_word());
                             n
                         }
-                        None => list.make_node(&alloc, key).unwrap(),
+                        None => match list.make_node(&alloc, key) {
+                            Ok(n) => n,
+                            Err(e) => {
+                                failure.record(format_args!("{} worker {t}: {e}", kind.label()));
+                                break;
+                            }
+                        },
                     };
                     if !scheme.write_cs(ctx, &mut local, &mut |acc| list.add(acc, node)) {
                         spare = Some(node);
@@ -138,13 +185,18 @@ fn run_elision(kind: SchemeKind, cfg: &Config) -> f64 {
                     // Removed nodes leak until run end (deferred).
                     let _ = scheme.write_cs(ctx, &mut local, &mut |acc| list.remove(acc, key));
                 }
+            } else if failure.tripped() {
+                // Another worker hit an allocation failure: finish fast so
+                // the run can surface it. Read-only ops allocate nothing.
+                break;
             } else {
                 scheme.read_cs(ctx, &mut local, &mut |acc| list.contains(acc, key));
             }
         }
         *st = local;
     });
-    (cfg.threads as u64 * cfg.ops) as f64 / wall.as_secs_f64()
+    let tput = (cfg.threads as u64 * cfg.ops) as f64 / wall.as_secs_f64();
+    failure.into_result().map(|()| tput)
 }
 
 fn main() {
@@ -170,7 +222,10 @@ fn main() {
                 seed,
                 fine,
             };
-            let rlu_tput = run_rlu(&cfg);
+            let rlu_tput = match run_rlu(&cfg) {
+                Ok(t) => t,
+                Err(e) => fail(&e),
+            };
             println!(
                 "{:<10} {:>4} {:>4} {:>12.0}",
                 if fine { "RLU-fine" } else { "RLU" },
@@ -179,7 +234,10 @@ fn main() {
                 rlu_tput
             );
             for kind in [SchemeKind::RwLeOpt, SchemeKind::Hle, SchemeKind::Sgl] {
-                let tput = run_elision(kind, &cfg);
+                let tput = match run_elision(kind, &cfg) {
+                    Ok(t) => t,
+                    Err(e) => fail(&e),
+                };
                 println!(
                     "{:<10} {:>4} {:>4} {:>12.0}",
                     kind.label(),
@@ -191,4 +249,11 @@ fn main() {
         }
         println!();
     }
+}
+
+fn fail(msg: &str) -> ! {
+    eprintln!(
+        "rlu_compare: {msg} (simulated heap exhausted — lower ops/initial or raise the line count)"
+    );
+    std::process::exit(1);
 }

@@ -266,6 +266,10 @@ mod tests {
         assert!(holder.cas_nt(hle.lock_addr(), LOCK_FREE, LOCK_HELD).is_ok());
         std::thread::scope(|s| {
             s.spawn(|| {
+                // xlint: allow(a5) -- the sleep keeps the lock observably
+                // busy so lazy subscription actually aborts at least once;
+                // releasing immediately would let the first attempt commit
+                // and the retry path would be tested vacuously.
                 std::thread::sleep(std::time::Duration::from_millis(10));
                 holder.write_nt(hle.lock_addr(), LOCK_FREE);
             });

@@ -84,6 +84,9 @@ fn same_line_multi_word_commit_is_atomic_to_nt_readers() {
         });
         let reader = s.spawn(|| {
             let ctx = rt.register();
+            // xlint: allow(a3) -- a work loop, not a wait loop: every
+            // iteration makes progress (two read_nt probes per pass), the
+            // stop flag merely bounds the run.
             while !stop.load(std::sync::atomic::Ordering::SeqCst) {
                 // Read word1 first, word0 second. Each load either
                 // observes a fully-committed pair (it waits out any

@@ -21,12 +21,13 @@ impl SpinMutex {
         }
     }
 
-    /// Acquires the lock, spinning (with yields) until available.
+    /// Acquires the lock, spinning (with backoff) until available.
     pub fn lock(&self) -> SpinGuard<'_> {
+        let mut backoff = sched::Backoff::new();
         loop {
             // Test-and-test-and-set: spin on the cheap load first.
             while self.locked.load(Ordering::Relaxed) {
-                std::thread::yield_now();
+                backoff.snooze();
             }
             if self
                 .locked

@@ -21,11 +21,12 @@ impl TicketLock {
         }
     }
 
-    /// Acquires the lock, spinning (with yields) until our ticket is up.
+    /// Acquires the lock, spinning (with backoff) until our ticket is up.
     pub fn lock(&self) -> TicketGuard<'_> {
         let ticket = self.next.fetch_add(1, Ordering::Relaxed);
+        let mut backoff = sched::Backoff::new();
         while self.serving.load(Ordering::Acquire) != ticket {
-            std::thread::yield_now();
+            backoff.snooze();
         }
         TicketGuard { lock: self }
     }

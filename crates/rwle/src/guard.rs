@@ -179,6 +179,9 @@ mod tests {
                 });
                 assert!(done.load(Ordering::SeqCst), "commit outran the guard");
             });
+            // xlint: allow(a5) -- widens the window in which a buggy
+            // writer could commit past the live guard; the correctness
+            // assertions hold at any timing, the sleep only adds teeth.
             std::thread::sleep(std::time::Duration::from_millis(20));
             assert_eq!(g.access().read(data.offset(1)), 0);
             done.store(true, Ordering::SeqCst);

@@ -1,0 +1,275 @@
+//! A minimal Rust source lexer: separates code from comments and blanks
+//! out string/char-literal contents, line by line.
+//!
+//! The downstream lints work on *cleaned* lines (code with literal
+//! contents removed) plus the comment text of each line, so a `while`
+//! inside a doc comment or an `Ordering::SeqCst` inside a string can
+//! never produce a finding. This is a lexer, not a parser: it tracks
+//! exactly the state needed to know whether a byte is code, comment, or
+//! literal — including nested block comments, raw strings, and the
+//! char-literal/lifetime ambiguity.
+
+/// One source line, split into its code and comment parts.
+#[derive(Debug, Clone, Default)]
+pub struct CleanLine {
+    /// The line's code with string/char-literal contents removed
+    /// (delimiters are kept so token shapes survive).
+    pub code: String,
+    /// The line's comment text (line, block, and doc comments).
+    pub comment: String,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum State {
+    Code,
+    LineComment,
+    /// Nested block comments (`/* /* */ */`): depth.
+    BlockComment(u32),
+    /// Inside `"…"`; `true` after a backslash.
+    Str(bool),
+    /// Inside `r##"…"##` (or a raw byte string): number of hashes.
+    RawStr(u32),
+}
+
+/// Splits `source` into cleaned lines.
+pub fn clean_lines(source: &str) -> Vec<CleanLine> {
+    let bytes: Vec<char> = source.chars().collect();
+    let mut lines = Vec::new();
+    let mut cur = CleanLine::default();
+    let mut state = State::Code;
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i];
+        if c == '\n' {
+            if state == State::LineComment {
+                state = State::Code;
+            }
+            lines.push(std::mem::take(&mut cur));
+            i += 1;
+            continue;
+        }
+        match state {
+            State::Code => {
+                let next = bytes.get(i + 1).copied();
+                match c {
+                    '/' if next == Some('/') => {
+                        state = State::LineComment;
+                        i += 2;
+                    }
+                    '/' if next == Some('*') => {
+                        state = State::BlockComment(1);
+                        i += 2;
+                    }
+                    '"' => {
+                        cur.code.push('"');
+                        state = State::Str(false);
+                        i += 1;
+                    }
+                    'r' | 'b' if is_raw_or_byte_string(&bytes, i) => {
+                        // Consume the prefix (`r`, `br`, `b`) and hashes up
+                        // to and including the opening quote.
+                        let (hashes, consumed) = raw_string_open(&bytes, i);
+                        cur.code.push('"');
+                        state = State::RawStr(hashes);
+                        i += consumed;
+                    }
+                    '\'' => {
+                        // Char literal or lifetime? A char literal closes
+                        // within a few characters; a lifetime never has a
+                        // closing quote.
+                        if let Some(len) = char_literal_len(&bytes, i) {
+                            cur.code.push_str("' '");
+                            i += len;
+                        } else {
+                            cur.code.push('\'');
+                            i += 1;
+                        }
+                    }
+                    _ => {
+                        // An identifier character before `r"`/`b"` (e.g.
+                        // `for"` cannot happen; `bar"x"` can't either since
+                        // `"` always starts a string in Rust code). Safe to
+                        // emit as-is.
+                        cur.code.push(c);
+                        i += 1;
+                    }
+                }
+            }
+            State::LineComment => {
+                cur.comment.push(c);
+                i += 1;
+            }
+            State::BlockComment(depth) => {
+                let next = bytes.get(i + 1).copied();
+                if c == '*' && next == Some('/') {
+                    state = if depth == 1 {
+                        State::Code
+                    } else {
+                        State::BlockComment(depth - 1)
+                    };
+                    i += 2;
+                } else if c == '/' && next == Some('*') {
+                    state = State::BlockComment(depth + 1);
+                    i += 2;
+                } else {
+                    cur.comment.push(c);
+                    i += 1;
+                }
+            }
+            State::Str(escaped) => {
+                if escaped {
+                    state = State::Str(false);
+                } else if c == '\\' {
+                    state = State::Str(true);
+                } else if c == '"' {
+                    cur.code.push('"');
+                    state = State::Code;
+                }
+                i += 1;
+            }
+            State::RawStr(hashes) => {
+                if c == '"' && closes_raw_string(&bytes, i, hashes) {
+                    cur.code.push('"');
+                    state = State::Code;
+                    i += 1 + hashes as usize;
+                } else {
+                    i += 1;
+                }
+            }
+        }
+    }
+    lines.push(cur);
+    lines
+}
+
+/// Is `bytes[i..]` the start of a raw (or byte, or raw-byte) string whose
+/// opening delimiter begins at `i`? Requires the previous char not be an
+/// identifier char (else `for"..."` / `attr"..."`-style idents would
+/// misfire — cannot occur for `r`/`b` prefixes, but cheap to check).
+fn is_raw_or_byte_string(bytes: &[char], i: usize) -> bool {
+    if i > 0 && (bytes[i - 1].is_alphanumeric() || bytes[i - 1] == '_') {
+        return false;
+    }
+    let mut j = i;
+    if bytes[j] == 'b' {
+        j += 1;
+    }
+    let raw = bytes.get(j) == Some(&'r');
+    if raw {
+        j += 1;
+    }
+    while bytes.get(j) == Some(&'#') {
+        if !raw {
+            return false;
+        }
+        j += 1;
+    }
+    // `b"…"` (j==i+1, not raw) is a plain byte string; treat like raw with
+    // zero hashes only when prefixed — otherwise let the `"` branch run.
+    if !raw && j == i + 1 && bytes.get(j) == Some(&'"') {
+        return true; // b"…"
+    }
+    raw && bytes.get(j) == Some(&'"')
+}
+
+/// Returns (hashes, chars consumed through the opening quote).
+fn raw_string_open(bytes: &[char], i: usize) -> (u32, usize) {
+    let mut j = i;
+    if bytes[j] == 'b' {
+        j += 1;
+    }
+    if bytes.get(j) == Some(&'r') {
+        j += 1;
+    }
+    let mut hashes = 0;
+    while bytes.get(j) == Some(&'#') {
+        hashes += 1;
+        j += 1;
+    }
+    debug_assert_eq!(bytes.get(j), Some(&'"'));
+    (hashes, j + 1 - i)
+}
+
+fn closes_raw_string(bytes: &[char], i: usize, hashes: u32) -> bool {
+    (1..=hashes as usize).all(|k| bytes.get(i + k) == Some(&'#'))
+}
+
+/// If `bytes[i]` (a `'`) opens a char literal, returns its total length;
+/// `None` for lifetimes (`'a`, `'_`, `'static`).
+fn char_literal_len(bytes: &[char], i: usize) -> Option<usize> {
+    match bytes.get(i + 1)? {
+        '\\' => {
+            // Escaped char: scan to the closing quote (bounded).
+            let end = (i + 12).min(bytes.len());
+            let start = (i + 3).min(end);
+            bytes[start..end]
+                .iter()
+                .position(|&c| c == '\'')
+                .map(|off| off + 4)
+        }
+        _ => {
+            if bytes.get(i + 2) == Some(&'\'') {
+                Some(3)
+            } else {
+                None // `'a` not followed by `'`: a lifetime
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn comments_are_separated() {
+        let src = "let x = 1; // trailing\n/* block */ let y = 2;";
+        let lines = clean_lines(src);
+        assert_eq!(lines[0].code.trim(), "let x = 1;");
+        assert_eq!(lines[0].comment.trim(), "trailing");
+        assert_eq!(lines[1].code.trim(), "let y = 2;");
+        assert_eq!(lines[1].comment.trim(), "block");
+    }
+
+    #[test]
+    fn string_contents_are_blanked() {
+        let src = "let s = \"Ordering::SeqCst // no\"; s.load();";
+        let lines = clean_lines(src);
+        assert!(!lines[0].code.contains("Ordering"));
+        assert!(lines[0].comment.is_empty());
+        assert!(lines[0].code.contains(".load()"));
+    }
+
+    #[test]
+    fn raw_strings_and_escapes() {
+        let src = "let s = r#\"has \" quote\"#; let t = \"a\\\"b\"; code();";
+        let lines = clean_lines(src);
+        assert!(lines[0].code.contains("code()"));
+        assert!(!lines[0].code.contains("quote"));
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let src = "fn f<'a>(x: &'a str) { let c = 'x'; let d = '\\n'; g(x) }";
+        let lines = clean_lines(src);
+        assert!(lines[0].code.contains("g(x)"));
+        assert!(!lines[0].code.contains("\\n"));
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let src = "a(); /* outer /* inner */ still */ b();";
+        let lines = clean_lines(src);
+        assert!(lines[0].code.contains("a()"));
+        assert!(lines[0].code.contains("b()"));
+        assert!(!lines[0].code.contains("inner"));
+    }
+
+    #[test]
+    fn multiline_string_state_persists() {
+        let src = "let s = \"line one\nline two with while x.load( \";\nreal();";
+        let lines = clean_lines(src);
+        assert!(!lines[1].code.contains("while"));
+        assert!(lines[2].code.contains("real()"));
+    }
+}

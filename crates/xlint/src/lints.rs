@@ -1,0 +1,682 @@
+//! The five protocol-conformance lints (A1–A5) and the allow-comment
+//! escape hatch.
+//!
+//! Each lint has a stable ID, a one-line summary, and a long `--explain`
+//! text tying it to the RW-LE protocol invariant it guards. Findings can
+//! be suppressed with `// xlint: allow(<id>) -- <reason>` on the flagged
+//! line or in the comment block immediately above it; the reason is
+//! mandatory (a reasonless allow does not suppress anything).
+
+use crate::manifest::{strength, Entry, Manifest};
+use crate::scan::{
+    is_method_call, range_has_call, range_has_method_call, FileScan, LoopExtent, Tok,
+};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// A lint violation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Workspace-relative file (or fixture label).
+    pub file: String,
+    /// 1-based line.
+    pub line: usize,
+    /// Stable lint ID (`A1` … `A5`).
+    pub lint: &'static str,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl std::fmt::Display for Finding {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}:{}: {} [{}]",
+            self.file, self.line, self.message, self.lint
+        )
+    }
+}
+
+/// Static description of one lint.
+pub struct LintInfo {
+    /// Stable ID.
+    pub id: &'static str,
+    /// Short name.
+    pub name: &'static str,
+    /// One-line summary.
+    pub summary: &'static str,
+    /// `--explain` text.
+    pub explain: &'static str,
+}
+
+/// All lints, in ID order.
+pub const LINTS: [LintInfo; 5] = [
+    LintInfo {
+        id: "A1",
+        name: "ordering-manifest",
+        summary: "every Ordering::* site must match docs/orderings.toml",
+        explain: "\
+Every `Ordering::*` token in the protocol crates must be covered by a
+[[site]] entry in docs/orderings.toml giving the file, the enclosing
+symbol, the exact multiset of orderings, and a one-line why. The lint
+fails on undocumented sites, stale entries (manifest rows whose code is
+gone), and drift in either direction: an ordering *weaker* than
+documented can reintroduce the commit-point races the quiescence
+argument depends on (the reader-publication/writer-scan SeqCst quartet,
+the summary-bit-before-odd-clock ordering), while one *stronger* than
+documented silently re-taxes the fast path that PR 2 audited down from
+blanket SeqCst. PROTOCOL.md section 5's table is generated from the same
+manifest (`xlint emit-table`), so prose and machine-checked reality
+cannot diverge.",
+    },
+    LintInfo {
+        id: "A2",
+        name: "unsafe-safety",
+        summary: "every unsafe block/fn/impl needs an adjacent // SAFETY: comment",
+        explain: "\
+Each `unsafe` block, fn, impl, or trait must carry a `// SAFETY:`
+comment on the same line or in the comment block directly above it
+(attribute lines and sibling `unsafe impl` lines in between are
+allowed), stating the invariant that makes the code sound — e.g. for the
+simulated-memory word store: the pointer owns `len` initialized
+`AtomicU64`s for the value's lifetime. Boilerplate comments defeat the
+point; the reviewer diff-checks the stated invariant, the lint only
+enforces that one exists.",
+    },
+    LintInfo {
+        id: "A3",
+        name: "spin-discipline",
+        summary: "atomic spin loops must use sched::Backoff / yield_point / AdaptiveWaiter",
+        explain: "\
+A loop that waits on an atomic load must go through the scheduler
+discipline — `sched::Backoff::snooze`, `sched::yield_point`,
+`AdaptiveWaiter::stall`, a condvar wait, or a CAS retry — never a bare
+busy-wait (including bare `std::thread::yield_now`, which is invisible
+to deterministic schedule exploration). A bare spin loop silently loses
+exploration coverage: under the seeded scheduler the spinning thread
+never hands the baton back, so the schedule wedges or the interleavings
+that make the awaited condition true are never explored. It also
+yield-storms the one host CPU the benchmarks assume.",
+    },
+    LintInfo {
+        id: "A4",
+        name: "suspend-purity",
+        summary: "Tx::suspend closures must not use speculative accessors or start transactions",
+        explain: "\
+Code running inside `Tx::suspend` executes *outside* the suspended
+transaction: the paper's delayed-commit window (Algorithm 2 lines
+69-72). It may use the provided non-transactional handle, but it must
+not call speculative accessors (`.read(`/`.write(`/`.cas(` on anything
+other than the closure parameter), begin a transaction, or suspend
+again — Dice et al.'s lazy-subscription analysis shows exactly this
+class of code running around a suspended/committing transaction is where
+subtle publication bugs live. The check is a one-level approximation: it
+also scans the bodies of same-file functions called from the closure for
+`.begin(`/`.suspend(`.",
+    },
+    LintInfo {
+        id: "A5",
+        name: "no-sleep-in-tests",
+        summary: "thread::sleep is banned outside the two real-thread smoke tests",
+        explain: "\
+`thread::sleep` in tests encodes timing assumptions that flake under CI
+load and slow every run; the deterministic schedule explorer exists so
+protocol windows can be pinned by the scheduler instead of by wall-clock
+delays. Sleeps are allowed only in functions whose name contains
+`real_threads_smoke` (the two preemptive smoke tests PR 1 deliberately
+kept as a reality check on the cooperative explorer) or under an
+explicit allow comment justifying why the window cannot be expressed as
+a schedule.",
+    },
+];
+
+/// Looks up a lint by ID (case-insensitive).
+pub fn lint_by_id(id: &str) -> Option<&'static LintInfo> {
+    LINTS.iter().find(|l| l.id.eq_ignore_ascii_case(id))
+}
+
+/// Calls that satisfy the spin discipline inside a wait loop.
+const DISCIPLINE_METHODS: [&str; 7] = [
+    "snooze",
+    "stall",
+    "wait",
+    "wait_timeout",
+    "park",
+    "compare_exchange",
+    "compare_exchange_weak",
+];
+const DISCIPLINE_CALLS: [&str; 2] = ["yield_point", "step"];
+
+/// Parses `xlint: allow(<id>) -- reason` markers; returns for each line
+/// (1-based) the set of lint IDs allowed *at* that line, considering the
+/// line's own comment and the comment block immediately above.
+fn allows(scan: &FileScan) -> Vec<BTreeSet<&'static str>> {
+    let n = scan.lines.len();
+    // IDs directly declared on each line's comment.
+    let mut declared: Vec<BTreeSet<&'static str>> = vec![BTreeSet::new(); n + 2];
+    for (i, l) in scan.lines.iter().enumerate() {
+        let c = &l.comment;
+        let mut rest = c.as_str();
+        while let Some(p) = rest.find("xlint:") {
+            rest = &rest[p + "xlint:".len()..];
+            let Some(open) = rest.find("allow(") else {
+                continue;
+            };
+            let after = &rest[open + "allow(".len()..];
+            let Some(close) = after.find(')') else {
+                continue;
+            };
+            let id = after[..close].trim();
+            // The reason is mandatory: no ` -- reason`, no suppression.
+            let tail = after[close + 1..].trim_start();
+            let reasoned = tail
+                .strip_prefix("--")
+                .is_some_and(|r| !r.trim().is_empty());
+            if let Some(info) = lint_by_id(id) {
+                if reasoned {
+                    declared[i + 1].insert(info.id);
+                }
+            }
+            rest = after;
+        }
+    }
+    // A declaration covers its own line, and — when the line is
+    // comment-only — the first code line below the comment block.
+    let mut effective = declared.clone();
+    for (i, decl) in declared.iter().enumerate().take(n + 1).skip(1) {
+        let l = &scan.lines[i - 1];
+        if !decl.is_empty() && l.code.trim().is_empty() {
+            // Propagate down across the rest of the comment block to the
+            // first code-bearing line.
+            let ids: Vec<_> = decl.iter().copied().collect();
+            let mut j = i + 1;
+            while j <= n {
+                let below = &scan.lines[j - 1];
+                for id in &ids {
+                    effective[j].insert(id);
+                }
+                if !below.code.trim().is_empty() {
+                    break;
+                }
+                j += 1;
+            }
+        }
+    }
+    effective.truncate(n + 1);
+    effective
+}
+
+fn allowed(effective: &[BTreeSet<&'static str>], line: usize, id: &str) -> bool {
+    effective.get(line).is_some_and(|s| s.contains(id))
+}
+
+/// Runs the per-file lints A2–A5 on one scanned file.
+pub fn check_file(file: &str, scan: &FileScan) -> Vec<Finding> {
+    let eff = allows(scan);
+    let mut out = Vec::new();
+    out.extend(check_unsafe(file, scan, &eff));
+    out.extend(check_spins(file, scan, &eff));
+    out.extend(check_suspends(file, scan, &eff));
+    out.extend(check_sleeps(file, scan, &eff));
+    out
+}
+
+/// A2: `// SAFETY:` adjacency.
+fn check_unsafe(file: &str, scan: &FileScan, eff: &[BTreeSet<&'static str>]) -> Vec<Finding> {
+    let mut out = Vec::new();
+    for &line in &scan.unsafe_lines {
+        if allowed(eff, line, "A2") {
+            continue;
+        }
+        if has_adjacent_safety(scan, line) {
+            continue;
+        }
+        out.push(Finding {
+            file: file.to_string(),
+            line,
+            lint: "A2",
+            message: "`unsafe` without an adjacent `// SAFETY:` comment stating the invariant"
+                .to_string(),
+        });
+    }
+    out
+}
+
+fn has_adjacent_safety(scan: &FileScan, line: usize) -> bool {
+    let has_safety = |l: usize| {
+        scan.lines
+            .get(l - 1)
+            .is_some_and(|cl| cl.comment.contains("SAFETY:"))
+    };
+    if has_safety(line) {
+        return true;
+    }
+    // Walk upward through the adjacent comment block, attribute lines,
+    // and sibling `unsafe impl` lines (a shared SAFETY comment may cover
+    // consecutive `unsafe impl Send/Sync` pairs).
+    let mut l = line;
+    for _ in 0..20 {
+        if l <= 1 {
+            return false;
+        }
+        l -= 1;
+        let Some(cl) = scan.lines.get(l - 1) else {
+            return false;
+        };
+        if cl.comment.contains("SAFETY:") {
+            return true;
+        }
+        let code = cl.code.trim();
+        let is_comment_only = code.is_empty() && !cl.comment.is_empty();
+        let is_attr = code.starts_with("#[") || code.starts_with("#!");
+        let is_sibling_unsafe = code.starts_with("unsafe impl");
+        if !(is_comment_only || is_attr || is_sibling_unsafe) {
+            return false;
+        }
+    }
+    false
+}
+
+/// A3: spin discipline.
+fn check_spins(file: &str, scan: &FileScan, eff: &[BTreeSet<&'static str>]) -> Vec<Finding> {
+    let mut out = Vec::new();
+    for lp in &scan.loops {
+        if allowed(eff, lp.line, "A3") {
+            continue;
+        }
+        if let Some(msg) = spin_violation(scan, lp) {
+            out.push(Finding {
+                file: file.to_string(),
+                line: lp.line,
+                lint: "A3",
+                message: msg,
+            });
+        }
+    }
+    out
+}
+
+fn spin_violation(scan: &FileScan, lp: &LoopExtent) -> Option<String> {
+    let cond_loads = range_has_method_call(&scan.tokens, lp.cond, "load");
+    let body_loads = range_has_method_call(&scan.tokens, lp.body, "load");
+    let is_while = lp.cond.0 != lp.cond.1;
+    // `while <atomic load> { … }` is a wait loop by construction; a bare
+    // `loop` is only suspicious when its body polls an atomic.
+    let waitish = if is_while { cond_loads } else { body_loads };
+    if !waitish {
+        return None;
+    }
+    let disciplined = DISCIPLINE_METHODS
+        .iter()
+        .any(|m| range_has_method_call(&scan.tokens, lp.body, m))
+        || DISCIPLINE_CALLS
+            .iter()
+            .any(|c| range_has_call(&scan.tokens, lp.body, c));
+    if disciplined {
+        return None;
+    }
+    Some(if is_while {
+        "bare busy-wait: `while` condition polls an atomic load but the body never goes \
+         through sched::Backoff::snooze / sched::yield_point / AdaptiveWaiter::stall"
+            .to_string()
+    } else {
+        "bare busy-wait: `loop` polls an atomic load with no backoff, yield point, \
+         condvar wait, or CAS retry in the body"
+            .to_string()
+    })
+}
+
+/// A4: suspend purity.
+fn check_suspends(file: &str, scan: &FileScan, eff: &[BTreeSet<&'static str>]) -> Vec<Finding> {
+    let mut out = Vec::new();
+    let fn_map: BTreeMap<&str, (usize, usize)> = scan
+        .fn_bodies
+        .iter()
+        .map(|(n, r)| (n.as_str(), *r))
+        .collect();
+    for sc in &scan.suspends {
+        if allowed(eff, sc.line, "A4") {
+            continue;
+        }
+        let param = sc.param.as_deref().unwrap_or("");
+        // Direct violations inside the closure.
+        for i in sc.args.0..sc.args.1.min(scan.tokens.len()) {
+            for m in ["read", "write", "cas"] {
+                if is_method_call(&scan.tokens, i, m) {
+                    let recv =
+                        (i > 0)
+                            .then(|| scan.tokens[i - 1].clone())
+                            .and_then(|t| match t.tok {
+                                Tok::Ident(w) => Some(w),
+                                Tok::Punct(_) => None,
+                            });
+                    if recv.as_deref() != Some(param) {
+                        out.push(Finding {
+                            file: file.to_string(),
+                            line: scan.tokens[i + 1].line,
+                            lint: "A4",
+                            message: format!(
+                                "speculative accessor `.{m}(` on `{}` inside a Tx::suspend \
+                                 closure (only the non-transactional parameter `{param}` may \
+                                 be accessed)",
+                                recv.as_deref().unwrap_or("<expr>")
+                            ),
+                        });
+                    }
+                }
+            }
+            for m in ["begin", "suspend"] {
+                if is_method_call(&scan.tokens, i, m) && scan.tokens[i + 1].line != sc.line {
+                    out.push(Finding {
+                        file: file.to_string(),
+                        line: scan.tokens[i + 1].line,
+                        lint: "A4",
+                        message: format!(
+                            "`.{m}(` inside a Tx::suspend closure: no transaction may start \
+                             (or re-suspend) while the writer is suspended"
+                        ),
+                    });
+                }
+            }
+        }
+        // One-level call expansion: same-file functions invoked from the
+        // closure must not begin or suspend transactions either.
+        for i in sc.args.0..sc.args.1.min(scan.tokens.len()) {
+            let Tok::Ident(name) = &scan.tokens[i].tok else {
+                continue;
+            };
+            if scan.tokens.get(i + 1).map(|t| &t.tok) != Some(&Tok::Punct('(')) {
+                continue;
+            }
+            // Skip method calls (handled above) — only bare calls.
+            if i > 0 && scan.tokens[i - 1].tok == Tok::Punct('.') {
+                continue;
+            }
+            if let Some(&body) = fn_map.get(name.as_str()) {
+                for m in ["begin", "suspend"] {
+                    if range_has_method_call(&scan.tokens, body, m) {
+                        out.push(Finding {
+                            file: file.to_string(),
+                            line: scan.tokens[i].line,
+                            lint: "A4",
+                            message: format!(
+                                "`{name}()` is called from a Tx::suspend closure but its body \
+                                 calls `.{m}(` (one-level purity approximation)"
+                            ),
+                        });
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+/// A5: no sleeps in tests.
+fn check_sleeps(file: &str, scan: &FileScan, eff: &[BTreeSet<&'static str>]) -> Vec<Finding> {
+    let mut out = Vec::new();
+    for i in 0..scan.tokens.len() {
+        let is_sleep = scan.tokens[i].tok == Tok::Ident("thread".to_string())
+            && scan.tokens.get(i + 1).and_then(|t| match &t.tok {
+                Tok::Punct(c) => Some(*c),
+                Tok::Ident(_) => None,
+            }) == Some(':')
+            && scan.tokens.get(i + 2).and_then(|t| match &t.tok {
+                Tok::Punct(c) => Some(*c),
+                Tok::Ident(_) => None,
+            }) == Some(':')
+            && scan.tokens.get(i + 3).map(|t| &t.tok) == Some(&Tok::Ident("sleep".to_string()));
+        if !is_sleep {
+            continue;
+        }
+        let line = scan.tokens[i].line;
+        if allowed(eff, line, "A5") {
+            continue;
+        }
+        let symbol = scan.symbols[i].clone();
+        if symbol.contains("real_threads_smoke") {
+            continue;
+        }
+        out.push(Finding {
+            file: file.to_string(),
+            line,
+            lint: "A5",
+            message: format!(
+                "thread::sleep in `{symbol}`: pin the window with the deterministic scheduler \
+                 (sched::explore) or justify with an allow comment"
+            ),
+        });
+    }
+    out
+}
+
+/// Grouped `Ordering::*` usage of one (file, symbol): the sorted
+/// ordering multiset plus the first line it occurs on.
+#[derive(Debug, Clone)]
+pub struct SiteGroup {
+    /// Workspace-relative file.
+    pub file: String,
+    /// Enclosing symbol.
+    pub symbol: String,
+    /// Sorted multiset of orderings in the code.
+    pub orderings: Vec<String>,
+    /// First line of the group (for findings).
+    pub line: usize,
+}
+
+/// Groups a file's ordering sites by enclosing symbol (allow(A1) sites
+/// are excluded).
+pub fn group_sites(file: &str, scan: &FileScan) -> Vec<SiteGroup> {
+    let eff = allows(scan);
+    let mut map: BTreeMap<String, SiteGroup> = BTreeMap::new();
+    for s in &scan.ordering_sites {
+        if allowed(&eff, s.line, "A1") {
+            continue;
+        }
+        let e = map.entry(s.symbol.clone()).or_insert_with(|| SiteGroup {
+            file: file.to_string(),
+            symbol: s.symbol.clone(),
+            orderings: Vec::new(),
+            line: s.line,
+        });
+        e.orderings.push(s.ordering.clone());
+        e.line = e.line.min(s.line);
+    }
+    map.into_values()
+        .map(|mut g| {
+            g.orderings.sort();
+            g
+        })
+        .collect()
+}
+
+/// A1: checks all site groups against the manifest (and the manifest
+/// against the code).
+pub fn check_manifest(
+    manifest: &Manifest,
+    groups: &[SiteGroup],
+    manifest_file: &str,
+) -> Vec<Finding> {
+    let mut out = Vec::new();
+    let mut by_key: BTreeMap<(String, String), &Entry> = BTreeMap::new();
+    for e in &manifest.entries {
+        if let Some(prev) = by_key.insert((e.file.clone(), e.symbol.clone()), e) {
+            out.push(Finding {
+                file: manifest_file.to_string(),
+                line: e.line,
+                lint: "A1",
+                message: format!(
+                    "duplicate manifest entry for {} `{}` (first at line {})",
+                    e.file, e.symbol, prev.line
+                ),
+            });
+        }
+    }
+    let mut seen: BTreeSet<(String, String)> = BTreeSet::new();
+    for g in groups {
+        let key = (g.file.clone(), g.symbol.clone());
+        seen.insert(key.clone());
+        match by_key.get(&key) {
+            None => out.push(Finding {
+                file: g.file.clone(),
+                line: g.line,
+                lint: "A1",
+                message: format!(
+                    "undocumented Ordering site: `{}` uses [{}] but has no [[site]] entry in \
+                     docs/orderings.toml",
+                    g.symbol,
+                    g.orderings.join(", ")
+                ),
+            }),
+            Some(e) if e.orderings != g.orderings => {
+                let drift = drift_direction(&e.orderings, &g.orderings);
+                out.push(Finding {
+                    file: g.file.clone(),
+                    line: g.line,
+                    lint: "A1",
+                    message: format!(
+                        "ordering drift in `{}`: code uses [{}] but the manifest documents \
+                         [{}]{} — fix the code or re-justify the manifest entry",
+                        g.symbol,
+                        g.orderings.join(", "),
+                        e.orderings.join(", "),
+                        drift
+                    ),
+                });
+            }
+            Some(_) => {}
+        }
+    }
+    for (key, e) in &by_key {
+        if !seen.contains(key) {
+            out.push(Finding {
+                file: manifest_file.to_string(),
+                line: e.line,
+                lint: "A1",
+                message: format!(
+                    "stale manifest entry: {} `{}` has no Ordering sites in the code",
+                    e.file, e.symbol
+                ),
+            });
+        }
+    }
+    out
+}
+
+/// Classifies drift when the two multisets are comparable element-wise.
+fn drift_direction(documented: &[String], actual: &[String]) -> &'static str {
+    if documented.len() != actual.len() {
+        return "";
+    }
+    let doc: Vec<u8> = {
+        let mut v: Vec<u8> = documented.iter().map(|o| strength(o)).collect();
+        v.sort_unstable();
+        v
+    };
+    let act: Vec<u8> = {
+        let mut v: Vec<u8> = actual.iter().map(|o| strength(o)).collect();
+        v.sort_unstable();
+        v
+    };
+    if act.iter().zip(&doc).all(|(a, d)| a >= d) && act != doc {
+        " (code is STRONGER than documented)"
+    } else if act.iter().zip(&doc).all(|(a, d)| a <= d) && act != doc {
+        " (code is WEAKER than documented)"
+    } else {
+        ""
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scan::scan_source;
+
+    fn findings_of(src: &str) -> Vec<Finding> {
+        check_file("t.rs", &scan_source(src))
+    }
+
+    #[test]
+    fn a2_fires_without_safety() {
+        let f = findings_of("fn f() { let x = unsafe { *p }; }");
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].lint, "A2");
+    }
+
+    #[test]
+    fn a2_accepts_adjacent_comment_and_attrs() {
+        let src = "// SAFETY: p is valid for the call.\n#[inline]\nunsafe fn g() {}\n";
+        assert!(findings_of(src).is_empty());
+        let shared =
+            "// SAFETY: same as slices.\nunsafe impl Send for X {}\nunsafe impl Sync for X {}\n";
+        assert!(findings_of(shared).is_empty());
+    }
+
+    #[test]
+    fn a3_fires_on_bare_spin() {
+        let f =
+            findings_of("fn f() { while x.load(Ordering::Acquire) { std::thread::yield_now(); } }");
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].lint, "A3");
+    }
+
+    #[test]
+    fn a3_accepts_discipline() {
+        assert!(findings_of(
+            "fn f() { let mut bo = sched::Backoff::new(); while x.load(Ordering::Acquire) { bo.snooze(); } }"
+        )
+        .is_empty());
+        assert!(findings_of(
+            "fn f() { loop { let v = x.load(Ordering::Acquire); if x.compare_exchange(v, v+1, Ordering::AcqRel, Ordering::Relaxed).is_ok() { break; } } }"
+        )
+        .is_empty());
+    }
+
+    #[test]
+    fn a4_fires_on_foreign_accessor() {
+        let f = findings_of("fn f() { tx.suspend(|nt| { other.write(a, 1); }); }");
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].lint, "A4");
+    }
+
+    #[test]
+    fn a4_accepts_param_accessors() {
+        assert!(
+            findings_of("fn f() { tx.suspend(|nt| { nt.write(a, 1); nt.read(a); }); }").is_empty()
+        );
+    }
+
+    #[test]
+    fn a5_fires_outside_smoke_tests() {
+        let f = findings_of("fn wait_test() { std::thread::sleep(d); }");
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].lint, "A5");
+        assert!(
+            findings_of("fn writer_real_threads_smoke() { std::thread::sleep(d); }").is_empty()
+        );
+    }
+
+    #[test]
+    fn allow_comment_requires_reason() {
+        let with = "fn f() {\n    // xlint: allow(a5) -- timing window cannot be scheduled\n    std::thread::sleep(d);\n}";
+        assert!(findings_of(with).is_empty());
+        let without = "fn f() {\n    // xlint: allow(a5)\n    std::thread::sleep(d);\n}";
+        assert_eq!(findings_of(without).len(), 1);
+    }
+
+    #[test]
+    fn a1_detects_drift_and_staleness() {
+        let scan = scan_source("impl S { fn e(&self) { c.store(1, Ordering::Release); } }");
+        let groups = group_sites("crates/epoch/src/lib.rs", &scan);
+        let m = Manifest::parse(
+            "[[site]]\nfile = \"crates/epoch/src/lib.rs\"\nsymbol = \"S::e\"\n\
+             orderings = [\"SeqCst\"]\nwhy = \"w\"\n\
+             [[site]]\nfile = \"crates/epoch/src/lib.rs\"\nsymbol = \"S::gone\"\n\
+             orderings = [\"Relaxed\"]\nwhy = \"w\"\n",
+        )
+        .unwrap();
+        let f = check_manifest(&m, &groups, "docs/orderings.toml");
+        assert_eq!(f.len(), 2);
+        assert!(f[0].message.contains("WEAKER"));
+        assert!(f[1].message.contains("stale"));
+    }
+}

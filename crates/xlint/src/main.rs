@@ -1,0 +1,174 @@
+//! CLI for the protocol-conformance linter.
+//!
+//! ```text
+//! xlint check                    # run A1–A5 over the workspace
+//! xlint emit-table [--check]     # splice docs/orderings.toml into PROTOCOL.md §5
+//! xlint scaffold                 # draft [[site]] entries for undocumented sites
+//! xlint explain <id>             # long-form rationale for a lint
+//! ```
+//!
+//! `--root <dir>` overrides workspace-root autodetection everywhere.
+
+use std::process::ExitCode;
+
+use xlint::lints::{lint_by_id, LINTS};
+use xlint::{table, MANIFEST_PATH, PROTOCOL_PATH};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut command = None;
+    let mut explain_id = None;
+    let mut root_arg = None;
+    let mut check_flag = false;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "check" | "emit-table" | "--emit-table" | "scaffold" => {
+                command = Some(args[i].trim_start_matches('-').to_string());
+            }
+            "explain" | "--explain" => {
+                command = Some("explain".to_string());
+                if let Some(id) = args.get(i + 1) {
+                    explain_id = Some(id.clone());
+                    i += 1;
+                }
+            }
+            "--check" => check_flag = true,
+            "--root" => {
+                if let Some(r) = args.get(i + 1) {
+                    root_arg = Some(r.clone());
+                    i += 1;
+                } else {
+                    eprintln!("--root requires a path");
+                    return ExitCode::from(2);
+                }
+            }
+            other => {
+                eprintln!("unknown argument `{other}`");
+                usage();
+                return ExitCode::from(2);
+            }
+        }
+        i += 1;
+    }
+    let Some(command) = command else {
+        usage();
+        return ExitCode::from(2);
+    };
+
+    if command == "explain" {
+        return explain(explain_id.as_deref());
+    }
+
+    let root = match xlint::find_root(root_arg.as_deref()) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let result = match command.as_str() {
+        "check" => run_check(&root),
+        "emit-table" => run_emit_table(&root, check_flag),
+        "scaffold" => run_scaffold(&root),
+        _ => unreachable!("command was validated above"),
+    };
+    match result {
+        Ok(code) => code,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn usage() {
+    eprintln!(
+        "usage: xlint [--root <dir>] <check | emit-table [--check] | scaffold | explain <id>>"
+    );
+    eprintln!("lints:");
+    for l in &LINTS {
+        eprintln!("  {}  {:<18} {}", l.id, l.name, l.summary);
+    }
+}
+
+fn explain(id: Option<&str>) -> ExitCode {
+    match id {
+        Some(id) => match lint_by_id(id) {
+            Some(l) => {
+                println!("{} ({}): {}\n\n{}", l.id, l.name, l.summary, l.explain);
+                ExitCode::SUCCESS
+            }
+            None => {
+                eprintln!("unknown lint `{id}` (known: A1..A5)");
+                ExitCode::from(2)
+            }
+        },
+        None => {
+            for l in &LINTS {
+                println!("{} ({}): {}", l.id, l.name, l.summary);
+            }
+            ExitCode::SUCCESS
+        }
+    }
+}
+
+fn run_check(root: &std::path::Path) -> Result<ExitCode, String> {
+    let findings = xlint::check_workspace(root)?;
+    if findings.is_empty() {
+        println!("xlint: clean ({} manifest sites verified)", {
+            xlint::load_manifest(root)?.entries.len()
+        });
+        return Ok(ExitCode::SUCCESS);
+    }
+    for f in &findings {
+        println!("{f}");
+    }
+    println!(
+        "xlint: {} finding(s); run `cargo run -p xlint -- explain <id>` for rationale, \
+         or suppress with `// xlint: allow(<id>) -- <reason>`",
+        findings.len()
+    );
+    Ok(ExitCode::FAILURE)
+}
+
+fn run_emit_table(root: &std::path::Path, check: bool) -> Result<ExitCode, String> {
+    let manifest = xlint::load_manifest(root)?;
+    let rendered = table::render_table(&manifest);
+    let path = root.join(PROTOCOL_PATH);
+    let doc =
+        std::fs::read_to_string(&path).map_err(|e| format!("reading {}: {e}", path.display()))?;
+    let new = table::splice(&doc, &rendered).map_err(|e| format!("{PROTOCOL_PATH}: {e}"))?;
+    if check {
+        if new == doc {
+            println!("xlint: {PROTOCOL_PATH} table is up to date");
+            Ok(ExitCode::SUCCESS)
+        } else {
+            println!(
+                "xlint: {PROTOCOL_PATH} table is stale; run `cargo run -p xlint -- emit-table`"
+            );
+            Ok(ExitCode::FAILURE)
+        }
+    } else {
+        if new != doc {
+            std::fs::write(&path, &new).map_err(|e| format!("writing {}: {e}", path.display()))?;
+            println!("xlint: regenerated the orderings table in {PROTOCOL_PATH}");
+        } else {
+            println!("xlint: {PROTOCOL_PATH} table already up to date");
+        }
+        Ok(ExitCode::SUCCESS)
+    }
+}
+
+fn run_scaffold(root: &std::path::Path) -> Result<ExitCode, String> {
+    let manifest = xlint::load_manifest(root).unwrap_or_default();
+    let (_, groups) = xlint::scan_workspace(root)?;
+    let draft = table::scaffold(&manifest, &groups);
+    if draft.is_empty() {
+        println!("# every Ordering site is already covered by {MANIFEST_PATH}");
+    } else {
+        print!("{draft}");
+    }
+    Ok(ExitCode::SUCCESS)
+}

@@ -1,0 +1,233 @@
+//! The machine-readable orderings manifest (`docs/orderings.toml`) and
+//! the minimal TOML-subset parser that reads it.
+//!
+//! The subset is exactly what the manifest needs and nothing more:
+//! `#` comments, `[[site]]` array-of-tables headers, and
+//! `key = "string" | [ "a", "b" ] | integer` pairs on single lines.
+//! Keeping the parser ~100 lines is what lets `xlint` stay
+//! dependency-free (the build environment is offline; see `shims/`).
+
+use std::collections::BTreeMap;
+
+/// One `[[site]]` entry: every `Ordering::*` token inside `symbol` of
+/// `file` must match `orderings` (as a multiset), and `why` documents the
+/// justification that `xlint emit-table` renders into PROTOCOL.md §5.
+#[derive(Debug, Clone)]
+pub struct Entry {
+    /// Workspace-relative file path.
+    pub file: String,
+    /// Enclosing item path (`Type::method`, `tests::case`, …).
+    pub symbol: String,
+    /// Multiset of orderings used inside the symbol (sorted for
+    /// comparison; duplicates are meaningful).
+    pub orderings: Vec<String>,
+    /// One-line justification.
+    pub why: String,
+    /// Presentation group for the emitted table ("" = ungrouped).
+    pub group: String,
+    /// 1-based line in the manifest (for error messages).
+    pub line: usize,
+}
+
+/// The parsed manifest.
+#[derive(Debug, Default)]
+pub struct Manifest {
+    /// All `[[site]]` entries in file order.
+    pub entries: Vec<Entry>,
+}
+
+impl Manifest {
+    /// Parses the manifest text; errors carry 1-based line numbers.
+    pub fn parse(text: &str) -> Result<Manifest, String> {
+        let mut entries = Vec::new();
+        let mut cur: Option<(usize, BTreeMap<String, Value>)> = None;
+        for (i, raw) in text.lines().enumerate() {
+            let lineno = i + 1;
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            if line == "[[site]]" {
+                if let Some(e) = cur.take() {
+                    entries.push(finish_entry(e)?);
+                }
+                cur = Some((lineno, BTreeMap::new()));
+                continue;
+            }
+            if line.starts_with('[') {
+                return Err(format!(
+                    "line {lineno}: unsupported table header {line:?} (only [[site]] is known)"
+                ));
+            }
+            let (key, value) = line
+                .split_once('=')
+                .ok_or_else(|| format!("line {lineno}: expected `key = value`, got {line:?}"))?;
+            let value = parse_value(value.trim()).map_err(|e| format!("line {lineno}: {e}"))?;
+            let Some((_, map)) = cur.as_mut() else {
+                return Err(format!(
+                    "line {lineno}: `{}` appears before the first [[site]]",
+                    key.trim()
+                ));
+            };
+            if map.insert(key.trim().to_string(), value).is_some() {
+                return Err(format!("line {lineno}: duplicate key `{}`", key.trim()));
+            }
+        }
+        if let Some(e) = cur.take() {
+            entries.push(finish_entry(e)?);
+        }
+        Ok(Manifest { entries })
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Value {
+    Str(String),
+    List(Vec<String>),
+}
+
+fn parse_value(v: &str) -> Result<Value, String> {
+    if let Some(rest) = v.strip_prefix('"') {
+        let inner = rest
+            .strip_suffix('"')
+            .ok_or_else(|| format!("unterminated string {v:?}"))?;
+        if inner.contains('"') || inner.contains('\\') {
+            return Err(format!(
+                "string {v:?} uses quotes/escapes, which the manifest subset forbids"
+            ));
+        }
+        return Ok(Value::Str(inner.to_string()));
+    }
+    if let Some(rest) = v.strip_prefix('[') {
+        let inner = rest
+            .strip_suffix(']')
+            .ok_or_else(|| format!("unterminated array {v:?}"))?;
+        let mut items = Vec::new();
+        for part in inner.split(',') {
+            let part = part.trim();
+            if part.is_empty() {
+                continue;
+            }
+            match parse_value(part)? {
+                Value::Str(s) => items.push(s),
+                Value::List(_) => return Err("nested arrays are not supported".to_string()),
+            }
+        }
+        return Ok(Value::List(items));
+    }
+    Err(format!(
+        "unsupported value {v:?} (the manifest subset allows strings and string arrays)"
+    ))
+}
+
+fn finish_entry((line, map): (usize, BTreeMap<String, Value>)) -> Result<Entry, String> {
+    let get_str = |k: &str| -> Result<String, String> {
+        match map.get(k) {
+            Some(Value::Str(s)) => Ok(s.clone()),
+            Some(Value::List(_)) => Err(format!("[[site]] at line {line}: `{k}` must be a string")),
+            None => Err(format!("[[site]] at line {line}: missing `{k}`")),
+        }
+    };
+    let file = get_str("file")?;
+    let symbol = get_str("symbol")?;
+    let why = get_str("why")?;
+    if why.trim().is_empty() {
+        return Err(format!("[[site]] at line {line}: `why` must not be empty"));
+    }
+    let group = match map.get("group") {
+        Some(Value::Str(s)) => s.clone(),
+        None => String::new(),
+        Some(Value::List(_)) => {
+            return Err(format!("[[site]] at line {line}: `group` must be a string"))
+        }
+    };
+    let mut orderings = match map.get("orderings") {
+        Some(Value::List(l)) => l.clone(),
+        Some(Value::Str(s)) => vec![s.clone()],
+        None => return Err(format!("[[site]] at line {line}: missing `orderings`")),
+    };
+    const KNOWN: [&str; 5] = ["SeqCst", "AcqRel", "Acquire", "Release", "Relaxed"];
+    for o in &orderings {
+        if !KNOWN.contains(&o.as_str()) {
+            return Err(format!(
+                "[[site]] at line {line}: unknown ordering {o:?} (expected one of {KNOWN:?})"
+            ));
+        }
+    }
+    for k in map.keys() {
+        if !["file", "symbol", "orderings", "why", "group"].contains(&k.as_str()) {
+            return Err(format!("[[site]] at line {line}: unknown key `{k}`"));
+        }
+    }
+    orderings.sort();
+    Ok(Entry {
+        file,
+        symbol,
+        orderings,
+        why,
+        group,
+        line,
+    })
+}
+
+/// Rank for strength comparisons (Relaxed < Acquire = Release < AcqRel
+/// < SeqCst).
+pub fn strength(ordering: &str) -> u8 {
+    match ordering {
+        "Relaxed" => 0,
+        "Acquire" | "Release" => 1,
+        "AcqRel" => 2,
+        "SeqCst" => 3,
+        _ => 0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_entries() {
+        let text = r#"
+# comment
+[[site]]
+file = "crates/epoch/src/lib.rs"
+symbol = "EpochSet::enter"
+orderings = ["SeqCst"]
+why = "the paper's MEM_FENCE"
+group = "commit quartet"
+
+[[site]]
+file = "crates/epoch/src/lib.rs"
+symbol = "EpochSet::exit"
+orderings = ["Release"]
+why = "drain is one-way"
+"#;
+        let m = Manifest::parse(text).unwrap();
+        assert_eq!(m.entries.len(), 2);
+        assert_eq!(m.entries[0].symbol, "EpochSet::enter");
+        assert_eq!(m.entries[0].group, "commit quartet");
+        assert_eq!(m.entries[1].group, "");
+    }
+
+    #[test]
+    fn rejects_missing_why() {
+        let text = "[[site]]\nfile = \"f\"\nsymbol = \"s\"\norderings = [\"SeqCst\"]\n";
+        assert!(Manifest::parse(text).is_err());
+    }
+
+    #[test]
+    fn rejects_unknown_ordering() {
+        let text =
+            "[[site]]\nfile = \"f\"\nsymbol = \"s\"\norderings = [\"Sequential\"]\nwhy = \"w\"\n";
+        assert!(Manifest::parse(text).is_err());
+    }
+
+    #[test]
+    fn strength_ranks() {
+        assert!(strength("SeqCst") > strength("AcqRel"));
+        assert!(strength("AcqRel") > strength("Acquire"));
+        assert_eq!(strength("Acquire"), strength("Release"));
+        assert!(strength("Release") > strength("Relaxed"));
+    }
+}

@@ -1,0 +1,111 @@
+//! Engine-level lint tests: each bad fixture trips exactly its lint,
+//! the clean fixture trips nothing, and — the part that wires xlint
+//! into tier-1 — the live workspace is violation-free and the generated
+//! PROTOCOL.md table matches the manifest.
+
+use xlint::lints::{check_file, check_manifest, group_sites, Finding};
+use xlint::manifest::Manifest;
+use xlint::scan::scan_source;
+use xlint::table;
+
+fn fixture(name: &str) -> String {
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name);
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("reading {}: {e}", path.display()))
+}
+
+fn lint_fixture(name: &str) -> Vec<Finding> {
+    check_file(name, &scan_source(&fixture(name)))
+}
+
+#[test]
+fn a1_fixture_reports_the_undocumented_site() {
+    let scan = scan_source(&fixture("a1_sites.rs"));
+    let groups = group_sites("a1_sites.rs", &scan);
+    assert_eq!(
+        groups.len(),
+        1,
+        "fixture should have exactly one site group"
+    );
+    let manifest = Manifest::parse(&fixture("a1_manifest.toml")).expect("fixture manifest parses");
+    let findings = check_manifest(&manifest, &groups, "a1_manifest.toml");
+    assert_eq!(findings.len(), 1, "{findings:?}");
+    assert_eq!(findings[0].lint, "A1");
+    assert!(
+        findings[0].message.contains("undocumented"),
+        "{}",
+        findings[0]
+    );
+    assert!(
+        findings[0].message.contains("Clock::bump"),
+        "{}",
+        findings[0]
+    );
+}
+
+#[test]
+fn a2_fixture_fires_exactly_once() {
+    let findings = lint_fixture("a2_unsafe_missing_safety.rs");
+    assert_eq!(findings.len(), 1, "{findings:?}");
+    assert_eq!(findings[0].lint, "A2");
+}
+
+#[test]
+fn a3_fixture_fires_exactly_once() {
+    let findings = lint_fixture("a3_bare_spin.rs");
+    assert_eq!(findings.len(), 1, "{findings:?}");
+    assert_eq!(findings[0].lint, "A3");
+}
+
+#[test]
+fn a4_fixture_fires_exactly_once() {
+    let findings = lint_fixture("a4_impure_suspend.rs");
+    assert_eq!(findings.len(), 1, "{findings:?}");
+    assert_eq!(findings[0].lint, "A4");
+}
+
+#[test]
+fn a5_fixture_fires_exactly_once() {
+    let findings = lint_fixture("a5_sleep_in_test.rs");
+    assert_eq!(findings.len(), 1, "{findings:?}");
+    assert_eq!(findings[0].lint, "A5");
+}
+
+#[test]
+fn clean_fixture_is_clean() {
+    let findings = lint_fixture("clean.rs");
+    assert!(findings.is_empty(), "{findings:?}");
+}
+
+/// The tier-1 hook: the real workspace must pass the full A1–A5 check.
+/// If this fails, run `cargo run -p xlint -- check` for the findings
+/// plus remediation hints.
+#[test]
+fn live_workspace_is_violation_free() {
+    let root = xlint::find_root(None).expect("workspace root");
+    let findings = xlint::check_workspace(&root).expect("check runs");
+    assert!(
+        findings.is_empty(),
+        "workspace has xlint findings:\n{}",
+        findings
+            .iter()
+            .map(|f| f.to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}
+
+/// The generated orderings table in PROTOCOL.md must match the
+/// manifest. Regenerate with `cargo run -p xlint -- emit-table`.
+#[test]
+fn protocol_table_is_current() {
+    let root = xlint::find_root(None).expect("workspace root");
+    let manifest = xlint::load_manifest(&root).expect("manifest parses");
+    let doc = std::fs::read_to_string(root.join(xlint::PROTOCOL_PATH)).expect("PROTOCOL.md reads");
+    let spliced = table::splice(&doc, &table::render_table(&manifest)).expect("markers present");
+    assert_eq!(
+        spliced, doc,
+        "docs/PROTOCOL.md orderings table is stale; run `cargo run -p xlint -- emit-table`"
+    );
+}

@@ -1,0 +1,11 @@
+//! A1 fixture: one `Ordering::*` site with no manifest entry.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub struct Clock(AtomicU64);
+
+impl Clock {
+    pub fn bump(&self) -> u64 {
+        self.0.fetch_add(2, Ordering::SeqCst)
+    }
+}

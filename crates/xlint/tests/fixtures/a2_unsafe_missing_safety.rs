@@ -1,0 +1,5 @@
+//! A2 fixture: an `unsafe` block with no adjacent `// SAFETY:` comment.
+
+pub fn deref(p: *const u64) -> u64 {
+    unsafe { *p }
+}

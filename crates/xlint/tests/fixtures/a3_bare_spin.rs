@@ -1,0 +1,9 @@
+//! A3 fixture: a busy-wait on an atomic with no backoff discipline.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+pub fn wait_until_clear(flag: &AtomicBool) {
+    while flag.load(Ordering::Acquire) {
+        std::hint::spin_loop();
+    }
+}

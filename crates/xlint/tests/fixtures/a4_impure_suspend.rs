@@ -1,0 +1,9 @@
+//! A4 fixture: a suspend closure that reaches back into the suspended
+//! transaction's speculative accessors.
+
+pub fn publish(tx: &mut Tx, addr: u64) {
+    tx.suspend(|nt| {
+        let stale = tx.read(addr);
+        nt.write(addr, stale + 1);
+    });
+}

@@ -1,0 +1,7 @@
+//! A5 fixture: a timing-dependent test sleep outside the smoke tests.
+
+#[test]
+fn eventually_converges() {
+    std::thread::sleep(std::time::Duration::from_millis(50));
+    assert!(true);
+}

@@ -1,0 +1,35 @@
+//! Clean fixture: exercises every lint's *negative* space — unsafe with
+//! a SAFETY comment, a disciplined spin, a pure suspend closure, a
+//! smoke-test sleep, and an allow-comment escape hatch.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+pub fn deref(p: *const u64) -> u64 {
+    // SAFETY: callers guarantee `p` points into the live arena and no
+    // writer holds the covering line.
+    unsafe { *p }
+}
+
+pub fn wait_until_clear(flag: &AtomicBool, backoff: &mut Backoff) {
+    while flag.load(Ordering::Acquire) {
+        backoff.snooze();
+    }
+}
+
+pub fn publish(tx: &mut Tx, addr: u64) {
+    tx.suspend(|nt| {
+        nt.write(addr, 1);
+    });
+}
+
+#[test]
+fn writer_real_threads_smoke() {
+    std::thread::sleep(std::time::Duration::from_millis(1));
+}
+
+#[test]
+fn staged_handoff() {
+    // xlint: allow(a5) -- fixture: exercises the allow escape hatch; the
+    // assertion below is timing-independent.
+    std::thread::sleep(std::time::Duration::from_millis(1));
+}
