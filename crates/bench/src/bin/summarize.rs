@@ -23,10 +23,20 @@ use bench::{json_string, parse_results as parse, Args, ResultRow as Row};
 
 /// One `"set": ...` row object of the benchmark-record JSON.
 fn json_row(set: &str, section: &str, r: &Row) -> String {
+    // Service-layer rows (loadgen --json) carry latency quantiles;
+    // forward them so BENCH_rwle.json keeps them. `regress` ignores
+    // keys it does not know.
+    let latency = match r.latency_us {
+        Some([p50, p90, p99, p999, max]) => format!(
+            ", \"p50_us\": {p50:.1}, \"p90_us\": {p90:.1}, \"p99_us\": {p99:.1}, \
+             \"p999_us\": {p999:.1}, \"max_us\": {max:.1}"
+        ),
+        None => String::new(),
+    };
     format!(
         "{{\"set\": {}, \"section\": {}, \"scheme\": {}, \"threads\": {}, \"w\": {}, \
          \"time_s\": {:.6}, \"ops_per_s\": {:.1}, \"abort_pct\": {:.2}, \
-         \"c_htm\": {:.2}, \"c_rot\": {:.2}, \"c_sgl\": {:.2}, \"c_uninstr\": {:.2}}}",
+         \"c_htm\": {:.2}, \"c_rot\": {:.2}, \"c_sgl\": {:.2}, \"c_uninstr\": {:.2}{latency}}}",
         json_string(set),
         json_string(section),
         json_string(&r.scheme),

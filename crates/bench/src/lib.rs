@@ -381,6 +381,11 @@ pub struct ResultRow {
     pub abort_pct: f64,
     /// Commit mix: HTM / ROT / SGL / uninstrumented shares (percent).
     pub commit_mix: [f64; 4],
+    /// Latency quantiles `[p50, p90, p99, p99.9, max]` in microseconds —
+    /// present only on rows from the service load generator (`loadgen
+    /// --json`), which measures end-to-end request latency; the closed
+    /// critical-section harnesses have no per-op latency to report.
+    pub latency_us: Option<[f64; 5]>,
 }
 
 /// Parses a harness result file — text tables (tracking `# ...` section
@@ -444,6 +449,7 @@ pub fn parse_results(path: &str) -> Vec<(String, ResultRow)> {
                 ops_per_s,
                 abort_pct,
                 commit_mix,
+                latency_us: None,
             },
         ));
     }
@@ -468,8 +474,21 @@ pub fn parse_json_result_row(line: &str) -> Option<(String, ResultRow)> {
                 json_f64(line, "c_sgl")?,
                 json_f64(line, "c_uninstr")?,
             ],
+            latency_us: parse_latency_keys(line),
         },
     ))
+}
+
+/// The optional latency quantile keys of a `loadgen --json` row,
+/// all-or-nothing: a row either carries the full set or none.
+fn parse_latency_keys(line: &str) -> Option<[f64; 5]> {
+    Some([
+        json_f64(line, "p50_us")?,
+        json_f64(line, "p90_us")?,
+        json_f64(line, "p99_us")?,
+        json_f64(line, "p999_us")?,
+        json_f64(line, "max_us")?,
+    ])
 }
 
 /// [`json_field`] decoded as an unescaped string value.

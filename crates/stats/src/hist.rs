@@ -1,0 +1,322 @@
+//! Log-bucketed latency histogram for the service layer.
+//!
+//! [`LatencyHist`] records `u64` samples (nanoseconds by convention) into
+//! logarithmically spaced buckets: values below 64 are exact, larger
+//! values keep their top six bits (one octave split into 32 linear
+//! sub-buckets). A bucket's reported representative is its midpoint, so
+//! the worst-case relative quantile error is `1/64 ≈ 1.56%` — inside the
+//! 2.5% budget the load generator's percentile reports promise.
+//!
+//! Histograms are plain arrays of counters: cheap to keep per thread and
+//! per operation class, merged with [`LatencyHist::merge`] after the
+//! workers join (no synchronization on the hot path).
+
+use std::fmt;
+
+/// Sub-buckets per octave (32 → ≤1.5625% relative error).
+const SUB_BUCKETS: u64 = 32;
+/// Values below this are recorded exactly (two plain octaves).
+const EXACT_LIMIT: u64 = 2 * SUB_BUCKETS;
+/// Bit length of the largest exactly-recorded value.
+const EXACT_BITS: u32 = 6; // 2^6 == EXACT_LIMIT
+/// Total bucket count: 64 exact + 32 per octave for bit lengths 7..=64.
+const BUCKETS: usize = EXACT_LIMIT as usize + (64 - EXACT_BITS as usize) * SUB_BUCKETS as usize;
+
+/// A mergeable log-bucketed histogram of `u64` samples.
+///
+/// ```
+/// use stats::LatencyHist;
+/// let mut h = LatencyHist::new();
+/// for v in [10, 100, 1000, 10_000] {
+///     h.record(v);
+/// }
+/// assert_eq!(h.count(), 4);
+/// assert!(h.quantile(0.99) <= h.max());
+/// ```
+#[derive(Clone)]
+pub struct LatencyHist {
+    counts: Box<[u64; BUCKETS]>,
+    total: u64,
+    max: u64,
+    min: u64,
+    sum: u128,
+}
+
+impl Default for LatencyHist {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LatencyHist {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        LatencyHist {
+            counts: vec![0u64; BUCKETS].into_boxed_slice().try_into().unwrap(),
+            total: 0,
+            max: 0,
+            min: u64::MAX,
+            sum: 0,
+        }
+    }
+
+    /// Bucket index of `v`.
+    #[inline]
+    fn index(v: u64) -> usize {
+        if v < EXACT_LIMIT {
+            return v as usize;
+        }
+        let bits = 64 - v.leading_zeros(); // >= 7 here
+        let shift = bits - EXACT_BITS;
+        // Top six bits of v, in [32, 64); low five select the sub-bucket.
+        let top = (v >> shift) as usize;
+        EXACT_LIMIT as usize
+            + (bits - EXACT_BITS - 1) as usize * SUB_BUCKETS as usize
+            + (top - SUB_BUCKETS as usize)
+    }
+
+    /// Representative value (bucket midpoint) of bucket `i`.
+    fn representative(i: usize) -> u64 {
+        if i < EXACT_LIMIT as usize {
+            return i as u64;
+        }
+        let rel = i - EXACT_LIMIT as usize;
+        let shift = (rel / SUB_BUCKETS as usize) as u32 + 1;
+        let sub = (rel % SUB_BUCKETS as usize) as u64;
+        let lo = (SUB_BUCKETS + sub) << shift;
+        lo + (1 << shift) / 2
+    }
+
+    /// Records one sample.
+    #[inline]
+    pub fn record(&mut self, v: u64) {
+        self.counts[Self::index(v)] += 1;
+        self.total += 1;
+        self.max = self.max.max(v);
+        self.min = self.min.min(v);
+        self.sum += v as u128;
+    }
+
+    /// Total samples recorded.
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// Largest sample recorded (exact, not bucketed); 0 when empty.
+    pub fn max(&self) -> u64 {
+        if self.total == 0 {
+            0
+        } else {
+            self.max
+        }
+    }
+
+    /// Smallest sample recorded (exact); 0 when empty.
+    pub fn min(&self) -> u64 {
+        if self.total == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Mean of all samples; 0.0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.total as f64
+        }
+    }
+
+    /// Folds `other`'s samples into `self` (cross-thread aggregation).
+    pub fn merge(&mut self, other: &LatencyHist) {
+        for (a, b) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *a += *b;
+        }
+        self.total += other.total;
+        self.sum += other.sum;
+        if other.total > 0 {
+            self.max = self.max.max(other.max);
+            self.min = self.min.min(other.min);
+        }
+    }
+
+    /// Value at quantile `q` in `[0, 1]`: the representative of the first
+    /// bucket whose cumulative count reaches `ceil(q * total)`, clamped
+    /// to the exact observed min/max. Returns 0 when empty.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.total == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let rank = ((q * self.total as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return Self::representative(i).clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Median (p50).
+    pub fn p50(&self) -> u64 {
+        self.quantile(0.50)
+    }
+
+    /// 90th percentile.
+    pub fn p90(&self) -> u64 {
+        self.quantile(0.90)
+    }
+
+    /// 99th percentile.
+    pub fn p99(&self) -> u64 {
+        self.quantile(0.99)
+    }
+
+    /// 99.9th percentile.
+    pub fn p999(&self) -> u64 {
+        self.quantile(0.999)
+    }
+}
+
+impl fmt::Debug for LatencyHist {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "LatencyHist(n={} p50={} p99={} max={})",
+            self.count(),
+            self.p50(),
+            self.p99(),
+            self.max()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Deterministic 64-bit generator (SplitMix64) — the histogram tests
+    /// only need seeded spread, not the full rand shim.
+    struct Mix(u64);
+    impl Mix {
+        fn next(&mut self) -> u64 {
+            self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = self.0;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        }
+    }
+
+    #[test]
+    fn empty_histogram_is_all_zero() {
+        let h = LatencyHist::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.max(), 0);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.quantile(0.5), 0);
+        assert_eq!(h.mean(), 0.0);
+    }
+
+    #[test]
+    fn small_values_are_exact() {
+        let mut h = LatencyHist::new();
+        for v in 0..EXACT_LIMIT {
+            h.record(v);
+            // A single-value histogram reports that value exactly.
+            let mut single = LatencyHist::new();
+            single.record(v);
+            assert_eq!(single.quantile(0.5), v, "value {v}");
+        }
+        assert_eq!(h.count(), EXACT_LIMIT);
+    }
+
+    #[test]
+    fn bucket_relative_error_is_within_bound() {
+        // For any value, the representative of its bucket (clamped into
+        // the observed range) is within 2.5% — the bound the loadgen's
+        // percentile reports advertise; the construction gives 1/64.
+        let mut rng = Mix(7);
+        for _ in 0..20_000 {
+            let shift = (rng.next() % 50) as u32;
+            let v = (rng.next() >> 14) >> shift | 1;
+            let mut h = LatencyHist::new();
+            h.record(v);
+            let got = h.quantile(0.99) as f64;
+            let rel = (got - v as f64).abs() / v as f64;
+            assert!(rel <= 0.025, "value {v}: representative {got}, rel {rel}");
+        }
+    }
+
+    #[test]
+    fn merge_equals_recording_everything_in_one() {
+        let mut rng = Mix(99);
+        let mut parts = vec![LatencyHist::new(), LatencyHist::new(), LatencyHist::new()];
+        let mut whole = LatencyHist::new();
+        for i in 0..3000 {
+            let v = rng.next() >> (rng.next() % 40) as u32;
+            parts[i % 3].record(v);
+            whole.record(v);
+        }
+        let mut merged = LatencyHist::new();
+        for p in &parts {
+            merged.merge(p);
+        }
+        assert_eq!(merged.count(), whole.count());
+        assert_eq!(merged.max(), whole.max());
+        assert_eq!(merged.min(), whole.min());
+        for q in [0.0, 0.1, 0.5, 0.9, 0.99, 0.999, 1.0] {
+            assert_eq!(merged.quantile(q), whole.quantile(q), "quantile {q}");
+        }
+    }
+
+    #[test]
+    fn quantiles_are_monotone_and_bounded_by_max() {
+        let mut rng = Mix(3);
+        let mut h = LatencyHist::new();
+        for _ in 0..10_000 {
+            h.record(rng.next() % 5_000_000);
+        }
+        let qs = [0.0, 0.25, 0.5, 0.75, 0.9, 0.99, 0.999, 1.0];
+        let vals: Vec<u64> = qs.iter().map(|&q| h.quantile(q)).collect();
+        for w in vals.windows(2) {
+            assert!(w[0] <= w[1], "quantiles not monotone: {vals:?}");
+        }
+        assert!(h.p50() <= h.p90());
+        assert!(h.p90() <= h.p99());
+        assert!(h.p99() <= h.p999());
+        assert!(h.p999() <= h.max());
+        assert_eq!(h.quantile(1.0), h.max());
+    }
+
+    #[test]
+    fn known_distribution_quantiles() {
+        // 1..=1000 recorded once each: p50 ≈ 500, p90 ≈ 900 within the
+        // 2.5% bucket bound.
+        let mut h = LatencyHist::new();
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        let p50 = h.p50() as f64;
+        let p90 = h.p90() as f64;
+        assert!((p50 - 500.0).abs() / 500.0 <= 0.025, "p50 {p50}");
+        assert!((p90 - 900.0).abs() / 900.0 <= 0.025, "p90 {p90}");
+        assert_eq!(h.max(), 1000);
+        assert_eq!(h.min(), 1);
+    }
+
+    #[test]
+    fn extreme_values_do_not_panic() {
+        let mut h = LatencyHist::new();
+        for v in [0, 1, u64::MAX, u64::MAX - 1, 1 << 63, (1 << 63) - 1] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 6);
+        assert_eq!(h.max(), u64::MAX);
+        assert!(h.quantile(1.0) >= h.quantile(0.5));
+    }
+}

@@ -12,6 +12,10 @@
 
 #![warn(missing_docs)]
 
+pub mod hist;
+
+pub use hist::LatencyHist;
+
 use std::fmt;
 
 use htm::{AbortCause, TxMode, ABORT_LOCK_BUSY};

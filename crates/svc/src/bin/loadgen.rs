@@ -1,0 +1,201 @@
+//! `loadgen` — drives traffic at a running `rwled` and reports latency.
+//!
+//! ```text
+//! loadgen [--addr HOST:PORT | --port P] [--conns N] [--writes PCT]
+//!         [--scans PCT] [--scan-count N] [--secs S] [--ops N]
+//!         [--keys N] [--theta F] [--rate OPS_PER_CONN_PER_S]
+//!         [--seed N] [--json] [--shutdown]
+//! ```
+//!
+//! `--rate 0` (default) is closed-loop; a positive rate switches to
+//! open-loop injection. `--json` emits one JSON-lines row compatible
+//! with `summarize` (commit-mix keys are zero placeholders — the
+//! service measures latency, not the commit path; see DESIGN.md §8).
+//! Exit codes: 0 clean, 1 errors or lost replies, 2 bad input or
+//! unreachable server.
+
+use std::process::exit;
+
+use bench::{json_string, Args};
+use svc::loadgen::{self, LoadgenConfig, CLASS_NAMES};
+
+const USAGE: &str = "\
+usage: loadgen [--addr HOST:PORT | --port P] [--conns N] [--writes PCT]
+               [--scans PCT] [--scan-count N] [--secs S] [--ops N]
+               [--keys N] [--theta F] [--rate R] [--seed N]
+               [--json] [--shutdown]
+
+  Closed loop by default; --rate R injects R ops/s per connection
+  (open loop). --shutdown drains the server at the end.";
+
+/// Nanoseconds to microseconds for reporting.
+fn us(nanos: u64) -> f64 {
+    nanos as f64 / 1000.0
+}
+
+fn main() {
+    let args = Args::parse();
+    if args.flag("help") {
+        println!("{USAGE}");
+        return;
+    }
+    let addr = match args.get("addr") {
+        Some(a) => a.to_string(),
+        None => format!("127.0.0.1:{}", args.get_or("port", 7878u16)),
+    };
+    let cfg = LoadgenConfig {
+        addr,
+        conns: args.get_or("conns", 8usize),
+        write_pct: args.get_or("writes", 10u32),
+        scan_pct: args.get_or("scans", 2u32),
+        scan_count: args.get_or("scan-count", 64u32),
+        secs: args.get_or("secs", 2.0f64),
+        ops_per_conn: args.get_or("ops", 0u64),
+        key_range: args.get_or("keys", 100_000u64),
+        zipf_theta: args.get_or("theta", 0.0f64),
+        open_rate: args.get_or("rate", 0u64),
+        seed: args.get_or("seed", 1u64),
+        shutdown: args.flag("shutdown"),
+    };
+    if cfg.conns == 0 {
+        eprintln!("loadgen: --conns must be at least 1");
+        exit(2);
+    }
+    if cfg.write_pct + cfg.scan_pct > 100 {
+        eprintln!(
+            "loadgen: --writes {} plus --scans {} exceeds 100%",
+            cfg.write_pct, cfg.scan_pct
+        );
+        eprintln!("hint: the scan share is carved out first; lower one of them");
+        exit(2);
+    }
+    if cfg.key_range == 0 {
+        eprintln!("loadgen: --keys must be at least 1");
+        exit(2);
+    }
+    if cfg.scan_count > svc::proto::MAX_SCAN {
+        eprintln!(
+            "loadgen: --scan-count {} exceeds the protocol limit {}",
+            cfg.scan_count,
+            svc::proto::MAX_SCAN
+        );
+        exit(2);
+    }
+    if cfg.secs <= 0.0 && cfg.ops_per_conn == 0 {
+        eprintln!("loadgen: give a positive --secs or a positive --ops");
+        exit(2);
+    }
+
+    let res = match loadgen::run(&cfg) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("loadgen: {e}");
+            eprintln!("hint: is rwled running? start it with: rwled --threads 4");
+            exit(2);
+        }
+    };
+
+    let scheme = res
+        .server
+        .as_ref()
+        .map(|s| s.scheme.clone())
+        .unwrap_or_else(|| String::from("UNKNOWN"));
+    if args.flag("json") {
+        let mode = if cfg.open_rate > 0 {
+            format!("open rate={}", cfg.open_rate)
+        } else {
+            String::from("closed")
+        };
+        let mut per_class = String::new();
+        for (i, name) in CLASS_NAMES.iter().enumerate() {
+            per_class.push_str(&format!(
+                ", \"{name}_p99_us\": {:.1}, \"{name}_ops\": {}",
+                us(res.hists[i].p99()),
+                res.hists[i].count()
+            ));
+        }
+        // Keys through `c_uninstr` make the row parseable by
+        // bench::parse_json_result_row; the latency keys extend it
+        // (schema "svc-loadgen", see DESIGN.md §8).
+        println!(
+            "{{\"section\": {}, \"scheme\": {}, \"threads\": {}, \"w\": {}, \
+             \"time_s\": {:.6}, \"ops_per_s\": {:.1}, \"abort_pct\": 0.00, \
+             \"c_htm\": 0.00, \"c_rot\": 0.00, \"c_sgl\": 0.00, \"c_uninstr\": 0.00, \
+             \"p50_us\": {:.1}, \"p90_us\": {:.1}, \"p99_us\": {:.1}, \
+             \"p999_us\": {:.1}, \"max_us\": {:.1}, \"sent\": {}, \
+             \"received\": {}, \"errors\": {}, \"shed\": {}{per_class}}}",
+            json_string(&format!("svc loopback {mode} conns={}", cfg.conns)),
+            json_string(&scheme),
+            cfg.conns,
+            cfg.write_pct,
+            res.elapsed,
+            res.ops_per_s(),
+            us(res.all.p50()),
+            us(res.all.p90()),
+            us(res.all.p99()),
+            us(res.all.p999()),
+            us(res.all.max()),
+            res.sent,
+            res.received,
+            res.errors,
+            res.shed,
+        );
+    } else {
+        let mode = if cfg.open_rate > 0 {
+            format!("open loop @ {} ops/s/conn", cfg.open_rate)
+        } else {
+            String::from("closed loop")
+        };
+        println!(
+            "loadgen: {} conns, {}% writes, {}% scans, {mode}, scheme {scheme}",
+            cfg.conns, cfg.write_pct, cfg.scan_pct
+        );
+        println!(
+            "  elapsed {:.3} s, sent {}, received {} ({:.0} ops/s)",
+            res.elapsed,
+            res.sent,
+            res.received,
+            res.ops_per_s()
+        );
+        println!(
+            "  latency p50 {:.1} us, p90 {:.1} us, p99 {:.1} us, p99.9 {:.1} us, max {:.1} us",
+            us(res.all.p50()),
+            us(res.all.p90()),
+            us(res.all.p99()),
+            us(res.all.p999()),
+            us(res.all.max())
+        );
+        for (i, name) in CLASS_NAMES.iter().enumerate() {
+            if res.hists[i].count() > 0 {
+                println!(
+                    "  {name:>5}: {} ops, p50 {:.1} us, p99 {:.1} us",
+                    res.hists[i].count(),
+                    us(res.hists[i].p50()),
+                    us(res.hists[i].p99())
+                );
+            }
+        }
+        println!(
+            "  busy (shed) {}, not-found {}, errors {}",
+            res.shed, res.not_found, res.errors
+        );
+        if let Some(s) = &res.server {
+            println!(
+                "  server: {} enqueued, {} replied, {} shed, {} malformed, \
+                 {} timeouts, {} conns",
+                s.enqueued, s.replied, s.shed, s.malformed, s.timeouts, s.conns
+            );
+        }
+    }
+    if res.errors > 0 {
+        eprintln!("loadgen: {} errors", res.errors);
+        exit(1);
+    }
+    if res.sent != res.received {
+        eprintln!(
+            "loadgen: sent {} but received {} replies",
+            res.sent, res.received
+        );
+        exit(1);
+    }
+}

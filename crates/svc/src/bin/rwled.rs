@@ -1,0 +1,106 @@
+//! `rwled` — the loopback KV server.
+//!
+//! ```text
+//! rwled [--port P] [--threads N] [--scheme NAME] [--shards N]
+//!       [--buckets N] [--prefill N] [--capacity N] [--queue-depth N]
+//!       [--max-conns N] [--idle-ms MS] [--seed N] [--port-file PATH]
+//! ```
+//!
+//! Prints the bound address on stdout, serves until a SHUTDOWN request,
+//! then drains and prints the final report. Exit codes: 0 clean drain,
+//! 1 runtime failure or drain mismatch, 2 bad configuration.
+
+use std::process::exit;
+use std::time::Duration;
+
+use bench::Args;
+use svc::server::{Server, ServerConfig};
+use workloads::SchemeKind;
+
+const USAGE: &str = "\
+usage: rwled [--port P] [--threads N] [--scheme NAME] [--shards N]
+             [--buckets N] [--prefill N] [--capacity N] [--queue-depth N]
+             [--max-conns N] [--idle-ms MS] [--seed N] [--port-file PATH]
+
+  --port 0 binds an ephemeral port; --port-file writes the bound port
+  there for scripts. Schemes: rw-le_opt (default), rw-le_pes, hle, sgl,
+  rwl, brlock, ...";
+
+fn main() {
+    let args = Args::parse();
+    if args.flag("help") {
+        println!("{USAGE}");
+        return;
+    }
+    let scheme_name = args.get("scheme").unwrap_or("rw-le_opt").to_string();
+    let Some(scheme) = SchemeKind::parse(&scheme_name) else {
+        eprintln!("unknown scheme {scheme_name:?}");
+        eprintln!("hint: try --scheme rw-le_opt, rw-le_pes, hle, or sgl");
+        exit(2);
+    };
+    let cfg = ServerConfig {
+        port: args.get_or("port", 7878u16),
+        threads: args.get_or("threads", 4usize),
+        scheme,
+        shards: args.get_or("shards", 16usize),
+        buckets_per_shard: args.get_or("buckets", 1024u32),
+        prefill: args.get_or("prefill", 100_000u64),
+        extra_capacity: args.get_or("capacity", 400_000u64),
+        queue_depth: args.get_or("queue-depth", 1024usize),
+        max_conns: args.get_or("max-conns", 1024usize),
+        idle_timeout: Duration::from_millis(args.get_or("idle-ms", 10_000u64)),
+        seed: args.get_or("seed", 1u64),
+    };
+    let threads = cfg.threads;
+    let server = match Server::bind(cfg) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("rwled: cannot start: {e}");
+            eprintln!(
+                "hint: pass --port 0 for an ephemeral port if the address is \
+                 taken, or lower --prefill/--capacity if memory sizing failed"
+            );
+            exit(2);
+        }
+    };
+    let addr = match server.local_addr() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("rwled: cannot read bound address: {e}");
+            exit(2);
+        }
+    };
+    if let Some(path) = args.get("port-file") {
+        if let Err(e) = std::fs::write(path, addr.port().to_string()) {
+            eprintln!("rwled: cannot write --port-file {path}: {e}");
+            exit(2);
+        }
+    }
+    println!("rwled listening on {addr} ({threads} workers, scheme {scheme_name})");
+    match server.run() {
+        Ok(report) => {
+            println!(
+                "rwled drained: {} enqueued, {} replied, {} shed, {} malformed, \
+                 {} timeouts, {} conns",
+                report.enqueued,
+                report.replied,
+                report.shed,
+                report.malformed,
+                report.timeouts,
+                report.conns
+            );
+            println!("  {}", report.summary);
+            if !report.drained() {
+                eprintln!(
+                    "rwled: drain mismatch: {} enqueued but {} replied",
+                    report.enqueued, report.replied
+                );
+                exit(1);
+            }
+        }
+        Err(e) => {
+            eprintln!("rwled: server error: {e}");
+            exit(1);
+        }
+    }
+}

@@ -1,0 +1,24 @@
+//! A loopback KV service front-end for the elided store, plus the load
+//! generator that drives it.
+//!
+//! The benchmark harness (`crates/bench`) measures closed critical
+//! sections back to back; this crate measures the protocol stack the way
+//! a deployment would see it — behind a network service with queueing,
+//! timeouts and load shedding:
+//!
+//! * [`proto`] — the length-prefixed binary wire protocol (GET / PUT /
+//!   DEL / SCAN / STATS / SHUTDOWN) and its incremental frame parser;
+//! * [`server`] — the `rwled` server: thread-per-core workers, each
+//!   owning an HTM thread context, routing requests into the sharded
+//!   elided store (`workloads::sharded`);
+//! * [`loadgen`] — the client: open- and closed-loop traffic with
+//!   configurable skew and write fraction, latency recorded per op class
+//!   in [`stats::LatencyHist`].
+//!
+//! See DESIGN.md §8 for the architecture rationale.
+
+#![warn(missing_docs)]
+
+pub mod loadgen;
+pub mod proto;
+pub mod server;

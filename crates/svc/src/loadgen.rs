@@ -1,0 +1,485 @@
+//! The load generator behind the `loadgen` binary.
+//!
+//! Two pacing modes:
+//!
+//! * **Closed loop** (default): each connection keeps exactly one
+//!   request outstanding — send, wait, record. Throughput adapts to the
+//!   server; latency excludes queueing the client itself causes.
+//! * **Open loop** (`open_rate > 0`): a sender thread per connection
+//!   injects at a fixed rate regardless of replies, and a receiver
+//!   thread matches replies in order. Latency is measured from the
+//!   *intended* send instant, so server-side queueing delay is charged
+//!   to the request (no coordinated omission).
+//!
+//! Latency is recorded in nanoseconds per op class (GET / PUT / DEL /
+//! SCAN) into [`LatencyHist`]; histograms merge across connections.
+
+use std::io::{self, Write};
+use std::net::TcpStream;
+use std::sync::{mpsc, Arc};
+use std::time::{Duration, Instant};
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use stats::LatencyHist;
+
+use crate::proto::{read_frame, Request, Response, ServerStats};
+
+/// Per-connection seed spreader (same constant as the bench driver).
+const SPREAD: u64 = 0x9e37_79b9_7f4a_7c15;
+
+/// Op-class indices into the histogram arrays.
+pub const CLASS_GET: usize = 0;
+/// See [`CLASS_GET`].
+pub const CLASS_PUT: usize = 1;
+/// See [`CLASS_GET`].
+pub const CLASS_DEL: usize = 2;
+/// See [`CLASS_GET`].
+pub const CLASS_SCAN: usize = 3;
+/// Class labels, indexed by `CLASS_*`.
+pub const CLASS_NAMES: [&str; 4] = ["get", "put", "del", "scan"];
+
+/// Load-generator configuration. `Default` matches the README
+/// quickstart: 8 closed-loop connections, 10% writes, 2 seconds.
+#[derive(Debug, Clone)]
+pub struct LoadgenConfig {
+    /// Server address, e.g. `127.0.0.1:7878`.
+    pub addr: String,
+    /// Concurrent connections.
+    pub conns: usize,
+    /// Percent of (non-scan) ops that are writes, split evenly PUT/DEL.
+    pub write_pct: u32,
+    /// Percent of ops that are SCANs (carved out before the write roll).
+    pub scan_pct: u32,
+    /// Range length per SCAN.
+    pub scan_count: u32,
+    /// Run duration in seconds (wall clock per connection).
+    pub secs: f64,
+    /// Op cap per connection (0 = until the deadline only).
+    pub ops_per_conn: u64,
+    /// Keys are drawn from `0..key_range`.
+    pub key_range: u64,
+    /// Zipf skew exponent (0 = uniform). Hot keys are the low ones.
+    pub zipf_theta: f64,
+    /// Open-loop injection rate per connection in ops/s (0 = closed
+    /// loop).
+    pub open_rate: u64,
+    /// Base RNG seed (per-connection streams are decorrelated).
+    pub seed: u64,
+    /// Send SHUTDOWN after the run and wait for the drain ack.
+    pub shutdown: bool,
+}
+
+impl Default for LoadgenConfig {
+    fn default() -> Self {
+        LoadgenConfig {
+            addr: String::from("127.0.0.1:7878"),
+            conns: 8,
+            write_pct: 10,
+            scan_pct: 2,
+            scan_count: 64,
+            secs: 2.0,
+            ops_per_conn: 0,
+            key_range: 100_000,
+            zipf_theta: 0.0,
+            open_rate: 0,
+            seed: 1,
+            shutdown: false,
+        }
+    }
+}
+
+/// Merged outcome of one load run.
+#[derive(Debug)]
+pub struct LoadResult {
+    /// Wall-clock seconds of the load phase.
+    pub elapsed: f64,
+    /// Requests sent (excluding the control connection).
+    pub sent: u64,
+    /// Replies received.
+    pub received: u64,
+    /// Latency per op class, indexed by `CLASS_*`.
+    pub hists: [LatencyHist; 4],
+    /// All classes merged.
+    pub all: LatencyHist,
+    /// Unexpected responses or broken connections.
+    pub errors: u64,
+    /// Busy replies (server shed load).
+    pub shed: u64,
+    /// NotFound replies (normal for random keys; counted, not errors).
+    pub not_found: u64,
+    /// Server counters fetched over a fresh connection after the run.
+    pub server: Option<ServerStats>,
+}
+
+impl LoadResult {
+    /// Completed (replied) operations per second.
+    pub fn ops_per_s(&self) -> f64 {
+        self.received as f64 / self.elapsed.max(1e-9)
+    }
+}
+
+/// Key distribution: uniform, or Zipf via a precomputed CDF shared
+/// across connections.
+pub struct KeyDist {
+    range: u64,
+    cdf: Option<Arc<Vec<f64>>>,
+}
+
+impl KeyDist {
+    /// Builds the distribution; `theta <= 0` is uniform. The CDF table
+    /// is capped at 2^20 entries (skew beyond that is indistinguishable
+    /// at our run lengths), so `range` may exceed the table.
+    pub fn new(range: u64, theta: f64) -> KeyDist {
+        assert!(range > 0, "key range must be non-empty");
+        if theta <= 0.0 {
+            return KeyDist { range, cdf: None };
+        }
+        let n = range.min(1 << 20) as usize;
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0f64;
+        for i in 0..n {
+            acc += 1.0 / ((i + 1) as f64).powf(theta);
+            cdf.push(acc);
+        }
+        for c in cdf.iter_mut() {
+            *c /= acc;
+        }
+        KeyDist {
+            range,
+            cdf: Some(Arc::new(cdf)),
+        }
+    }
+
+    /// Draws one key.
+    pub fn sample(&self, rng: &mut SmallRng) -> u64 {
+        match &self.cdf {
+            None => rng.gen_range(0..self.range),
+            Some(cdf) => {
+                // 53 uniform bits → [0, 1).
+                let u = rng.gen_range(0..(1u64 << 53)) as f64 / (1u64 << 53) as f64;
+                cdf.partition_point(|&c| c < u) as u64
+            }
+        }
+    }
+}
+
+impl Clone for KeyDist {
+    fn clone(&self) -> Self {
+        KeyDist {
+            range: self.range,
+            cdf: self.cdf.clone(),
+        }
+    }
+}
+
+/// Draws the next request and its class index.
+fn gen_op(rng: &mut SmallRng, dist: &KeyDist, cfg: &LoadgenConfig) -> (Request, usize) {
+    let roll: u32 = rng.gen_range(0..100);
+    if roll < cfg.scan_pct {
+        return (
+            Request::Scan {
+                start: dist.sample(rng),
+                count: cfg.scan_count,
+            },
+            CLASS_SCAN,
+        );
+    }
+    if roll < cfg.scan_pct + cfg.write_pct {
+        let key = dist.sample(rng);
+        return if rng.gen_bool(0.5) {
+            (
+                Request::Put {
+                    key,
+                    value: key.wrapping_add(1),
+                },
+                CLASS_PUT,
+            )
+        } else {
+            (Request::Del { key }, CLASS_DEL)
+        };
+    }
+    (
+        Request::Get {
+            key: dist.sample(rng),
+        },
+        CLASS_GET,
+    )
+}
+
+/// Per-connection tallies, merged by [`run`].
+struct ConnResult {
+    sent: u64,
+    received: u64,
+    hists: [LatencyHist; 4],
+    errors: u64,
+    shed: u64,
+    not_found: u64,
+}
+
+impl ConnResult {
+    fn new() -> ConnResult {
+        ConnResult {
+            sent: 0,
+            received: 0,
+            hists: [
+                LatencyHist::new(),
+                LatencyHist::new(),
+                LatencyHist::new(),
+                LatencyHist::new(),
+            ],
+            errors: 0,
+            shed: 0,
+            not_found: 0,
+        }
+    }
+
+    /// Classifies one reply, recording latency for answered ops.
+    fn account(&mut self, body: &[u8], class: usize, nanos: u64) {
+        self.received += 1;
+        match Response::decode(body) {
+            Ok(Response::Ok | Response::Value(_) | Response::Pairs(_)) => {
+                self.hists[class].record(nanos);
+            }
+            Ok(Response::NotFound) => {
+                self.not_found += 1;
+                self.hists[class].record(nanos);
+            }
+            Ok(Response::Busy | Response::ServerFull) => self.shed += 1,
+            Ok(_) | Err(_) => self.errors += 1,
+        }
+    }
+}
+
+/// One closed-loop connection: one request outstanding at a time.
+fn closed_loop(cfg: &LoadgenConfig, dist: &KeyDist, conn_id: usize) -> io::Result<ConnResult> {
+    let mut stream = TcpStream::connect(&cfg.addr)?;
+    stream.set_nodelay(true)?;
+    let mut rng = SmallRng::seed_from_u64(cfg.seed ^ (conn_id as u64 + 1).wrapping_mul(SPREAD));
+    let mut res = ConnResult::new();
+    let deadline = Instant::now() + Duration::from_secs_f64(cfg.secs);
+    while Instant::now() < deadline {
+        if cfg.ops_per_conn > 0 && res.sent >= cfg.ops_per_conn {
+            break;
+        }
+        let (req, class) = gen_op(&mut rng, dist, cfg);
+        let frame = req.to_frame();
+        let t0 = Instant::now();
+        stream.write_all(&frame)?;
+        res.sent += 1;
+        let body = read_frame(&mut stream)?;
+        res.account(&body, class, t0.elapsed().as_nanos() as u64);
+    }
+    Ok(res)
+}
+
+/// One open-loop connection: a paced sender plus a receiver matching
+/// replies in order. Latency runs from the intended send instant.
+fn open_loop(cfg: &LoadgenConfig, dist: &KeyDist, conn_id: usize) -> io::Result<ConnResult> {
+    let mut stream = TcpStream::connect(&cfg.addr)?;
+    stream.set_nodelay(true)?;
+    let mut rd = stream.try_clone()?;
+    let (tx, rx) = mpsc::channel::<(Instant, usize)>();
+    let receiver = std::thread::spawn(move || {
+        let mut res = ConnResult::new();
+        while let Ok((t_intended, class)) = rx.recv() {
+            match read_frame(&mut rd) {
+                Ok(body) => {
+                    let nanos = t_intended.elapsed().as_nanos() as u64;
+                    res.account(&body, class, nanos);
+                }
+                Err(_) => {
+                    res.errors += 1;
+                    break;
+                }
+            }
+        }
+        res
+    });
+
+    let mut rng = SmallRng::seed_from_u64(cfg.seed ^ (conn_id as u64 + 1).wrapping_mul(SPREAD));
+    let interval = Duration::from_nanos((1_000_000_000 / cfg.open_rate.max(1)).max(1));
+    let deadline = Instant::now() + Duration::from_secs_f64(cfg.secs);
+    let mut next = Instant::now();
+    let mut sent = 0u64;
+    let mut send_err = false;
+    while Instant::now() < deadline {
+        if cfg.ops_per_conn > 0 && sent >= cfg.ops_per_conn {
+            break;
+        }
+        let now = Instant::now();
+        if now < next {
+            // xlint: allow(A5) -- open-loop pacing sleeps real wall-clock
+            // time between injections on a live socket; this is client
+            // think time, not a simulated-HTM wait loop.
+            std::thread::sleep(next - now);
+        }
+        let (req, class) = gen_op(&mut rng, dist, cfg);
+        let frame = req.to_frame();
+        if stream.write_all(&frame).is_err() {
+            send_err = true;
+            break;
+        }
+        sent += 1;
+        // The intended instant, not the actual one: send-side slip is
+        // server-induced delay and must show up in latency.
+        let _ = tx.send((next.max(now - interval), class));
+        next += interval;
+    }
+    drop(tx);
+    let mut res = receiver.join().expect("receiver panicked");
+    res.sent = sent;
+    if send_err {
+        res.errors += 1;
+    }
+    Ok(res)
+}
+
+/// Fetches server counters over a fresh connection.
+fn fetch_stats(addr: &str) -> io::Result<ServerStats> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_nodelay(true)?;
+    stream.write_all(&Request::Stats.to_frame())?;
+    let body = read_frame(&mut stream)?;
+    match Response::decode(&body) {
+        Ok(Response::Stats(s)) => Ok(s),
+        other => Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("unexpected STATS reply: {other:?}"),
+        )),
+    }
+}
+
+/// Sends SHUTDOWN and waits for the drain ack.
+fn send_shutdown(addr: &str) -> io::Result<()> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.write_all(&Request::Shutdown.to_frame())?;
+    let body = read_frame(&mut stream)?;
+    match Response::decode(&body) {
+        Ok(Response::Ok) => Ok(()),
+        other => Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("unexpected SHUTDOWN reply: {other:?}"),
+        )),
+    }
+}
+
+/// Runs the configured load and returns merged results. Fails fast if
+/// the server is unreachable; per-connection mid-run failures are
+/// tallied as errors instead.
+pub fn run(cfg: &LoadgenConfig) -> io::Result<LoadResult> {
+    assert!(cfg.conns > 0, "need at least one connection");
+    // Probe before spawning so "server not running" is one clean error.
+    drop(TcpStream::connect(&cfg.addr)?);
+    let dist = KeyDist::new(cfg.key_range, cfg.zipf_theta);
+    let t0 = Instant::now();
+    let mut conn_results: Vec<io::Result<ConnResult>> = Vec::with_capacity(cfg.conns);
+    std::thread::scope(|s| {
+        let mut handles = Vec::with_capacity(cfg.conns);
+        for conn_id in 0..cfg.conns {
+            let dist = dist.clone();
+            handles.push(s.spawn(move || {
+                if cfg.open_rate > 0 {
+                    open_loop(cfg, &dist, conn_id)
+                } else {
+                    closed_loop(cfg, &dist, conn_id)
+                }
+            }));
+        }
+        for h in handles {
+            conn_results.push(h.join().expect("connection thread panicked"));
+        }
+    });
+    let elapsed = t0.elapsed().as_secs_f64();
+
+    let mut out = LoadResult {
+        elapsed,
+        sent: 0,
+        received: 0,
+        hists: [
+            LatencyHist::new(),
+            LatencyHist::new(),
+            LatencyHist::new(),
+            LatencyHist::new(),
+        ],
+        all: LatencyHist::new(),
+        errors: 0,
+        shed: 0,
+        not_found: 0,
+        server: None,
+    };
+    for r in conn_results {
+        match r {
+            Ok(c) => {
+                out.sent += c.sent;
+                out.received += c.received;
+                out.errors += c.errors;
+                out.shed += c.shed;
+                out.not_found += c.not_found;
+                for (merged, h) in out.hists.iter_mut().zip(c.hists.iter()) {
+                    merged.merge(h);
+                }
+            }
+            Err(_) => out.errors += 1,
+        }
+    }
+    for h in &out.hists {
+        out.all.merge(h);
+    }
+    out.server = fetch_stats(&cfg.addr).ok();
+    if cfg.shutdown {
+        send_shutdown(&cfg.addr)?;
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_dist_covers_range() {
+        let dist = KeyDist::new(10, 0.0);
+        let mut rng = SmallRng::seed_from_u64(7);
+        let mut seen = [false; 10];
+        for _ in 0..1000 {
+            seen[dist.sample(&mut rng) as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn zipf_dist_skews_low() {
+        let dist = KeyDist::new(1000, 0.99);
+        let mut rng = SmallRng::seed_from_u64(7);
+        let mut low = 0u32;
+        for _ in 0..10_000 {
+            if dist.sample(&mut rng) < 100 {
+                low += 1;
+            }
+        }
+        // Under uniform, ~10% of draws land below 100; Zipf(0.99) puts
+        // well over half there.
+        assert!(low > 5000, "zipf skew too weak: {low}/10000 low keys");
+    }
+
+    #[test]
+    fn op_mix_matches_percentages() {
+        let cfg = LoadgenConfig {
+            write_pct: 30,
+            scan_pct: 10,
+            ..LoadgenConfig::default()
+        };
+        let dist = KeyDist::new(100, 0.0);
+        let mut rng = SmallRng::seed_from_u64(3);
+        let mut counts = [0u32; 4];
+        for _ in 0..20_000 {
+            let (_, class) = gen_op(&mut rng, &dist, &cfg);
+            counts[class] += 1;
+        }
+        let frac = |c: u32| c as f64 / 20_000.0;
+        assert!((frac(counts[CLASS_SCAN]) - 0.10).abs() < 0.02);
+        assert!((frac(counts[CLASS_PUT] + counts[CLASS_DEL]) - 0.30).abs() < 0.02);
+        assert!((frac(counts[CLASS_GET]) - 0.60).abs() < 0.02);
+    }
+}

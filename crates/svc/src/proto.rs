@@ -1,0 +1,602 @@
+//! The wire protocol: length-prefixed binary frames over TCP.
+//!
+//! A frame is `[len: u32 LE][body: len bytes]`; the body's first byte is
+//! an opcode (requests) or a status byte (responses), followed by a
+//! fixed little-endian payload. `len` must be in `1..=MAX_FRAME` — a
+//! zero or oversized header is a *framing* error (the stream cannot be
+//! resynchronized, the server replies `BadRequest` and closes), while a
+//! bad body behind a valid header is a *request* error (the server
+//! replies `BadRequest` and keeps the connection).
+//!
+//! Decoding never panics on any byte sequence — the fuzz suite in
+//! `tests/wire.rs` holds the protocol to that.
+//!
+//! ## Frame layout
+//!
+//! | Request | opcode | payload |
+//! |---|---|---|
+//! | GET | `0x01` | `key: u64` |
+//! | PUT | `0x02` | `key: u64, value: u64` |
+//! | DEL | `0x03` | `key: u64` |
+//! | SCAN | `0x04` | `start: u64, count: u32` (`count <= MAX_SCAN`) |
+//! | STATS | `0x05` | — |
+//! | SHUTDOWN | `0x06` | — |
+//!
+//! | Response | status | payload |
+//! |---|---|---|
+//! | Ok | `0x80` | — (PUT/DEL-hit/SHUTDOWN ack) |
+//! | Value | `0x81` | `value: u64` (GET hit) |
+//! | Pairs | `0x82` | `n: u32, n × (key: u64, value: u64)` (SCAN) |
+//! | Stats | `0x83` | ten `u64` counters, `len: u8`, scheme label |
+//! | NotFound | `0x90` | — |
+//! | BadRequest | `0x91` | — |
+//! | Busy | `0x92` | — (load shed: worker queue or conn limit full) |
+//! | ShuttingDown | `0x93` | — |
+//! | ServerFull | `0x94` | — (store capacity exhausted) |
+
+use std::io::{self, Read, Write};
+
+/// Maximum frame body size in bytes. A SCAN of [`MAX_SCAN`] pairs plus
+/// header fits with room to spare.
+pub const MAX_FRAME: usize = 64 * 1024;
+
+/// Maximum pair count a single SCAN may request.
+pub const MAX_SCAN: u32 = 1024;
+
+/// A client request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Request {
+    /// Look up a key.
+    Get {
+        /// Key to look up.
+        key: u64,
+    },
+    /// Insert or update a key.
+    Put {
+        /// Key to write.
+        key: u64,
+        /// Value to store.
+        value: u64,
+    },
+    /// Remove a key.
+    Del {
+        /// Key to remove.
+        key: u64,
+    },
+    /// Return all present pairs with keys in `[start, start + count)`.
+    Scan {
+        /// First key of the range.
+        start: u64,
+        /// Range length (at most [`MAX_SCAN`]).
+        count: u32,
+    },
+    /// Fetch server counters.
+    Stats,
+    /// Gracefully drain and stop the server.
+    Shutdown,
+}
+
+/// A server response.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Response {
+    /// Success with no payload (PUT, DEL hit, SHUTDOWN ack).
+    Ok,
+    /// GET hit.
+    Value(u64),
+    /// SCAN result.
+    Pairs(Vec<(u64, u64)>),
+    /// STATS result.
+    Stats(ServerStats),
+    /// GET/DEL miss.
+    NotFound,
+    /// Malformed frame or unparsable request body.
+    BadRequest,
+    /// Load shed: a worker queue (or the connection limit) is full.
+    Busy,
+    /// The server is draining; no new work accepted.
+    ShuttingDown,
+    /// The store's memory capacity is exhausted.
+    ServerFull,
+}
+
+/// Server-side counters carried by a STATS response.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ServerStats {
+    /// Requests accepted into worker queues.
+    pub enqueued: u64,
+    /// Replies written by workers.
+    pub replied: u64,
+    /// Busy replies (queue full or connection limit).
+    pub shed: u64,
+    /// BadRequest replies plus framing-error disconnects.
+    pub malformed: u64,
+    /// Connections dropped by the per-connection read timeout.
+    pub timeouts: u64,
+    /// GET requests executed.
+    pub gets: u64,
+    /// PUT requests executed.
+    pub puts: u64,
+    /// DEL requests executed.
+    pub dels: u64,
+    /// SCAN requests executed.
+    pub scans: u64,
+    /// Connections accepted since start.
+    pub conns: u64,
+    /// Label of the synchronization scheme guarding the store.
+    pub scheme: String,
+}
+
+/// Decode failure. `EmptyFrame` and `Oversize` are framing errors (the
+/// connection cannot be resynchronized); the rest are body errors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProtoError {
+    /// Length header was zero.
+    EmptyFrame,
+    /// Length header exceeded [`MAX_FRAME`].
+    Oversize(usize),
+    /// First body byte is not a known opcode/status.
+    UnknownOpcode(u8),
+    /// Body shorter than its fixed layout requires.
+    Truncated {
+        /// Bytes the layout requires.
+        need: usize,
+        /// Bytes present.
+        got: usize,
+    },
+    /// Body longer than its fixed layout requires.
+    TrailingBytes(usize),
+    /// SCAN count above [`MAX_SCAN`].
+    ScanTooLarge(u32),
+    /// Stats label is not valid UTF-8 or its length byte is wrong.
+    BadLabel,
+}
+
+impl std::fmt::Display for ProtoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ProtoError::EmptyFrame => write!(f, "zero-length frame"),
+            ProtoError::Oversize(n) => write!(f, "frame of {n} bytes exceeds {MAX_FRAME}"),
+            ProtoError::UnknownOpcode(b) => write!(f, "unknown opcode 0x{b:02x}"),
+            ProtoError::Truncated { need, got } => {
+                write!(f, "truncated body: need {need} bytes, got {got}")
+            }
+            ProtoError::TrailingBytes(n) => write!(f, "{n} trailing bytes after payload"),
+            ProtoError::ScanTooLarge(n) => write!(f, "scan count {n} exceeds {MAX_SCAN}"),
+            ProtoError::BadLabel => write!(f, "malformed scheme label"),
+        }
+    }
+}
+
+impl std::error::Error for ProtoError {}
+
+impl ProtoError {
+    /// Whether the stream cannot be resynchronized after this error
+    /// (the server must close the connection).
+    pub fn is_framing(&self) -> bool {
+        matches!(self, ProtoError::EmptyFrame | ProtoError::Oversize(_))
+    }
+}
+
+// ---------------------------------------------------------------------
+// Little-endian field helpers
+// ---------------------------------------------------------------------
+
+fn get_u64(b: &[u8], at: usize) -> u64 {
+    u64::from_le_bytes(b[at..at + 8].try_into().unwrap())
+}
+
+fn get_u32(b: &[u8], at: usize) -> u32 {
+    u32::from_le_bytes(b[at..at + 4].try_into().unwrap())
+}
+
+/// Errors unless `body` is exactly `1 + need` bytes (opcode + payload).
+fn expect_len(body: &[u8], need: usize) -> Result<(), ProtoError> {
+    let got = body.len() - 1;
+    if got < need {
+        return Err(ProtoError::Truncated { need, got });
+    }
+    if got > need {
+        return Err(ProtoError::TrailingBytes(got - need));
+    }
+    Ok(())
+}
+
+impl Request {
+    /// Appends the body (opcode + payload) to `out`.
+    pub fn encode_body(&self, out: &mut Vec<u8>) {
+        match self {
+            Request::Get { key } => {
+                out.push(0x01);
+                out.extend_from_slice(&key.to_le_bytes());
+            }
+            Request::Put { key, value } => {
+                out.push(0x02);
+                out.extend_from_slice(&key.to_le_bytes());
+                out.extend_from_slice(&value.to_le_bytes());
+            }
+            Request::Del { key } => {
+                out.push(0x03);
+                out.extend_from_slice(&key.to_le_bytes());
+            }
+            Request::Scan { start, count } => {
+                out.push(0x04);
+                out.extend_from_slice(&start.to_le_bytes());
+                out.extend_from_slice(&count.to_le_bytes());
+            }
+            Request::Stats => out.push(0x05),
+            Request::Shutdown => out.push(0x06),
+        }
+    }
+
+    /// Serializes the request as a complete frame (length prefix + body).
+    pub fn to_frame(&self) -> Vec<u8> {
+        let mut body = Vec::with_capacity(24);
+        self.encode_body(&mut body);
+        frame(&body)
+    }
+
+    /// Parses a frame body. Never panics, for any input.
+    pub fn decode(body: &[u8]) -> Result<Request, ProtoError> {
+        let Some(&op) = body.first() else {
+            return Err(ProtoError::EmptyFrame);
+        };
+        match op {
+            0x01 => {
+                expect_len(body, 8)?;
+                Ok(Request::Get {
+                    key: get_u64(body, 1),
+                })
+            }
+            0x02 => {
+                expect_len(body, 16)?;
+                Ok(Request::Put {
+                    key: get_u64(body, 1),
+                    value: get_u64(body, 9),
+                })
+            }
+            0x03 => {
+                expect_len(body, 8)?;
+                Ok(Request::Del {
+                    key: get_u64(body, 1),
+                })
+            }
+            0x04 => {
+                expect_len(body, 12)?;
+                let count = get_u32(body, 9);
+                if count > MAX_SCAN {
+                    return Err(ProtoError::ScanTooLarge(count));
+                }
+                Ok(Request::Scan {
+                    start: get_u64(body, 1),
+                    count,
+                })
+            }
+            0x05 => {
+                expect_len(body, 0)?;
+                Ok(Request::Stats)
+            }
+            0x06 => {
+                expect_len(body, 0)?;
+                Ok(Request::Shutdown)
+            }
+            other => Err(ProtoError::UnknownOpcode(other)),
+        }
+    }
+}
+
+impl Response {
+    /// Appends the body (status + payload) to `out`.
+    pub fn encode_body(&self, out: &mut Vec<u8>) {
+        match self {
+            Response::Ok => out.push(0x80),
+            Response::Value(v) => {
+                out.push(0x81);
+                out.extend_from_slice(&v.to_le_bytes());
+            }
+            Response::Pairs(pairs) => {
+                out.push(0x82);
+                out.extend_from_slice(&(pairs.len() as u32).to_le_bytes());
+                for (k, v) in pairs {
+                    out.extend_from_slice(&k.to_le_bytes());
+                    out.extend_from_slice(&v.to_le_bytes());
+                }
+            }
+            Response::Stats(s) => {
+                out.push(0x83);
+                for c in [
+                    s.enqueued,
+                    s.replied,
+                    s.shed,
+                    s.malformed,
+                    s.timeouts,
+                    s.gets,
+                    s.puts,
+                    s.dels,
+                    s.scans,
+                    s.conns,
+                ] {
+                    out.extend_from_slice(&c.to_le_bytes());
+                }
+                let label = s.scheme.as_bytes();
+                let n = label.len().min(255);
+                out.push(n as u8);
+                out.extend_from_slice(&label[..n]);
+            }
+            Response::NotFound => out.push(0x90),
+            Response::BadRequest => out.push(0x91),
+            Response::Busy => out.push(0x92),
+            Response::ShuttingDown => out.push(0x93),
+            Response::ServerFull => out.push(0x94),
+        }
+    }
+
+    /// Serializes the response as a complete frame.
+    pub fn to_frame(&self) -> Vec<u8> {
+        let mut body = Vec::with_capacity(32);
+        self.encode_body(&mut body);
+        frame(&body)
+    }
+
+    /// Parses a frame body. Never panics, for any input.
+    pub fn decode(body: &[u8]) -> Result<Response, ProtoError> {
+        let Some(&st) = body.first() else {
+            return Err(ProtoError::EmptyFrame);
+        };
+        match st {
+            0x80 => {
+                expect_len(body, 0)?;
+                Ok(Response::Ok)
+            }
+            0x81 => {
+                expect_len(body, 8)?;
+                Ok(Response::Value(get_u64(body, 1)))
+            }
+            0x82 => {
+                if body.len() < 5 {
+                    return Err(ProtoError::Truncated {
+                        need: 4,
+                        got: body.len() - 1,
+                    });
+                }
+                let n = get_u32(body, 1);
+                if n > MAX_SCAN {
+                    return Err(ProtoError::ScanTooLarge(n));
+                }
+                let need = 4 + n as usize * 16;
+                expect_len(body, need)?;
+                let mut pairs = Vec::with_capacity(n as usize);
+                for i in 0..n as usize {
+                    pairs.push((get_u64(body, 5 + i * 16), get_u64(body, 13 + i * 16)));
+                }
+                Ok(Response::Pairs(pairs))
+            }
+            0x83 => {
+                if body.len() < 1 + 80 + 1 {
+                    return Err(ProtoError::Truncated {
+                        need: 81,
+                        got: body.len() - 1,
+                    });
+                }
+                let c = |i: usize| get_u64(body, 1 + i * 8);
+                let label_len = body[81] as usize;
+                expect_len(body, 80 + 1 + label_len)?;
+                let scheme = std::str::from_utf8(&body[82..82 + label_len])
+                    .map_err(|_| ProtoError::BadLabel)?
+                    .to_string();
+                Ok(Response::Stats(ServerStats {
+                    enqueued: c(0),
+                    replied: c(1),
+                    shed: c(2),
+                    malformed: c(3),
+                    timeouts: c(4),
+                    gets: c(5),
+                    puts: c(6),
+                    dels: c(7),
+                    scans: c(8),
+                    conns: c(9),
+                    scheme,
+                }))
+            }
+            0x90 => {
+                expect_len(body, 0)?;
+                Ok(Response::NotFound)
+            }
+            0x91 => {
+                expect_len(body, 0)?;
+                Ok(Response::BadRequest)
+            }
+            0x92 => {
+                expect_len(body, 0)?;
+                Ok(Response::Busy)
+            }
+            0x93 => {
+                expect_len(body, 0)?;
+                Ok(Response::ShuttingDown)
+            }
+            0x94 => {
+                expect_len(body, 0)?;
+                Ok(Response::ServerFull)
+            }
+            other => Err(ProtoError::UnknownOpcode(other)),
+        }
+    }
+}
+
+/// Wraps a body in a length-prefixed frame.
+pub fn frame(body: &[u8]) -> Vec<u8> {
+    debug_assert!(!body.is_empty() && body.len() <= MAX_FRAME);
+    let mut out = Vec::with_capacity(4 + body.len());
+    out.extend_from_slice(&(body.len() as u32).to_le_bytes());
+    out.extend_from_slice(body);
+    out
+}
+
+/// Incremental frame parser over a byte stream.
+///
+/// Feed arbitrary chunks with [`FrameReader::extend`]; pull complete
+/// frame bodies with [`FrameReader::next_frame`]. Framing errors
+/// (zero/oversized length headers) are sticky: the stream has no
+/// recoverable boundary after them.
+#[derive(Debug, Default)]
+pub struct FrameReader {
+    buf: Vec<u8>,
+    pos: usize,
+    poisoned: Option<ProtoError>,
+}
+
+impl FrameReader {
+    /// Creates an empty reader.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends raw bytes received from the stream.
+    pub fn extend(&mut self, bytes: &[u8]) {
+        // Compact once consumed bytes dominate the buffer.
+        if self.pos > 4096 && self.pos * 2 > self.buf.len() {
+            self.buf.drain(..self.pos);
+            self.pos = 0;
+        }
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// True if a partially received frame (or unparsed bytes) is pending.
+    pub fn has_partial(&self) -> bool {
+        self.pos < self.buf.len()
+    }
+
+    /// Next complete frame body, `None` if more bytes are needed, or a
+    /// (sticky) framing error.
+    pub fn next_frame(&mut self) -> Result<Option<Vec<u8>>, ProtoError> {
+        if let Some(e) = self.poisoned {
+            return Err(e);
+        }
+        let avail = self.buf.len() - self.pos;
+        if avail < 4 {
+            return Ok(None);
+        }
+        let len = u32::from_le_bytes(self.buf[self.pos..self.pos + 4].try_into().unwrap()) as usize;
+        if len == 0 {
+            self.poisoned = Some(ProtoError::EmptyFrame);
+            return Err(ProtoError::EmptyFrame);
+        }
+        if len > MAX_FRAME {
+            self.poisoned = Some(ProtoError::Oversize(len));
+            return Err(ProtoError::Oversize(len));
+        }
+        if avail < 4 + len {
+            return Ok(None);
+        }
+        let body = self.buf[self.pos + 4..self.pos + 4 + len].to_vec();
+        self.pos += 4 + len;
+        Ok(Some(body))
+    }
+}
+
+/// Blocking frame read for clients: length header then body, mapping
+/// framing violations to `io::ErrorKind::InvalidData`.
+pub fn read_frame(r: &mut impl Read) -> io::Result<Vec<u8>> {
+    let mut hdr = [0u8; 4];
+    r.read_exact(&mut hdr)?;
+    let len = u32::from_le_bytes(hdr) as usize;
+    if len == 0 || len > MAX_FRAME {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("bad frame length {len}"),
+        ));
+    }
+    let mut body = vec![0u8; len];
+    r.read_exact(&mut body)?;
+    Ok(body)
+}
+
+/// Writes one frame.
+pub fn write_frame(w: &mut impl Write, body_frame: &[u8]) -> io::Result<()> {
+    w.write_all(body_frame)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_roundtrip() {
+        for req in [
+            Request::Get { key: 7 },
+            Request::Put {
+                key: u64::MAX,
+                value: 0,
+            },
+            Request::Del { key: 1 << 40 },
+            Request::Scan {
+                start: 5,
+                count: MAX_SCAN,
+            },
+            Request::Stats,
+            Request::Shutdown,
+        ] {
+            let f = req.to_frame();
+            let mut fr = FrameReader::new();
+            fr.extend(&f);
+            let body = fr.next_frame().unwrap().unwrap();
+            assert_eq!(Request::decode(&body).unwrap(), req);
+            assert!(!fr.has_partial());
+        }
+    }
+
+    #[test]
+    fn response_roundtrip() {
+        for resp in [
+            Response::Ok,
+            Response::Value(42),
+            Response::Pairs(vec![(1, 2), (3, 4)]),
+            Response::Stats(ServerStats {
+                enqueued: 1,
+                replied: 2,
+                shed: 3,
+                malformed: 4,
+                timeouts: 5,
+                gets: 6,
+                puts: 7,
+                dels: 8,
+                scans: 9,
+                conns: 10,
+                scheme: "RW-LE_OPT".to_string(),
+            }),
+            Response::NotFound,
+            Response::BadRequest,
+            Response::Busy,
+            Response::ShuttingDown,
+            Response::ServerFull,
+        ] {
+            let f = resp.to_frame();
+            let body = &f[4..];
+            assert_eq!(Response::decode(body).unwrap(), resp);
+        }
+    }
+
+    #[test]
+    fn scan_count_is_bounded() {
+        let mut body = Vec::new();
+        Request::Scan {
+            start: 0,
+            count: MAX_SCAN,
+        }
+        .encode_body(&mut body);
+        // Patch the count above the limit.
+        let over = (MAX_SCAN + 1).to_le_bytes();
+        body[9..13].copy_from_slice(&over);
+        assert_eq!(
+            Request::decode(&body),
+            Err(ProtoError::ScanTooLarge(MAX_SCAN + 1))
+        );
+    }
+
+    #[test]
+    fn framing_errors_are_sticky() {
+        let mut fr = FrameReader::new();
+        fr.extend(&0u32.to_le_bytes());
+        assert_eq!(fr.next_frame(), Err(ProtoError::EmptyFrame));
+        assert_eq!(fr.next_frame(), Err(ProtoError::EmptyFrame));
+    }
+}

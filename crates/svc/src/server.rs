@@ -1,0 +1,672 @@
+//! The `rwled` server: thread-per-core workers over the sharded elided
+//! store.
+//!
+//! Each worker thread owns one [`htm::ThreadCtx`] (HTM thread contexts
+//! are not transferable between OS threads) and one bounded work queue;
+//! a connection is pinned to the queue `conn_id % workers`, so replies
+//! on a pipelined connection come back in request order. Reader threads
+//! do the socket work — framing, decode, enqueue — and never touch the
+//! store.
+//!
+//! Queues are **bounded**: when a worker falls behind, new requests on
+//! its connections get an immediate `Busy` reply instead of piling up.
+//! Under the RW-LE quiescence barrier a writer may stall for a full
+//! grace period, and an unbounded queue would convert that transient
+//! stall into unbounded memory growth and multi-second tail latency;
+//! shedding keeps the tail bounded and pushes backpressure to the
+//! client. See DESIGN.md §8.
+//!
+//! All cross-thread coordination flows through `Mutex`/`Condvar` queues
+//! and the sockets themselves; the few atomics here are monotonic
+//! counters and advisory flags (see `docs/orderings.toml`).
+
+use std::collections::VecDeque;
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+use htm::{HtmConfig, HtmRuntime, ThreadCtx};
+use simmem::{Addr, SharedMem, SimAlloc};
+use stats::{StatsSummary, ThreadStats};
+use workloads::sharded::ShardedKv;
+use workloads::SchemeKind;
+
+use crate::proto::{FrameReader, Request, Response, ServerStats};
+
+/// Server configuration. `Default` gives the smoke-test setup: four
+/// workers, RW-LE optimistic, 16 shards, ephemeral port.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// TCP port on 127.0.0.1 (0 = ephemeral).
+    pub port: u16,
+    /// Worker threads (each owns an HTM thread context).
+    pub threads: usize,
+    /// Synchronization scheme guarding every shard.
+    pub scheme: SchemeKind,
+    /// Independent store shards (each its own elided lock).
+    pub shards: usize,
+    /// Hash buckets per shard.
+    pub buckets_per_shard: u32,
+    /// Keys `0..prefill` loaded before serving.
+    pub prefill: u64,
+    /// Extra node capacity for inserts beyond the prefill (deleted nodes
+    /// are leaked until exit — deferred reclamation — so this bounds the
+    /// total number of PUTs that allocate).
+    pub extra_capacity: u64,
+    /// Per-worker queue bound; beyond it requests are shed with `Busy`.
+    pub queue_depth: usize,
+    /// Connection limit; beyond it new connections get `Busy` + close.
+    pub max_conns: usize,
+    /// A connection silent for this long is dropped.
+    pub idle_timeout: Duration,
+    /// Seed for the simulated-HTM engine.
+    pub seed: u64,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            port: 0,
+            threads: 4,
+            scheme: SchemeKind::RwLeOpt,
+            shards: 16,
+            buckets_per_shard: 1024,
+            prefill: 100_000,
+            extra_capacity: 400_000,
+            queue_depth: 1024,
+            max_conns: 1024,
+            idle_timeout: Duration::from_secs(10),
+            seed: 1,
+        }
+    }
+}
+
+/// Final accounting returned by [`Server::run`] after a clean drain.
+#[derive(Debug, Clone, Default)]
+pub struct DrainReport {
+    /// Requests accepted into worker queues.
+    pub enqueued: u64,
+    /// Replies written by workers. Equal to [`DrainReport::enqueued`]
+    /// after a clean drain: every accepted request was answered.
+    pub replied: u64,
+    /// Busy replies (queue full or connection limit).
+    pub shed: u64,
+    /// Malformed frames answered with `BadRequest`.
+    pub malformed: u64,
+    /// Connections dropped by the idle timeout.
+    pub timeouts: u64,
+    /// Connections accepted.
+    pub conns: u64,
+    /// Merged worker-side protocol statistics (commit/abort mix).
+    pub summary: StatsSummary,
+}
+
+impl DrainReport {
+    /// True when every request accepted into a queue was replied to.
+    pub fn drained(&self) -> bool {
+        self.enqueued == self.replied
+    }
+}
+
+/// A bound, configured server ready to [`run`](Server::run).
+pub struct Server {
+    cfg: ServerConfig,
+    listener: TcpListener,
+    rt: Arc<HtmRuntime>,
+    alloc: SimAlloc,
+    kv: Arc<ShardedKv>,
+}
+
+impl Server {
+    /// Sizes simulated memory, builds and prefills the sharded store,
+    /// and binds the listener. Bind and sizing failures surface as
+    /// `io::Error` so the binary can exit 2 with a hint.
+    pub fn bind(cfg: ServerConfig) -> io::Result<Server> {
+        if cfg.threads == 0 || cfg.shards == 0 || cfg.queue_depth == 0 || cfg.max_conns == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "threads, shards, queue depth and connection limit must all be at least 1",
+            ));
+        }
+        // One line per node plus the bucket arrays, with slack for lock
+        // words and allocator rounding (same sizing rule as the bench
+        // driver).
+        let node_lines = cfg.prefill + cfg.extra_capacity;
+        let bucket_lines = (cfg.shards as u64 * cfg.buckets_per_shard as u64).div_ceil(8);
+        let lines = (node_lines + bucket_lines + 4096) * 9 / 8;
+        let lines = u32::try_from(lines).map_err(|_| {
+            io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "store too large for the 32-bit simulated address space; \
+                 lower --prefill/--capacity",
+            )
+        })?;
+        let mem = Arc::new(SharedMem::new_lines(lines));
+        let rt = HtmRuntime::new(Arc::clone(&mem), HtmConfig::default().with_seed(cfg.seed));
+        let alloc = SimAlloc::new(mem);
+        let kv = ShardedKv::create(
+            &alloc,
+            cfg.scheme,
+            cfg.shards,
+            cfg.buckets_per_shard,
+            cfg.threads,
+        )
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidInput, format!("store build: {e:?}")))?;
+        kv.populate(&alloc, cfg.prefill)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidInput, format!("prefill: {e:?}")))?;
+        let listener = TcpListener::bind(("127.0.0.1", cfg.port))?;
+        Ok(Server {
+            cfg,
+            listener,
+            rt,
+            alloc,
+            kv: Arc::new(kv),
+        })
+    }
+
+    /// The bound address (useful with port 0).
+    pub fn local_addr(&self) -> io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// Serves until a SHUTDOWN request arrives, then drains: stop
+    /// accepting, join readers, close queues, join workers (answering
+    /// everything already accepted), and finally ack the SHUTDOWN.
+    pub fn run(self) -> io::Result<DrainReport> {
+        let Server {
+            cfg,
+            listener,
+            rt,
+            alloc,
+            kv,
+        } = self;
+        let addr = listener.local_addr()?;
+        let shared = Arc::new(Shared {
+            counters: Counters::default(),
+            shutdown: AtomicBool::new(false),
+            active_conns: AtomicUsize::new(0),
+            queues: (0..cfg.threads)
+                .map(|_| WorkQueue::new(cfg.queue_depth))
+                .collect(),
+            shutdown_reply: Mutex::new(None),
+            scheme_label: cfg.scheme.label(),
+            idle_timeout: cfg.idle_timeout,
+        });
+        let alloc = &alloc;
+        let mut worker_stats: Vec<ThreadStats> = Vec::new();
+        std::thread::scope(|s| {
+            let mut workers = Vec::with_capacity(cfg.threads);
+            for w in 0..cfg.threads {
+                let rt = Arc::clone(&rt);
+                let kv = Arc::clone(&kv);
+                let shared = Arc::clone(&shared);
+                workers.push(s.spawn(move || worker_loop(w, &rt, &kv, alloc, &shared)));
+            }
+            let mut readers = Vec::new();
+            let mut next_conn = 0usize;
+            for conn in listener.incoming() {
+                if shared.shutting_down() {
+                    break;
+                }
+                let stream = match conn {
+                    Ok(c) => c,
+                    Err(_) => continue,
+                };
+                Counters::inc(&shared.counters.conns);
+                if !shared.conn_enter(cfg.max_conns) {
+                    // Over the connection limit: best-effort Busy, close.
+                    let mut stream = stream;
+                    let _ = stream.write_all(&Response::Busy.to_frame());
+                    Counters::inc(&shared.counters.shed);
+                    continue;
+                }
+                let queue_idx = next_conn % cfg.threads;
+                next_conn += 1;
+                let shared = Arc::clone(&shared);
+                readers.push(s.spawn(move || {
+                    reader_loop(stream, queue_idx, &shared, addr);
+                    shared.conn_exit();
+                }));
+            }
+            // Drain: readers first (they stop enqueueing within one
+            // timeout tick), then the queues, then the workers.
+            for r in readers {
+                let _ = r.join();
+            }
+            for q in &shared.queues {
+                q.close();
+            }
+            for w in workers {
+                worker_stats.push(w.join().expect("worker panicked"));
+            }
+            // Everything accepted is now answered: ack the SHUTDOWN.
+            if let Some(out) = shared.shutdown_reply.lock().unwrap().take() {
+                let _ = out.lock().unwrap().write_all(&Response::Ok.to_frame());
+            }
+        });
+        let c = &shared.counters;
+        Ok(DrainReport {
+            enqueued: Counters::get(&c.enqueued),
+            replied: Counters::get(&c.replied),
+            shed: Counters::get(&c.shed),
+            malformed: Counters::get(&c.malformed),
+            timeouts: Counters::get(&c.timeouts),
+            conns: Counters::get(&c.conns),
+            summary: StatsSummary::from_threads(&worker_stats),
+        })
+    }
+}
+
+/// Write handle for a connection, shared by its reader and its worker.
+type WriteHalf = Arc<Mutex<TcpStream>>;
+
+/// One decoded request bound for a worker.
+struct Job {
+    req: Request,
+    out: WriteHalf,
+}
+
+/// Monotonic counters, all `Relaxed`: each is an independent tally read
+/// for reporting; no data is published through them (see
+/// `docs/orderings.toml`).
+#[derive(Default)]
+struct Counters {
+    enqueued: AtomicU64,
+    replied: AtomicU64,
+    shed: AtomicU64,
+    malformed: AtomicU64,
+    timeouts: AtomicU64,
+    gets: AtomicU64,
+    puts: AtomicU64,
+    dels: AtomicU64,
+    scans: AtomicU64,
+    conns: AtomicU64,
+}
+
+impl Counters {
+    #[inline]
+    fn inc(c: &AtomicU64) {
+        c.fetch_add(1, Ordering::Relaxed);
+    }
+
+    #[inline]
+    fn get(c: &AtomicU64) -> u64 {
+        c.load(Ordering::Relaxed)
+    }
+}
+
+/// State shared between the acceptor, readers and workers.
+struct Shared {
+    counters: Counters,
+    shutdown: AtomicBool,
+    active_conns: AtomicUsize,
+    queues: Vec<WorkQueue>,
+    /// Write half of the connection that requested SHUTDOWN; acked after
+    /// the drain completes.
+    shutdown_reply: Mutex<Option<WriteHalf>>,
+    scheme_label: &'static str,
+    idle_timeout: Duration,
+}
+
+impl Shared {
+    /// Begins the drain. Release pairs with the Acquire in
+    /// [`Shared::shutting_down`]; the flag is advisory (loops poll it),
+    /// no data is transferred through it.
+    fn request_shutdown(&self) {
+        self.shutdown.store(true, Ordering::Release);
+    }
+
+    fn shutting_down(&self) -> bool {
+        self.shutdown.load(Ordering::Acquire)
+    }
+
+    /// Claims a connection slot; backs out and refuses over `max`.
+    fn conn_enter(&self, max: usize) -> bool {
+        let prev = self.active_conns.fetch_add(1, Ordering::Relaxed);
+        if prev >= max {
+            self.active_conns.fetch_sub(1, Ordering::Relaxed);
+            return false;
+        }
+        true
+    }
+
+    fn conn_exit(&self) {
+        self.active_conns.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    fn snapshot(&self) -> ServerStats {
+        let c = &self.counters;
+        ServerStats {
+            enqueued: Counters::get(&c.enqueued),
+            replied: Counters::get(&c.replied),
+            shed: Counters::get(&c.shed),
+            malformed: Counters::get(&c.malformed),
+            timeouts: Counters::get(&c.timeouts),
+            gets: Counters::get(&c.gets),
+            puts: Counters::get(&c.puts),
+            dels: Counters::get(&c.dels),
+            scans: Counters::get(&c.scans),
+            conns: Counters::get(&c.conns),
+            scheme: self.scheme_label.to_string(),
+        }
+    }
+}
+
+/// Outcome of a non-blocking queue push.
+enum Push {
+    Ok,
+    Full,
+    Closed,
+}
+
+struct QueueState {
+    jobs: VecDeque<Job>,
+    closed: bool,
+}
+
+/// Bounded MPSC queue: readers push (non-blocking, shedding when full),
+/// one worker pops (blocking on the condvar until closed and empty).
+struct WorkQueue {
+    state: Mutex<QueueState>,
+    ready: Condvar,
+    depth: usize,
+}
+
+impl WorkQueue {
+    fn new(depth: usize) -> WorkQueue {
+        WorkQueue {
+            state: Mutex::new(QueueState {
+                jobs: VecDeque::new(),
+                closed: false,
+            }),
+            ready: Condvar::new(),
+            depth,
+        }
+    }
+
+    fn push(&self, job: Job) -> Push {
+        let mut st = self.state.lock().unwrap();
+        if st.closed {
+            return Push::Closed;
+        }
+        if st.jobs.len() >= self.depth {
+            return Push::Full;
+        }
+        st.jobs.push_back(job);
+        self.ready.notify_one();
+        Push::Ok
+    }
+
+    fn pop(&self) -> Option<Job> {
+        let mut st = self.state.lock().unwrap();
+        loop {
+            if let Some(job) = st.jobs.pop_front() {
+                return Some(job);
+            }
+            if st.closed {
+                return None;
+            }
+            st = self.ready.wait(st).unwrap();
+        }
+    }
+
+    fn close(&self) {
+        self.state.lock().unwrap().closed = true;
+        self.ready.notify_all();
+    }
+}
+
+/// Worker: owns an HTM thread context, drains its queue until closed.
+fn worker_loop(
+    idx: usize,
+    rt: &Arc<HtmRuntime>,
+    kv: &ShardedKv,
+    alloc: &SimAlloc,
+    shared: &Shared,
+) -> ThreadStats {
+    let mut ctx = rt.register();
+    let mut st = ThreadStats::new();
+    let mut spare: Option<Addr> = None;
+    let mut scratch: Vec<(u64, u64)> = Vec::new();
+    let queue = &shared.queues[idx];
+    while let Some(job) = queue.pop() {
+        let resp = execute(
+            kv,
+            &mut ctx,
+            &mut st,
+            alloc,
+            &mut spare,
+            &mut scratch,
+            shared,
+            &job.req,
+        );
+        let frame = resp.to_frame();
+        // A write failure means the client left; the request still
+        // counts as replied — the drain invariant tracks server work,
+        // not client liveness.
+        let _ = job.out.lock().unwrap().write_all(&frame);
+        Counters::inc(&shared.counters.replied);
+    }
+    st
+}
+
+/// Executes one request against the store.
+#[allow(clippy::too_many_arguments)]
+fn execute(
+    kv: &ShardedKv,
+    ctx: &mut ThreadCtx,
+    st: &mut ThreadStats,
+    alloc: &SimAlloc,
+    spare: &mut Option<Addr>,
+    scratch: &mut Vec<(u64, u64)>,
+    shared: &Shared,
+    req: &Request,
+) -> Response {
+    match *req {
+        Request::Get { key } => {
+            Counters::inc(&shared.counters.gets);
+            match kv.get(ctx, st, key) {
+                Some(v) => Response::Value(v),
+                None => Response::NotFound,
+            }
+        }
+        Request::Put { key, value } => {
+            Counters::inc(&shared.counters.puts);
+            match kv.put(ctx, st, alloc, spare, key, value) {
+                Ok(_) => Response::Ok,
+                // Capacity exhausted (extra_capacity spent): shed the
+                // write rather than crash the store.
+                Err(_) => Response::ServerFull,
+            }
+        }
+        Request::Del { key } => {
+            Counters::inc(&shared.counters.dels);
+            if kv.del(ctx, st, key) {
+                Response::Ok
+            } else {
+                Response::NotFound
+            }
+        }
+        Request::Scan { start, count } => {
+            Counters::inc(&shared.counters.scans);
+            scratch.clear();
+            kv.scan(ctx, st, start, count, scratch);
+            Response::Pairs(scratch.clone())
+        }
+        Request::Stats => Response::Stats(shared.snapshot()),
+        // Readers intercept SHUTDOWN; one that raced into a queue just
+        // gets an ack (the drain is already underway).
+        Request::Shutdown => Response::Ok,
+    }
+}
+
+fn reply(out: &WriteHalf, resp: &Response) {
+    let frame = resp.to_frame();
+    let _ = out.lock().unwrap().write_all(&frame);
+}
+
+/// Reader: accumulates bytes into frames, decodes, enqueues. Ticks the
+/// read timeout so it can observe shutdown and the idle deadline.
+fn reader_loop(mut stream: TcpStream, queue_idx: usize, shared: &Shared, addr: SocketAddr) {
+    let _ = stream.set_nodelay(true);
+    let tick = shared
+        .idle_timeout
+        .min(Duration::from_millis(100))
+        .max(Duration::from_millis(1));
+    if stream.set_read_timeout(Some(tick)).is_err() {
+        return;
+    }
+    let out: WriteHalf = match stream.try_clone() {
+        Ok(w) => Arc::new(Mutex::new(w)),
+        Err(_) => return,
+    };
+    let queue = &shared.queues[queue_idx];
+    let mut fr = FrameReader::new();
+    let mut buf = [0u8; 16 * 1024];
+    let mut last_activity = Instant::now();
+    loop {
+        if shared.shutting_down() {
+            return;
+        }
+        let n = match stream.read(&mut buf) {
+            Ok(0) => return, // EOF
+            Ok(n) => n,
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                ) =>
+            {
+                if last_activity.elapsed() >= shared.idle_timeout {
+                    Counters::inc(&shared.counters.timeouts);
+                    return;
+                }
+                continue;
+            }
+            Err(_) => return,
+        };
+        last_activity = Instant::now();
+        fr.extend(&buf[..n]);
+        loop {
+            match fr.next_frame() {
+                Ok(Some(body)) => match Request::decode(&body) {
+                    Ok(Request::Shutdown) => {
+                        *shared.shutdown_reply.lock().unwrap() = Some(Arc::clone(&out));
+                        shared.request_shutdown();
+                        // Wake the acceptor so it observes the flag.
+                        let _ = TcpStream::connect(addr);
+                        return;
+                    }
+                    Ok(req) => {
+                        if shared.shutting_down() {
+                            Counters::inc(&shared.counters.shed);
+                            reply(&out, &Response::ShuttingDown);
+                            continue;
+                        }
+                        match queue.push(Job {
+                            req,
+                            out: Arc::clone(&out),
+                        }) {
+                            Push::Ok => Counters::inc(&shared.counters.enqueued),
+                            Push::Full => {
+                                Counters::inc(&shared.counters.shed);
+                                reply(&out, &Response::Busy);
+                            }
+                            Push::Closed => {
+                                Counters::inc(&shared.counters.shed);
+                                reply(&out, &Response::ShuttingDown);
+                            }
+                        }
+                    }
+                    // Bad body behind a valid length header: reject the
+                    // request, keep the connection.
+                    Err(_) => {
+                        Counters::inc(&shared.counters.malformed);
+                        reply(&out, &Response::BadRequest);
+                    }
+                },
+                Ok(None) => break,
+                // Framing error: no recoverable boundary — reject and
+                // close.
+                Err(_) => {
+                    Counters::inc(&shared.counters.malformed);
+                    reply(&out, &Response::BadRequest);
+                    return;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn job(key: u64) -> Job {
+        // The write half is irrelevant for queue tests; use a loopback
+        // socket pair via a throwaway listener.
+        let l = TcpListener::bind("127.0.0.1:0").unwrap();
+        let s = TcpStream::connect(l.local_addr().unwrap()).unwrap();
+        Job {
+            req: Request::Get { key },
+            out: Arc::new(Mutex::new(s)),
+        }
+    }
+
+    #[test]
+    fn queue_sheds_beyond_depth() {
+        let q = WorkQueue::new(2);
+        assert!(matches!(q.push(job(1)), Push::Ok));
+        assert!(matches!(q.push(job(2)), Push::Ok));
+        assert!(matches!(q.push(job(3)), Push::Full));
+        assert!(matches!(
+            q.pop(),
+            Some(Job {
+                req: Request::Get { key: 1 },
+                ..
+            })
+        ));
+        assert!(matches!(q.push(job(3)), Push::Ok));
+    }
+
+    #[test]
+    fn closed_queue_drains_then_ends() {
+        let q = WorkQueue::new(4);
+        q.push(job(1));
+        q.push(job(2));
+        q.close();
+        assert!(matches!(q.push(job(3)), Push::Closed));
+        assert!(q.pop().is_some());
+        assert!(q.pop().is_some());
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn pop_blocks_until_push() {
+        let q = Arc::new(WorkQueue::new(4));
+        let q2 = Arc::clone(&q);
+        let h = std::thread::spawn(move || q2.pop().map(|j| j.req));
+        q.push(job(9));
+        assert_eq!(h.join().unwrap(), Some(Request::Get { key: 9 }));
+    }
+
+    #[test]
+    fn conn_slots_back_out_over_limit() {
+        let shared = Shared {
+            counters: Counters::default(),
+            shutdown: AtomicBool::new(false),
+            active_conns: AtomicUsize::new(0),
+            queues: Vec::new(),
+            shutdown_reply: Mutex::new(None),
+            scheme_label: "TEST",
+            idle_timeout: Duration::from_secs(1),
+        };
+        assert!(shared.conn_enter(2));
+        assert!(shared.conn_enter(2));
+        assert!(!shared.conn_enter(2));
+        shared.conn_exit();
+        assert!(shared.conn_enter(2));
+    }
+}

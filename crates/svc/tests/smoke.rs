@@ -1,0 +1,350 @@
+//! End-to-end smoke tests over real loopback sockets: an in-process
+//! server, basic operations, robustness against garbage, load shedding,
+//! idle-timeout reaping, and the drained-shutdown invariant.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+use svc::proto::{read_frame, Request, Response};
+use svc::server::{DrainReport, Server, ServerConfig};
+use workloads::SchemeKind;
+
+/// Binds an in-process server on an ephemeral port and runs it on a
+/// background thread; returns the address and the join handle.
+fn start(
+    cfg: ServerConfig,
+) -> (
+    String,
+    std::thread::JoinHandle<std::io::Result<DrainReport>>,
+) {
+    let server = Server::bind(cfg).expect("bind");
+    let addr = server.local_addr().expect("addr").to_string();
+    let handle = std::thread::spawn(move || server.run());
+    (addr, handle)
+}
+
+fn small_cfg() -> ServerConfig {
+    ServerConfig {
+        threads: 2,
+        shards: 4,
+        buckets_per_shard: 64,
+        prefill: 1000,
+        extra_capacity: 4000,
+        ..ServerConfig::default()
+    }
+}
+
+fn connect(addr: &str) -> TcpStream {
+    let s = TcpStream::connect(addr).expect("connect");
+    s.set_nodelay(true).unwrap();
+    s
+}
+
+fn request(stream: &mut TcpStream, req: &Request) -> Response {
+    stream.write_all(&req.to_frame()).expect("send");
+    let body = read_frame(stream).expect("reply");
+    Response::decode(&body).expect("decode reply")
+}
+
+fn shutdown(
+    addr: &str,
+    handle: std::thread::JoinHandle<std::io::Result<DrainReport>>,
+) -> DrainReport {
+    let mut c = connect(addr);
+    assert_eq!(request(&mut c, &Request::Shutdown), Response::Ok);
+    let report = handle.join().expect("server thread").expect("server run");
+    assert!(
+        report.drained(),
+        "drain mismatch: {} enqueued, {} replied",
+        report.enqueued,
+        report.replied
+    );
+    report
+}
+
+#[test]
+fn basic_ops_over_the_wire() {
+    let (addr, handle) = start(small_cfg());
+    let mut c = connect(&addr);
+    // Prefilled keys read back as key = value.
+    assert_eq!(
+        request(&mut c, &Request::Get { key: 7 }),
+        Response::Value(7)
+    );
+    // Fresh key: miss, insert, hit, delete, miss.
+    assert_eq!(
+        request(&mut c, &Request::Get { key: 5000 }),
+        Response::NotFound
+    );
+    assert_eq!(
+        request(
+            &mut c,
+            &Request::Put {
+                key: 5000,
+                value: 42
+            }
+        ),
+        Response::Ok
+    );
+    assert_eq!(
+        request(&mut c, &Request::Get { key: 5000 }),
+        Response::Value(42)
+    );
+    assert_eq!(request(&mut c, &Request::Del { key: 5000 }), Response::Ok);
+    assert_eq!(
+        request(&mut c, &Request::Del { key: 5000 }),
+        Response::NotFound
+    );
+    // Scan over the prefilled range comes back sorted and complete.
+    match request(
+        &mut c,
+        &Request::Scan {
+            start: 10,
+            count: 5,
+        },
+    ) {
+        Response::Pairs(pairs) => {
+            assert_eq!(pairs, (10..15).map(|k| (k, k)).collect::<Vec<_>>());
+        }
+        other => panic!("scan reply: {other:?}"),
+    }
+    // Stats reflect the traffic so far.
+    match request(&mut c, &Request::Stats) {
+        Response::Stats(s) => {
+            assert_eq!(s.scheme, "RW-LE_OPT");
+            assert_eq!(s.gets, 3);
+            assert_eq!(s.puts, 1);
+            assert_eq!(s.dels, 2);
+            assert_eq!(s.scans, 1);
+        }
+        other => panic!("stats reply: {other:?}"),
+    }
+    shutdown(&addr, handle);
+}
+
+#[test]
+fn garbage_body_gets_bad_request_and_keeps_the_connection() {
+    let (addr, handle) = start(small_cfg());
+    let mut c = connect(&addr);
+    // Valid length header, nonsense body.
+    let mut wire = Vec::new();
+    wire.extend_from_slice(&5u32.to_le_bytes());
+    wire.extend_from_slice(&[0x77, 1, 2, 3, 4]);
+    c.write_all(&wire).unwrap();
+    let body = read_frame(&mut c).expect("reply");
+    assert_eq!(Response::decode(&body).unwrap(), Response::BadRequest);
+    // The connection survives a body error: a valid request still works.
+    assert_eq!(
+        request(&mut c, &Request::Get { key: 1 }),
+        Response::Value(1)
+    );
+    let report = shutdown(&addr, handle);
+    assert_eq!(report.malformed, 1);
+}
+
+#[test]
+fn framing_error_gets_bad_request_then_close() {
+    let (addr, handle) = start(small_cfg());
+    let mut c = connect(&addr);
+    // Zero-length frame: unrecoverable framing error.
+    c.write_all(&0u32.to_le_bytes()).unwrap();
+    let body = read_frame(&mut c).expect("reply");
+    assert_eq!(Response::decode(&body).unwrap(), Response::BadRequest);
+    // Server closes: the next read hits EOF.
+    let mut buf = [0u8; 8];
+    assert_eq!(c.read(&mut buf).unwrap(), 0);
+    let report = shutdown(&addr, handle);
+    assert_eq!(report.malformed, 1);
+}
+
+#[test]
+fn oversize_header_closes_the_connection() {
+    let (addr, handle) = start(small_cfg());
+    let mut c = connect(&addr);
+    c.write_all(&(1u32 << 24).to_le_bytes()).unwrap();
+    c.write_all(&[0u8; 64]).unwrap();
+    let body = read_frame(&mut c).expect("reply");
+    assert_eq!(Response::decode(&body).unwrap(), Response::BadRequest);
+    let mut buf = [0u8; 8];
+    assert_eq!(c.read(&mut buf).unwrap(), 0);
+    shutdown(&addr, handle);
+}
+
+#[test]
+fn connection_limit_sheds_with_busy() {
+    let cfg = ServerConfig {
+        max_conns: 1,
+        ..small_cfg()
+    };
+    let (addr, handle) = start(cfg);
+    let mut first = connect(&addr);
+    // Complete one request so the first connection is fully registered
+    // before the second arrives.
+    assert_eq!(
+        request(&mut first, &Request::Get { key: 1 }),
+        Response::Value(1)
+    );
+    let mut second = connect(&addr);
+    let body = read_frame(&mut second).expect("busy reply");
+    assert_eq!(Response::decode(&body).unwrap(), Response::Busy);
+    let mut buf = [0u8; 8];
+    assert_eq!(second.read(&mut buf).unwrap(), 0);
+    // The first connection is unaffected.
+    assert_eq!(
+        request(&mut first, &Request::Get { key: 2 }),
+        Response::Value(2)
+    );
+    drop(first);
+    // Slot freed: a new connection is admitted (poll briefly — the
+    // server notices the close on its reader thread, not instantly).
+    let mut admitted = false;
+    for _ in 0..100 {
+        let mut third = connect(&addr);
+        third
+            .write_all(&Request::Get { key: 3 }.to_frame())
+            .unwrap();
+        let body = read_frame(&mut third).expect("reply");
+        match Response::decode(&body).unwrap() {
+            Response::Value(3) => {
+                admitted = true;
+                break;
+            }
+            Response::Busy => continue,
+            other => panic!("unexpected reply: {other:?}"),
+        }
+    }
+    assert!(admitted, "freed connection slot was never reused");
+    shutdown(&addr, handle);
+}
+
+#[test]
+fn idle_partial_frame_is_reaped() {
+    let cfg = ServerConfig {
+        idle_timeout: Duration::from_millis(150),
+        ..small_cfg()
+    };
+    let (addr, handle) = start(cfg);
+    let mut c = connect(&addr);
+    // Half a frame, then silence: the server must reap the connection.
+    let frame = Request::Get { key: 1 }.to_frame();
+    c.write_all(&frame[..5]).unwrap();
+    c.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+    let mut buf = [0u8; 8];
+    assert_eq!(c.read(&mut buf).unwrap(), 0, "expected EOF from reaper");
+    let report = shutdown(&addr, handle);
+    assert_eq!(report.timeouts, 1);
+}
+
+#[test]
+fn pipelined_requests_all_answered_in_order_before_shutdown_ack() {
+    let (addr, handle) = start(small_cfg());
+    let mut c = connect(&addr);
+    // Fire 50 GETs back to back without reading, then read all replies:
+    // per-connection FIFO means reply i matches request i.
+    let mut wire = Vec::new();
+    for key in 0..50u64 {
+        wire.extend_from_slice(&Request::Get { key }.to_frame());
+    }
+    c.write_all(&wire).unwrap();
+    for key in 0..50u64 {
+        let body = read_frame(&mut c).expect("reply");
+        assert_eq!(Response::decode(&body).unwrap(), Response::Value(key));
+    }
+    let report = shutdown(&addr, handle);
+    assert_eq!(report.enqueued, report.replied);
+    assert!(report.enqueued >= 50);
+}
+
+#[test]
+fn loadgen_closed_loop_end_to_end() {
+    let (addr, handle) = start(ServerConfig {
+        threads: 2,
+        shards: 4,
+        buckets_per_shard: 256,
+        prefill: 5_000,
+        extra_capacity: 50_000,
+        ..ServerConfig::default()
+    });
+    let cfg = svc::loadgen::LoadgenConfig {
+        addr: addr.clone(),
+        conns: 4,
+        write_pct: 10,
+        scan_pct: 2,
+        scan_count: 16,
+        secs: 10.0,
+        ops_per_conn: 200,
+        key_range: 10_000,
+        zipf_theta: 0.0,
+        open_rate: 0,
+        seed: 7,
+        shutdown: false,
+    };
+    let res = svc::loadgen::run(&cfg).expect("loadgen run");
+    assert_eq!(res.sent, 4 * 200);
+    assert_eq!(res.received, res.sent, "lost replies");
+    assert_eq!(res.errors, 0, "protocol errors under load");
+    assert!(res.all.count() > 0);
+    // Quantiles are monotone and within [min, max].
+    assert!(res.all.p50() <= res.all.p99());
+    assert!(res.all.p99() <= res.all.max());
+    let server = res.server.expect("stats fetch");
+    assert_eq!(server.malformed, 0);
+    let report = shutdown(&addr, handle);
+    assert!(report.enqueued >= 800);
+}
+
+#[test]
+fn loadgen_open_loop_receives_everything_sent() {
+    let (addr, handle) = start(small_cfg());
+    let cfg = svc::loadgen::LoadgenConfig {
+        addr: addr.clone(),
+        conns: 2,
+        write_pct: 20,
+        scan_pct: 0,
+        scan_count: 16,
+        secs: 10.0,
+        ops_per_conn: 100,
+        key_range: 2_000,
+        zipf_theta: 0.9,
+        open_rate: 2_000,
+        seed: 9,
+        shutdown: false,
+    };
+    let res = svc::loadgen::run(&cfg).expect("loadgen run");
+    assert_eq!(res.sent, 2 * 100);
+    assert_eq!(res.received, res.sent, "open loop lost replies");
+    assert_eq!(res.errors, 0);
+    shutdown(&addr, handle);
+}
+
+#[test]
+fn scheme_variants_serve_traffic() {
+    for kind in [SchemeKind::Sgl, SchemeKind::Hle] {
+        let (addr, handle) = start(ServerConfig {
+            scheme: kind,
+            ..small_cfg()
+        });
+        let mut c = connect(&addr);
+        assert_eq!(
+            request(&mut c, &Request::Get { key: 3 }),
+            Response::Value(3)
+        );
+        assert_eq!(
+            request(
+                &mut c,
+                &Request::Put {
+                    key: 9999,
+                    value: 1
+                }
+            ),
+            Response::Ok
+        );
+        match request(&mut c, &Request::Stats) {
+            Response::Stats(s) => assert_eq!(s.scheme, kind.label()),
+            other => panic!("stats reply: {other:?}"),
+        }
+        drop(c);
+        shutdown(&addr, handle);
+    }
+}

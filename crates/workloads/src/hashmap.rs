@@ -53,6 +53,13 @@ impl SimHashMap {
         self.buckets.offset((key % self.num_buckets as u64) as u32)
     }
 
+    /// Address of the bucket head `key` hashes to — for wrappers (the
+    /// sharded store) that pre-load nodes with direct memory writes.
+    #[inline]
+    pub fn bucket_addr(&self, key: u64) -> Addr {
+        self.bucket_of(key)
+    }
+
     /// Allocates and initializes a detached node (outside any critical
     /// section — the standard pre-allocation pattern under lock elision,
     /// since allocator metadata must not join the transaction footprint).

@@ -23,6 +23,7 @@ pub mod driver;
 pub mod hashmap;
 pub mod kyoto;
 pub mod scheme;
+pub mod sharded;
 pub mod sortedlist;
 pub mod stmbench7;
 pub mod tpcc;

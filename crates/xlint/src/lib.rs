@@ -18,7 +18,9 @@ use std::path::{Path, PathBuf};
 
 /// The crates whose `Ordering::*` sites the manifest must cover and to
 /// which all five lints apply.
-pub const LINT_CRATES: [&str; 7] = ["epoch", "htm", "rwle", "hle", "locks", "rlu", "sched"];
+pub const LINT_CRATES: [&str; 8] = [
+    "epoch", "htm", "rwle", "hle", "locks", "rlu", "sched", "svc",
+];
 
 /// Crates outside the protocol core that still get the hygiene lints
 /// (A2–A5) but whose `Ordering::*` sites the manifest does not track —
