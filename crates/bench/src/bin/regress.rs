@@ -2,9 +2,11 @@
 //!
 //! Compares a freshly measured harness result file against the committed
 //! benchmark record (`BENCH_rwle.json`): every fresh row whose
-//! (section, scheme, threads, w) configuration appears in the record's
-//! `"set": "current"` rows must reach at least `(100 - tolerance)%` of
-//! the recorded throughput. Rows only present on one side are reported
+//! (section, scheme, backend, threads, w) configuration appears in the
+//! record's `"set": "current"` rows must reach at least
+//! `(100 - tolerance)%` of the recorded throughput. The backend is part
+//! of the key, so sim and native rows gate independently and are never
+//! compared against each other. Rows only present on one side are reported
 //! but do not fail the gate; zero matched rows does.
 //!
 //! The default tolerance is deliberately generous (30%): CI runners are
@@ -60,25 +62,36 @@ fn main() {
         std::process::exit(2);
     }
 
-    let mut recorded: BTreeMap<(&str, &str, u32, u32), f64> = BTreeMap::new();
+    let mut recorded: BTreeMap<(&str, &str, &str, u32, u32), f64> = BTreeMap::new();
     for (section, r) in &record {
-        recorded.insert((section, &r.scheme, r.threads, r.w), r.ops_per_s);
+        recorded.insert(
+            (section, &r.scheme, &r.backend, r.threads, r.w),
+            r.ops_per_s,
+        );
     }
-    // The canary's fresh/recorded drift per (section, threads, w): only
-    // configurations where the canary appears on both sides normalise;
-    // the rest fall back to the absolute ratio.
-    let mut drift: BTreeMap<(&str, u32, u32), f64> = BTreeMap::new();
+    // The canary's fresh/recorded drift per (section, backend, threads,
+    // w): only configurations where the canary appears on both sides
+    // normalise; the rest fall back to the absolute ratio.
+    let mut drift: BTreeMap<(&str, &str, u32, u32), f64> = BTreeMap::new();
     if let Some(canary) = &canary {
         for (section, r) in &fresh {
             if &r.scheme != canary {
                 continue;
             }
-            let Some(&base) = recorded.get(&(section.as_str(), canary.as_str(), r.threads, r.w))
-            else {
+            let Some(&base) = recorded.get(&(
+                section.as_str(),
+                canary.as_str(),
+                r.backend.as_str(),
+                r.threads,
+                r.w,
+            )) else {
                 continue;
             };
             if base > 0.0 && r.ops_per_s > 0.0 {
-                drift.insert((section.as_str(), r.threads, r.w), r.ops_per_s / base);
+                drift.insert(
+                    (section.as_str(), r.backend.as_str(), r.threads, r.w),
+                    r.ops_per_s / base,
+                );
             }
         }
         if drift.is_empty() {
@@ -95,19 +108,24 @@ fn main() {
         println!("# ratios normalised by the {canary} fresh/recorded drift per configuration");
     }
     println!(
-        "{:<11} {:>3} {:>4} {:>12} {:>12} {:>7}  verdict",
-        "scheme", "thr", "w", "recorded", "fresh", "ratio"
+        "{:<11} {:<7} {:>3} {:>4} {:>12} {:>12} {:>7}  verdict",
+        "scheme", "backend", "thr", "w", "recorded", "fresh", "ratio"
     );
     for (section, r) in &fresh {
-        let Some(&base) = recorded.get(&(section.as_str(), r.scheme.as_str(), r.threads, r.w))
-        else {
+        let Some(&base) = recorded.get(&(
+            section.as_str(),
+            r.scheme.as_str(),
+            r.backend.as_str(),
+            r.threads,
+            r.w,
+        )) else {
             continue;
         };
         matched += 1;
         let mut ratio = if base > 0.0 { r.ops_per_s / base } else { 1.0 };
         let is_canary = canary.as_deref() == Some(r.scheme.as_str());
         if !is_canary {
-            if let Some(d) = drift.get(&(section.as_str(), r.threads, r.w)) {
+            if let Some(d) = drift.get(&(section.as_str(), r.backend.as_str(), r.threads, r.w)) {
                 ratio /= d;
             }
         }
@@ -116,8 +134,9 @@ fn main() {
             failures += 1;
         }
         println!(
-            "{:<11} {:>3} {:>4} {:>12.0} {:>12.0} {:>6.2}x  {}",
+            "{:<11} {:<7} {:>3} {:>4} {:>12.0} {:>12.0} {:>6.2}x  {}",
             r.scheme,
+            r.backend,
             r.threads,
             r.w,
             base,
@@ -134,8 +153,8 @@ fn main() {
     }
     if matched == 0 {
         eprintln!(
-            "no fresh row matched the record — section/scheme/threads/w keys \
-             must line up with the committed BENCH_rwle.json"
+            "no fresh row matched the record — section/scheme/backend/threads/w \
+             keys must line up with the committed BENCH_rwle.json"
         );
         std::process::exit(1);
     }

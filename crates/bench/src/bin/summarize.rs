@@ -34,12 +34,14 @@ fn json_row(set: &str, section: &str, r: &Row) -> String {
         None => String::new(),
     };
     format!(
-        "{{\"set\": {}, \"section\": {}, \"scheme\": {}, \"threads\": {}, \"w\": {}, \
+        "{{\"set\": {}, \"section\": {}, \"scheme\": {}, \"backend\": {}, \
+         \"threads\": {}, \"w\": {}, \
          \"time_s\": {:.6}, \"ops_per_s\": {:.1}, \"abort_pct\": {:.2}, \
          \"c_htm\": {:.2}, \"c_rot\": {:.2}, \"c_sgl\": {:.2}, \"c_uninstr\": {:.2}{latency}}}",
         json_string(set),
         json_string(section),
         json_string(&r.scheme),
+        json_string(&r.backend),
         r.threads,
         r.w,
         r.time_s,
@@ -85,13 +87,24 @@ fn write_json_record(
         let _ = write!(doc, "    {}", json_row("current", section, row));
     }
     doc.push_str("\n  ],\n  \"comparisons\": [\n");
-    let mut index: BTreeMap<(&str, &str, u32, u32), f64> = BTreeMap::new();
+    // The backend is part of the key: a native row only ever compares
+    // against a native baseline, never against a sim one.
+    let mut index: BTreeMap<(&str, &str, &str, u32, u32), f64> = BTreeMap::new();
     for (section, r) in baseline {
-        index.insert((section, &r.scheme, r.threads, r.w), r.ops_per_s);
+        index.insert(
+            (section, &r.scheme, &r.backend, r.threads, r.w),
+            r.ops_per_s,
+        );
     }
     first = true;
     for (section, r) in current {
-        let Some(&base) = index.get(&(section.as_str(), r.scheme.as_str(), r.threads, r.w)) else {
+        let Some(&base) = index.get(&(
+            section.as_str(),
+            r.scheme.as_str(),
+            r.backend.as_str(),
+            r.threads,
+            r.w,
+        )) else {
             continue;
         };
         if base <= 0.0 {
@@ -103,10 +116,12 @@ fn write_json_record(
         first = false;
         let _ = write!(
             doc,
-            "    {{\"section\": {}, \"scheme\": {}, \"threads\": {}, \"w\": {}, \
+            "    {{\"section\": {}, \"scheme\": {}, \"backend\": {}, \"threads\": {}, \
+             \"w\": {}, \
              \"baseline_ops_per_s\": {:.1}, \"current_ops_per_s\": {:.1}, \"speedup\": {:.3}}}",
             json_string(section),
             json_string(&r.scheme),
+            json_string(&r.backend),
             r.threads,
             r.w,
             base,
@@ -147,11 +162,12 @@ fn main() {
         write_json_record(json_out, &rows, path, baseline_rows, baseline_src);
     }
 
-    // Group by (section, w, threads).
-    let mut groups: BTreeMap<(String, u32, u32), Vec<Row>> = BTreeMap::new();
+    // Group by (section, backend, w, threads) — speedups are only
+    // meaningful between rows measured on the same backend.
+    let mut groups: BTreeMap<(String, String, u32, u32), Vec<Row>> = BTreeMap::new();
     for (section, row) in rows {
         groups
-            .entry((section, row.w, row.threads))
+            .entry((section, row.backend.clone(), row.w, row.threads))
             .or_default()
             .push(row);
     }
@@ -161,7 +177,7 @@ fn main() {
         "{:<55} {:>4} {:>4}  scheme:speedup(abort%)",
         "section", "w", "thr"
     );
-    for ((section, w, threads), rows) in &groups {
+    for ((section, _backend, w, threads), rows) in &groups {
         let Some(base) = rows.iter().find(|r| r.scheme == baseline) else {
             continue;
         };

@@ -369,6 +369,10 @@ pub fn json_f64(line: &str, key: &str) -> Option<f64> {
 pub struct ResultRow {
     /// Scheme label (e.g. `RW-LE_OPT`).
     pub scheme: String,
+    /// Execution backend the row was measured on (`sim` or `native`).
+    /// Rows predating the backend split default to `sim`; rows from
+    /// different backends are never compared against each other.
+    pub backend: String,
     /// Thread count.
     pub threads: u32,
     /// Write percentage (or per-mille for the Kyoto harness).
@@ -443,6 +447,8 @@ pub fn parse_results(path: &str) -> Vec<(String, ResultRow)> {
             section.clone(),
             ResultRow {
                 scheme: cols[0].to_string(),
+                // Text tables come from the simulated-HTM harnesses only.
+                backend: String::from("sim"),
                 threads,
                 w,
                 time_s,
@@ -463,6 +469,7 @@ pub fn parse_json_result_row(line: &str) -> Option<(String, ResultRow)> {
         json_str(line, "section")?,
         ResultRow {
             scheme: json_str(line, "scheme")?,
+            backend: json_str(line, "backend").unwrap_or_else(|| String::from("sim")),
             threads: json_f64(line, "threads")? as u32,
             w: json_f64(line, "w")? as u32,
             time_s: json_f64(line, "time_s")?,

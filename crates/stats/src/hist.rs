@@ -220,6 +220,54 @@ mod tests {
         assert_eq!(h.min(), 0);
         assert_eq!(h.quantile(0.5), 0);
         assert_eq!(h.mean(), 0.0);
+        // Every quantile of an empty histogram is 0, including the
+        // endpoints and out-of-range inputs (which clamp).
+        for q in [-1.0, 0.0, 0.5, 1.0, 2.0, f64::NAN] {
+            assert_eq!(h.quantile(q), 0, "q={q}");
+        }
+    }
+
+    #[test]
+    fn endpoint_quantiles_of_a_single_sample() {
+        // q = 0.0 and q = 1.0 of a one-sample histogram are both that
+        // sample, exactly — the clamp to [min, max] must cancel the
+        // bucket midpoint even for values above the exact range.
+        for v in [0, 1, EXACT_LIMIT - 1, EXACT_LIMIT, EXACT_LIMIT + 1, 1 << 40] {
+            let mut h = LatencyHist::new();
+            h.record(v);
+            assert_eq!(h.quantile(0.0), v, "q=0 of single {v}");
+            assert_eq!(h.quantile(1.0), v, "q=1 of single {v}");
+            assert_eq!(h.min(), v);
+            assert_eq!(h.max(), v);
+        }
+    }
+
+    #[test]
+    fn exact_limit_boundary_stays_ordered_and_distinct() {
+        // EXACT_LIMIT-1 is the last exact value; EXACT_LIMIT and
+        // EXACT_LIMIT+1 land in the first log octave. The three must
+        // stay distinguishable and ordered through the bucketing.
+        let vals = [EXACT_LIMIT - 1, EXACT_LIMIT, EXACT_LIMIT + 1];
+        for v in vals {
+            let mut h = LatencyHist::new();
+            h.record(v);
+            assert_eq!(h.quantile(0.5), v, "single value {v} must round-trip");
+        }
+        let mut h = LatencyHist::new();
+        for v in vals {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 3);
+        assert_eq!(h.min(), EXACT_LIMIT - 1);
+        assert_eq!(h.max(), EXACT_LIMIT + 1);
+        // Ranks 1/2/3 map to the three recorded values in order.
+        assert_eq!(h.quantile(1.0 / 3.0), EXACT_LIMIT - 1);
+        assert_eq!(h.quantile(1.0), EXACT_LIMIT + 1);
+        let mid = h.quantile(0.5);
+        assert!(
+            (EXACT_LIMIT - 1..=EXACT_LIMIT + 1).contains(&mid),
+            "median {mid} outside the recorded range"
+        );
     }
 
     #[test]

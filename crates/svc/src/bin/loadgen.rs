@@ -100,6 +100,11 @@ fn main() {
         .as_ref()
         .map(|s| s.scheme.clone())
         .unwrap_or_else(|| String::from("UNKNOWN"));
+    let backend = res
+        .server
+        .as_ref()
+        .map(|s| s.backend.clone())
+        .unwrap_or_else(|| String::from("UNKNOWN"));
     if args.flag("json") {
         let mode = if cfg.open_rate > 0 {
             format!("open rate={}", cfg.open_rate)
@@ -118,7 +123,8 @@ fn main() {
         // bench::parse_json_result_row; the latency keys extend it
         // (schema "svc-loadgen", see DESIGN.md §8).
         println!(
-            "{{\"section\": {}, \"scheme\": {}, \"threads\": {}, \"w\": {}, \
+            "{{\"section\": {}, \"scheme\": {}, \"backend\": {}, \"threads\": {}, \
+             \"w\": {}, \
              \"time_s\": {:.6}, \"ops_per_s\": {:.1}, \"abort_pct\": 0.00, \
              \"c_htm\": 0.00, \"c_rot\": 0.00, \"c_sgl\": 0.00, \"c_uninstr\": 0.00, \
              \"p50_us\": {:.1}, \"p90_us\": {:.1}, \"p99_us\": {:.1}, \
@@ -126,6 +132,7 @@ fn main() {
              \"received\": {}, \"errors\": {}, \"shed\": {}{per_class}}}",
             json_string(&format!("svc loopback {mode} conns={}", cfg.conns)),
             json_string(&scheme),
+            json_string(&backend),
             cfg.conns,
             cfg.write_pct,
             res.elapsed,
@@ -147,7 +154,8 @@ fn main() {
             String::from("closed loop")
         };
         println!(
-            "loadgen: {} conns, {}% writes, {}% scans, {mode}, scheme {scheme}",
+            "loadgen: {} conns, {}% writes, {}% scans, {mode}, scheme {scheme}, \
+             backend {backend}",
             cfg.conns, cfg.write_pct, cfg.scan_pct
         );
         println!(

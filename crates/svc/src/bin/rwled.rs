@@ -1,9 +1,10 @@
 //! `rwled` — the loopback KV server.
 //!
 //! ```text
-//! rwled [--port P] [--threads N] [--scheme NAME] [--shards N]
-//!       [--buckets N] [--prefill N] [--capacity N] [--queue-depth N]
-//!       [--max-conns N] [--idle-ms MS] [--seed N] [--port-file PATH]
+//! rwled [--port P] [--threads N] [--scheme NAME] [--backend NAME]
+//!       [--shards N] [--buckets N] [--prefill N] [--capacity N]
+//!       [--queue-depth N] [--max-conns N] [--idle-ms MS] [--seed N]
+//!       [--port-file PATH]
 //! ```
 //!
 //! Prints the bound address on stdout, serves until a SHUTDOWN request,
@@ -15,16 +16,18 @@ use std::time::Duration;
 
 use bench::Args;
 use svc::server::{Server, ServerConfig};
-use workloads::SchemeKind;
+use workloads::{BackendKind, SchemeKind};
 
 const USAGE: &str = "\
-usage: rwled [--port P] [--threads N] [--scheme NAME] [--shards N]
-             [--buckets N] [--prefill N] [--capacity N] [--queue-depth N]
-             [--max-conns N] [--idle-ms MS] [--seed N] [--port-file PATH]
+usage: rwled [--port P] [--threads N] [--scheme NAME] [--backend NAME]
+             [--shards N] [--buckets N] [--prefill N] [--capacity N]
+             [--queue-depth N] [--max-conns N] [--idle-ms MS] [--seed N]
+             [--port-file PATH]
 
   --port 0 binds an ephemeral port; --port-file writes the bound port
   there for scripts. Schemes: rw-le_opt (default), rw-le_pes, hle, sgl,
-  rwl, brlock, ...";
+  rwl, brlock, ... Backends: sim (default, simulated-HTM pipeline) or
+  native (plain process memory; --scheme is ignored).";
 
 fn main() {
     let args = Args::parse();
@@ -38,10 +41,17 @@ fn main() {
         eprintln!("hint: try --scheme rw-le_opt, rw-le_pes, hle, or sgl");
         exit(2);
     };
+    let backend_name = args.get("backend").unwrap_or("sim").to_string();
+    let Some(backend) = BackendKind::parse(&backend_name) else {
+        eprintln!("unknown backend {backend_name:?}");
+        eprintln!("hint: try --backend sim or --backend native");
+        exit(2);
+    };
     let cfg = ServerConfig {
         port: args.get_or("port", 7878u16),
         threads: args.get_or("threads", 4usize),
         scheme,
+        backend,
         shards: args.get_or("shards", 16usize),
         buckets_per_shard: args.get_or("buckets", 1024u32),
         prefill: args.get_or("prefill", 100_000u64),
@@ -76,7 +86,10 @@ fn main() {
             exit(2);
         }
     }
-    println!("rwled listening on {addr} ({threads} workers, scheme {scheme_name})");
+    println!(
+        "rwled listening on {addr} ({threads} workers, scheme {scheme_name}, \
+         backend {backend_name})"
+    );
     match server.run() {
         Ok(report) => {
             println!(

@@ -298,15 +298,20 @@ fn open_loop(cfg: &LoadgenConfig, dist: &KeyDist, conn_id: usize) -> io::Result<
     });
 
     let mut rng = SmallRng::seed_from_u64(cfg.seed ^ (conn_id as u64 + 1).wrapping_mul(SPREAD));
-    let interval = Duration::from_nanos((1_000_000_000 / cfg.open_rate.max(1)).max(1));
-    let deadline = Instant::now() + Duration::from_secs_f64(cfg.secs);
-    let mut next = Instant::now();
+    let rate = cfg.open_rate.max(1);
+    let period = intended_send_offset(1, rate).max(Duration::from_nanos(1));
+    let start = Instant::now();
+    let deadline = start + Duration::from_secs_f64(cfg.secs);
     let mut sent = 0u64;
     let mut send_err = false;
     while Instant::now() < deadline {
         if cfg.ops_per_conn > 0 && sent >= cfg.ops_per_conn {
             break;
         }
+        // Absolute schedule: the k-th send belongs at start + k/rate,
+        // not at an accumulated per-op interval whose truncated
+        // fraction of a nanosecond compounds into rate drift.
+        let next = start + intended_send_offset(sent, rate);
         let now = Instant::now();
         if now < next {
             // xlint: allow(A5) -- open-loop pacing sleeps real wall-clock
@@ -323,8 +328,7 @@ fn open_loop(cfg: &LoadgenConfig, dist: &KeyDist, conn_id: usize) -> io::Result<
         sent += 1;
         // The intended instant, not the actual one: send-side slip is
         // server-induced delay and must show up in latency.
-        let _ = tx.send((next.max(now - interval), class));
-        next += interval;
+        let _ = tx.send((next.max(now - period), class));
     }
     drop(tx);
     let mut res = receiver.join().expect("receiver panicked");
@@ -333,6 +337,13 @@ fn open_loop(cfg: &LoadgenConfig, dist: &KeyDist, conn_id: usize) -> io::Result<
         res.errors += 1;
     }
     Ok(res)
+}
+
+/// Where the k-th open-loop send belongs relative to the start of the
+/// run: `k / rate` seconds, computed in one shot so fractional-period
+/// rates do not accumulate truncation error send over send.
+fn intended_send_offset(k: u64, rate: u64) -> Duration {
+    Duration::from_nanos((k as u128 * 1_000_000_000 / rate.max(1) as u128) as u64)
 }
 
 /// Fetches server counters over a fresh connection.
@@ -436,6 +447,29 @@ pub fn run(cfg: &LoadgenConfig) -> io::Result<LoadResult> {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn open_loop_offsets_do_not_drift() {
+        // Rates with a fractional nanosecond period are the ones the old
+        // accumulated-interval pacing under-sent: 1e9/3000 truncates to
+        // 333_333ns, and the lost thirds of a nanosecond compound. The
+        // absolute schedule must land within 1% of rate * secs sends in
+        // any window, fractional period or not.
+        for rate in [3_000u64, 7_919, 1_000_003] {
+            let window = Duration::from_secs(2);
+            let expected = rate * 2;
+            let mut sends = 0u64;
+            while intended_send_offset(sends, rate) < window {
+                sends += 1;
+            }
+            let lo = expected - expected / 100;
+            let hi = expected + expected / 100;
+            assert!(
+                (lo..=hi).contains(&sends),
+                "rate {rate}: {sends} sends in 2s, expected ~{expected}"
+            );
+        }
+    }
 
     #[test]
     fn uniform_dist_covers_range() {

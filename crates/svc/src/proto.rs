@@ -27,7 +27,7 @@
 //! | Ok | `0x80` | — (PUT/DEL-hit/SHUTDOWN ack) |
 //! | Value | `0x81` | `value: u64` (GET hit) |
 //! | Pairs | `0x82` | `n: u32, n × (key: u64, value: u64)` (SCAN) |
-//! | Stats | `0x83` | ten `u64` counters, `len: u8`, scheme label |
+//! | Stats | `0x83` | ten `u64` counters, `len: u8`, scheme label, `len: u8`, backend label |
 //! | NotFound | `0x90` | — |
 //! | BadRequest | `0x91` | — |
 //! | Busy | `0x92` | — (load shed: worker queue or conn limit full) |
@@ -124,6 +124,8 @@ pub struct ServerStats {
     pub conns: u64,
     /// Label of the synchronization scheme guarding the store.
     pub scheme: String,
+    /// Label of the execution backend (`"sim"` / `"native"`).
+    pub backend: String,
 }
 
 /// Decode failure. `EmptyFrame` and `Oversize` are framing errors (the
@@ -317,10 +319,11 @@ impl Response {
                 ] {
                     out.extend_from_slice(&c.to_le_bytes());
                 }
-                let label = s.scheme.as_bytes();
-                let n = label.len().min(255);
-                out.push(n as u8);
-                out.extend_from_slice(&label[..n]);
+                for label in [s.scheme.as_bytes(), s.backend.as_bytes()] {
+                    let n = label.len().min(255);
+                    out.push(n as u8);
+                    out.extend_from_slice(&label[..n]);
+                }
             }
             Response::NotFound => out.push(0x90),
             Response::BadRequest => out.push(0x91),
@@ -379,10 +382,22 @@ impl Response {
                 }
                 let c = |i: usize| get_u64(body, 1 + i * 8);
                 let label_len = body[81] as usize;
-                expect_len(body, 80 + 1 + label_len)?;
+                let backend_at = 82 + label_len;
+                if body.len() < backend_at + 1 {
+                    return Err(ProtoError::Truncated {
+                        need: 80 + 1 + label_len + 1,
+                        got: body.len() - 1,
+                    });
+                }
+                let backend_len = body[backend_at] as usize;
+                expect_len(body, 80 + 1 + label_len + 1 + backend_len)?;
                 let scheme = std::str::from_utf8(&body[82..82 + label_len])
                     .map_err(|_| ProtoError::BadLabel)?
                     .to_string();
+                let backend =
+                    std::str::from_utf8(&body[backend_at + 1..backend_at + 1 + backend_len])
+                        .map_err(|_| ProtoError::BadLabel)?
+                        .to_string();
                 Ok(Response::Stats(ServerStats {
                     enqueued: c(0),
                     replied: c(1),
@@ -395,6 +410,7 @@ impl Response {
                     scans: c(8),
                     conns: c(9),
                     scheme,
+                    backend,
                 }))
             }
             0x90 => {
@@ -562,6 +578,7 @@ mod tests {
                 scans: 9,
                 conns: 10,
                 scheme: "RW-LE_OPT".to_string(),
+                backend: "sim".to_string(),
             }),
             Response::NotFound,
             Response::BadRequest,

@@ -8,7 +8,7 @@ use std::time::Duration;
 
 use svc::proto::{read_frame, Request, Response};
 use svc::server::{DrainReport, Server, ServerConfig};
-use workloads::SchemeKind;
+use workloads::{BackendKind, SchemeKind};
 
 /// Binds an in-process server on an ephemeral port and runs it on a
 /// background thread; returns the address and the join handle.
@@ -113,6 +113,7 @@ fn basic_ops_over_the_wire() {
     match request(&mut c, &Request::Stats) {
         Response::Stats(s) => {
             assert_eq!(s.scheme, "RW-LE_OPT");
+            assert_eq!(s.backend, "sim");
             assert_eq!(s.gets, 3);
             assert_eq!(s.puts, 1);
             assert_eq!(s.dels, 2);
@@ -315,6 +316,78 @@ fn loadgen_open_loop_receives_everything_sent() {
     assert_eq!(res.sent, 2 * 100);
     assert_eq!(res.received, res.sent, "open loop lost replies");
     assert_eq!(res.errors, 0);
+    shutdown(&addr, handle);
+}
+
+#[test]
+fn native_backend_serves_the_same_wire_protocol() {
+    let (addr, handle) = start(ServerConfig {
+        backend: BackendKind::Native,
+        ..small_cfg()
+    });
+    let mut c = connect(&addr);
+    // Same contract as the sim backend: prefill, miss/insert/hit/delete,
+    // sorted scans — over plain process memory.
+    assert_eq!(
+        request(&mut c, &Request::Get { key: 7 }),
+        Response::Value(7)
+    );
+    assert_eq!(
+        request(&mut c, &Request::Get { key: 5000 }),
+        Response::NotFound
+    );
+    assert_eq!(
+        request(
+            &mut c,
+            &Request::Put {
+                key: 5000,
+                value: 42
+            }
+        ),
+        Response::Ok
+    );
+    assert_eq!(
+        request(&mut c, &Request::Get { key: 5000 }),
+        Response::Value(42)
+    );
+    assert_eq!(request(&mut c, &Request::Del { key: 5000 }), Response::Ok);
+    match request(
+        &mut c,
+        &Request::Scan {
+            start: 10,
+            count: 5,
+        },
+    ) {
+        Response::Pairs(pairs) => {
+            assert_eq!(pairs, (10..15).map(|k| (k, k)).collect::<Vec<_>>());
+        }
+        other => panic!("scan reply: {other:?}"),
+    }
+    match request(&mut c, &Request::Stats) {
+        Response::Stats(s) => assert_eq!(s.backend, "native"),
+        other => panic!("stats reply: {other:?}"),
+    }
+    drop(c);
+
+    // And it holds up under concurrent loadgen traffic.
+    let cfg = svc::loadgen::LoadgenConfig {
+        addr: addr.clone(),
+        conns: 4,
+        write_pct: 10,
+        scan_pct: 2,
+        scan_count: 16,
+        secs: 10.0,
+        ops_per_conn: 200,
+        key_range: 2_000,
+        zipf_theta: 0.0,
+        open_rate: 0,
+        seed: 11,
+        shutdown: false,
+    };
+    let res = svc::loadgen::run(&cfg).expect("loadgen run");
+    assert_eq!(res.sent, 4 * 200);
+    assert_eq!(res.received, res.sent, "native backend lost replies");
+    assert_eq!(res.errors, 0, "protocol errors on native backend");
     shutdown(&addr, handle);
 }
 

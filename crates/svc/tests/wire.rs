@@ -42,6 +42,7 @@ fn all_responses() -> Vec<Response> {
             scans: 9,
             conns: 10,
             scheme: "RW-LE_OPT".to_string(),
+            backend: "native".to_string(),
         }),
         Response::NotFound,
         Response::BadRequest,

@@ -1,0 +1,299 @@
+//! Execution backends: the same KV surface over two substrates.
+//!
+//! [`StoreBackend`] abstracts *where* the RW-LE protocol runs:
+//!
+//! * [`SimBackend`] — the existing simulated-HTM pipeline
+//!   (`simmem`/`htm`): every access goes through the simulated memory
+//!   model, which keeps the paper-faithful abort/commit breakdowns and
+//!   `sched` schedule exploration but pays the simulator on every load.
+//! * [`NativeBackend`](crate::native::NativeBackend) — the same
+//!   protocol over plain process memory: uninstrumented reads on the
+//!   fast path, writer commit emulated as epoch-quiesced double-buffered
+//!   publication (see `crate::native` and DESIGN.md §9). No abort
+//!   breakdowns, no schedule exploration — raw speed.
+//!
+//! A backend hands out per-thread [`StoreSession`]s; each session owns
+//! whatever thread-affine state its substrate needs (an HTM thread
+//! context, an epoch slot) plus its [`ThreadStats`]. Sessions must be
+//! created on the thread that uses them and are not transferable.
+
+use simmem::{Addr, SharedMem, SimAlloc};
+use std::sync::Arc;
+
+use htm::{HtmConfig, HtmRuntime, ThreadCtx};
+use stats::ThreadStats;
+
+use crate::scheme::SchemeKind;
+use crate::sharded::{PutOutcome, ShardedKv};
+
+/// Which execution backend runs the store.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BackendKind {
+    /// Simulated HTM over `simmem` (paper-faithful breakdowns).
+    Sim,
+    /// Plain process memory with epoch-quiesced double buffering.
+    Native,
+}
+
+impl BackendKind {
+    /// Command-line name.
+    pub fn name(self) -> &'static str {
+        match self {
+            BackendKind::Sim => "sim",
+            BackendKind::Native => "native",
+        }
+    }
+
+    /// Parses a command-line name.
+    pub fn parse(s: &str) -> Option<BackendKind> {
+        match s {
+            "sim" => Some(BackendKind::Sim),
+            "native" => Some(BackendKind::Native),
+            _ => None,
+        }
+    }
+}
+
+/// The store's capacity is exhausted (simulated memory only: the native
+/// backend allocates from the process heap and never reports this).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StoreFull;
+
+/// A store plus the substrate it executes on. Shared across worker
+/// threads; each thread gets its own [`StoreSession`].
+pub trait StoreBackend: Send + Sync {
+    /// Creates a per-thread session. Must be called on the thread that
+    /// will use it; panics when more sessions are created than the
+    /// backend was sized for.
+    fn session(&self) -> Box<dyn StoreSession + '_>;
+
+    /// Backend label for stats/bench rows (`"sim"` / `"native"`).
+    fn label(&self) -> &'static str;
+}
+
+/// One thread's handle onto a [`StoreBackend`]'s store.
+pub trait StoreSession {
+    /// Looks `key` up (uninstrumented read under RW-LE).
+    fn get(&mut self, key: u64) -> Option<u64>;
+
+    /// Inserts or updates `key`.
+    fn put(&mut self, key: u64, value: u64) -> Result<PutOutcome, StoreFull>;
+
+    /// Removes `key`, returning whether it was present.
+    fn del(&mut self, key: u64) -> bool;
+
+    /// Appends all present pairs with keys in `[start, start + count)`
+    /// to `out`, sorted by key.
+    fn scan(&mut self, start: u64, count: u32, out: &mut Vec<(u64, u64)>);
+
+    /// Drains the accumulated per-thread statistics.
+    fn take_stats(&mut self) -> ThreadStats;
+}
+
+/// The simulated-HTM backend: [`ShardedKv`] over `simmem`/`htm`.
+pub struct SimBackend {
+    rt: Arc<HtmRuntime>,
+    alloc: SimAlloc,
+    kv: ShardedKv,
+}
+
+impl SimBackend {
+    /// Sizes simulated memory, builds and prefills the sharded store.
+    /// `extra_capacity` bounds PUT allocations beyond the prefill
+    /// (deleted nodes are leaked until exit — deferred reclamation).
+    #[allow(clippy::too_many_arguments)]
+    pub fn create(
+        scheme: SchemeKind,
+        shards: usize,
+        buckets_per_shard: u32,
+        prefill: u64,
+        extra_capacity: u64,
+        max_threads: usize,
+        seed: u64,
+    ) -> Result<SimBackend, String> {
+        // One line per node plus the bucket arrays, with slack for lock
+        // words and allocator rounding (same sizing rule as the bench
+        // driver).
+        let node_lines = prefill + extra_capacity;
+        let bucket_lines = (shards as u64 * buckets_per_shard as u64).div_ceil(8);
+        let lines = (node_lines + bucket_lines + 4096) * 9 / 8;
+        let lines = u32::try_from(lines).map_err(|_| {
+            String::from(
+                "store too large for the 32-bit simulated address space; \
+                 lower the prefill/capacity",
+            )
+        })?;
+        let mem = Arc::new(SharedMem::new_lines(lines));
+        let rt = HtmRuntime::new(Arc::clone(&mem), HtmConfig::default().with_seed(seed));
+        let alloc = SimAlloc::new(mem);
+        let kv = ShardedKv::create(&alloc, scheme, shards, buckets_per_shard, max_threads)
+            .map_err(|e| format!("store build: {e:?}"))?;
+        kv.populate(&alloc, prefill)
+            .map_err(|e| format!("prefill: {e:?}"))?;
+        Ok(SimBackend { rt, alloc, kv })
+    }
+
+    /// The underlying sharded store (for direct-driver callers).
+    pub fn kv(&self) -> &ShardedKv {
+        &self.kv
+    }
+}
+
+impl StoreBackend for SimBackend {
+    fn session(&self) -> Box<dyn StoreSession + '_> {
+        Box::new(SimSession {
+            ctx: self.rt.register(),
+            st: ThreadStats::new(),
+            spare: None,
+            backend: self,
+        })
+    }
+
+    fn label(&self) -> &'static str {
+        "sim"
+    }
+}
+
+/// Per-thread session over [`SimBackend`]: owns the HTM thread context
+/// and the spare-node slot the pre-allocation discipline needs.
+struct SimSession<'a> {
+    ctx: ThreadCtx,
+    st: ThreadStats,
+    spare: Option<Addr>,
+    backend: &'a SimBackend,
+}
+
+impl StoreSession for SimSession<'_> {
+    fn get(&mut self, key: u64) -> Option<u64> {
+        self.backend.kv.get(&mut self.ctx, &mut self.st, key)
+    }
+
+    fn put(&mut self, key: u64, value: u64) -> Result<PutOutcome, StoreFull> {
+        self.backend
+            .kv
+            .put(
+                &mut self.ctx,
+                &mut self.st,
+                &self.backend.alloc,
+                &mut self.spare,
+                key,
+                value,
+            )
+            .map_err(|_| StoreFull)
+    }
+
+    fn del(&mut self, key: u64) -> bool {
+        self.backend.kv.del(&mut self.ctx, &mut self.st, key)
+    }
+
+    fn scan(&mut self, start: u64, count: u32, out: &mut Vec<(u64, u64)>) {
+        self.backend
+            .kv
+            .scan(&mut self.ctx, &mut self.st, start, count, out);
+    }
+
+    fn take_stats(&mut self) -> ThreadStats {
+        std::mem::take(&mut self.st)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::driver::run_backend_threads;
+    use crate::native::NativeBackend;
+    use stats::{CommitKind, StatsSummary};
+
+    fn sim() -> SimBackend {
+        SimBackend::create(SchemeKind::RwLeOpt, 4, 16, 200, 4000, 5, 1).unwrap()
+    }
+
+    fn native() -> NativeBackend {
+        NativeBackend::create(4, 5, 200)
+    }
+
+    fn roundtrip(backend: &dyn StoreBackend) {
+        let mut s = backend.session();
+        // Prefilled keys read back as key = value.
+        assert_eq!(s.get(7), Some(7));
+        assert_eq!(s.get(5000), None);
+        assert_eq!(s.put(5000, 42), Ok(PutOutcome::Inserted));
+        assert_eq!(s.get(5000), Some(42));
+        assert_eq!(s.put(5000, 43), Ok(PutOutcome::Updated));
+        assert_eq!(s.get(5000), Some(43));
+        assert!(s.del(5000));
+        assert!(!s.del(5000));
+        assert_eq!(s.get(5000), None);
+        let mut out = Vec::new();
+        s.scan(10, 5, &mut out);
+        assert_eq!(out, (10..15).map(|k| (k, k)).collect::<Vec<_>>());
+        assert!(s.take_stats().ops > 0);
+    }
+
+    #[test]
+    fn sim_backend_roundtrips() {
+        roundtrip(&sim());
+    }
+
+    #[test]
+    fn native_backend_roundtrips() {
+        roundtrip(&native());
+    }
+
+    /// The torn-read invariant of the sharded-store test, parameterized
+    /// over the backend: values are always `key` or `key + 1`, never a
+    /// mix of bytes from both.
+    fn mixed_ops_torn_free(backend: &dyn StoreBackend) -> StatsSummary {
+        let (_wall, stats) = run_backend_threads(backend, 4, |t, sess| {
+            for i in 0..200u64 {
+                let key = (t as u64 * 131 + i * 7) % 400;
+                match i % 4 {
+                    0 => {
+                        sess.put(key, key + 1).unwrap();
+                    }
+                    1 => {
+                        if let Some(v) = sess.get(key) {
+                            assert!(v == key || v == key + 1, "torn value {v} for {key}");
+                        }
+                    }
+                    2 => {
+                        sess.del(key);
+                    }
+                    _ => {
+                        let mut out = Vec::new();
+                        sess.scan(key, 8, &mut out);
+                        for (k, v) in out {
+                            assert!(v == k || v == k + 1, "torn scan {v} for {k}");
+                        }
+                    }
+                }
+            }
+        });
+        StatsSummary::from_threads(&stats)
+    }
+
+    #[test]
+    fn sim_backend_mixed_ops_torn_free() {
+        let s = mixed_ops_torn_free(&sim());
+        // Reads are uninstrumented under RW-LE.
+        assert!(s.commits(CommitKind::Uninstrumented) > 0);
+    }
+
+    #[test]
+    fn native_backend_mixed_ops_torn_free() {
+        let s = mixed_ops_torn_free(&native());
+        assert!(s.commits(CommitKind::Uninstrumented) > 0);
+        // Writer commits are ROT-emulated publications.
+        assert!(s.commits(CommitKind::Rot) > 0);
+        // The native path has no speculation to abort.
+        assert_eq!(s.total_aborts(), 0);
+    }
+
+    #[test]
+    fn backend_kind_parse_roundtrip() {
+        for k in [BackendKind::Sim, BackendKind::Native] {
+            assert_eq!(BackendKind::parse(k.name()), Some(k));
+        }
+        assert_eq!(BackendKind::parse("bogus"), None);
+    }
+}

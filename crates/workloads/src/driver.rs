@@ -10,6 +10,7 @@ use rand::{Rng, SeedableRng};
 use simmem::{Addr, SharedMem, SimAlloc};
 use stats::{StatsSummary, ThreadStats};
 
+use crate::backend::{StoreBackend, StoreSession};
 use crate::hashmap::{SimHashMap, NODE_WORDS};
 use crate::scheme::{Scheme, SchemeKind};
 
@@ -58,6 +59,48 @@ where
         // Timestamp *before* releasing the barrier: the main thread may
         // not be rescheduled until workers finish (single-CPU hosts), so
         // stamping after the wait would undercount the parallel phase.
+        let t0 = Instant::now();
+        barrier.wait();
+        for h in handles {
+            stats.push(h.join().expect("worker panicked"));
+        }
+        wall = t0.elapsed();
+    });
+    (wall, stats)
+}
+
+/// Spawns `threads` workers over `backend`, each with its own
+/// [`StoreSession`], released together by a barrier; returns the
+/// parallel phase's wall time and per-session stats. The
+/// backend-generic sibling of [`run_threads`] — correctness tests and
+/// benches drive both substrates through it.
+pub fn run_backend_threads<F>(
+    backend: &dyn StoreBackend,
+    threads: usize,
+    f: F,
+) -> (Duration, Vec<ThreadStats>)
+where
+    F: Fn(usize, &mut dyn StoreSession) + Sync,
+{
+    let barrier = Barrier::new(threads + 1);
+    let mut stats = Vec::new();
+    let mut wall = Duration::ZERO;
+    std::thread::scope(|s| {
+        let mut handles = Vec::new();
+        for t in 0..threads {
+            let barrier = &barrier;
+            let f = &f;
+            handles.push(s.spawn(move || {
+                // Sessions are created on the thread that uses them
+                // (HTM contexts are not transferable between threads).
+                let mut sess = backend.session();
+                barrier.wait();
+                f(t, &mut *sess);
+                sess.take_stats()
+            }));
+        }
+        // Same stamping rule as run_threads: before the release, not
+        // after the wait.
         let t0 = Instant::now();
         barrier.wait();
         for h in handles {

@@ -16,16 +16,24 @@
 //!
 //! [`driver`] contains the multi-threaded measurement harness shared by
 //! the figure-regeneration binaries in the `bench` crate.
+//!
+//! [`backend`] abstracts the execution substrate: the simulated-HTM
+//! pipeline above, or [`native`] — the same RW-LE protocol over plain
+//! process memory with epoch-quiesced double-buffered writer commits
+//! (DESIGN.md §9).
 
 #![warn(missing_docs)]
 
+pub mod backend;
 pub mod driver;
 pub mod hashmap;
 pub mod kyoto;
+pub mod native;
 pub mod scheme;
 pub mod sharded;
 pub mod sortedlist;
 pub mod stmbench7;
 pub mod tpcc;
 
+pub use backend::{BackendKind, StoreBackend, StoreSession};
 pub use scheme::{Scheme, SchemeKind};

@@ -1,0 +1,348 @@
+//! The native execution backend: the RW-LE protocol over plain process
+//! memory.
+//!
+//! Readers are truly uninstrumented — `enter` the epoch set, load the
+//! active slot pointer, read an ordinary `BTreeMap`, `exit`. Writer
+//! commit is emulated as **epoch-quiesced double-buffered publication**
+//! (the PairLock/Left-Right active/inactive flip): each shard keeps two
+//! copies of its map; a writer mutates the *inactive* copy under the
+//! shard's writer mutex, flips the active index (the commit point — one
+//! aggregate store, the native stand-in for a ROT's all-or-nothing store
+//! burst), waits one grace period on the existing scalable summary-tree
+//! barrier so no reader can still hold the old copy, then replays the
+//! mutation into it. Outside a writer's critical section the two copies
+//! are identical.
+//!
+//! What this keeps from the simulated backend: linearizable single-key
+//! operations, torn-free reads, the quiescence-barrier structure (and
+//! its `barrier_stalls`/`barriers_shared` accounting, including grace
+//! sharing across shards through the one shared [`EpochSet`]). What it
+//! drops: abort/commit breakdowns (nothing speculates, nothing aborts)
+//! and `sched` schedule exploration (plain memory has no access hooks).
+//!
+//! ## Memory ordering
+//!
+//! The ISSUE's Release-flip/Acquire-load recipe is *not* sufficient:
+//! reader entry (clock store, then active-index load) races the writer's
+//! commit (active-index store, then clock scan) in the classic
+//! store-buffering shape, and with Release/Acquire both sides can miss
+//! each other — the writer would replay into a copy a reader still
+//! traverses. Exactly the lazy-subscription unsafety Dice et al.
+//! (arXiv:1407.6968) catalog. Both the flip and the reader's index load
+//! are therefore `SeqCst`, joining the protocol's SeqCst commit-point
+//! discipline: in the single total order, either the reader's clock
+//! store precedes the writer's scan (the barrier waits for it) or the
+//! reader sees the new index (and never touches the old copy).
+
+use std::cell::UnsafeCell;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use epoch::EpochSet;
+use stats::{CommitKind, ThreadStats};
+
+use crate::backend::{StoreBackend, StoreFull, StoreSession};
+use crate::sharded::PutOutcome;
+
+/// Fibonacci multiplier for the shard spreader (same as [`crate::sharded`]).
+const SPREAD: u64 = 0x9e37_79b9_7f4a_7c15;
+
+/// One shard: two map copies, the active index, and the writer mutex
+/// that serializes this shard's publications.
+struct NativeShard {
+    /// The two copies. Index [`NativeShard::reader_active_idx`] is read
+    /// by any number of epoch-protected readers; the other copy is
+    /// private to the mutex-holding writer.
+    slots: [UnsafeCell<BTreeMap<u64, u64>>; 2],
+    /// Which slot readers use (0 or 1).
+    active: AtomicUsize,
+    /// Serializes writers per shard.
+    writer: Mutex<()>,
+}
+
+// SAFETY: the double-buffer protocol keeps the two `UnsafeCell` maps
+// race-free. Readers only dereference `slots[active]` between epoch
+// enter/exit; a writer only mutates `slots[1 - active]` while holding
+// `writer`, and touches the previously-active copy only after a full
+// grace period has drained every reader that could have observed its
+// index (both the flip and the reader's index load are SeqCst, so a
+// reader either sees the new index or its odd clock is seen by the
+// barrier — see the module docs).
+unsafe impl Sync for NativeShard {}
+
+impl NativeShard {
+    fn new() -> NativeShard {
+        NativeShard {
+            slots: [
+                UnsafeCell::new(BTreeMap::new()),
+                UnsafeCell::new(BTreeMap::new()),
+            ],
+            active: AtomicUsize::new(0),
+            writer: Mutex::new(()),
+        }
+    }
+
+    /// The active index as a reader loads it. SeqCst: races the writer's
+    /// flip-then-scan in the store-buffering shape (see module docs);
+    /// anything weaker lets both sides miss each other.
+    #[inline]
+    fn reader_active_idx(&self) -> usize {
+        self.active.load(Ordering::SeqCst)
+    }
+
+    /// The active index as the mutex-holding writer reads it. Relaxed:
+    /// only writers store this index, and they are serialized by
+    /// `writer`, so the lock's own synchronization already orders the
+    /// previous writer's store before this load.
+    #[inline]
+    fn writer_active_idx(&self) -> usize {
+        self.active.load(Ordering::Relaxed)
+    }
+
+    /// Flips readers onto `idx` — the commit point. SeqCst so the flip
+    /// is ordered before the barrier's clock scan in the single total
+    /// order (module docs; the paper's R1 commit-point discipline).
+    #[inline]
+    fn publish(&self, idx: usize) {
+        self.active.store(idx, Ordering::SeqCst);
+    }
+
+    /// Runs `f` over the active copy inside an epoch read section.
+    fn read<R>(
+        &self,
+        epochs: &EpochSet,
+        tid: usize,
+        f: impl FnOnce(&BTreeMap<u64, u64>) -> R,
+    ) -> R {
+        epochs.enter(tid);
+        let idx = self.reader_active_idx();
+        // SAFETY: `idx` was active after our epoch entry, so any writer
+        // that retires this copy must first complete a grace period that
+        // includes us; the copy is not mutated while we hold it.
+        let map = unsafe { &*self.slots[idx].get() };
+        let out = f(map);
+        epochs.exit(tid);
+        out
+    }
+
+    /// Publishes `mutate` (applied to both copies around a quiescence
+    /// barrier) and returns the first application's result.
+    fn write<R>(
+        &self,
+        epochs: &EpochSet,
+        tid: usize,
+        st: &mut ThreadStats,
+        snap: &mut Vec<u64>,
+        mutate: impl Fn(&mut BTreeMap<u64, u64>) -> R,
+    ) -> R {
+        let _guard = self.writer.lock().unwrap();
+        let active = self.writer_active_idx();
+        let inactive = 1 - active;
+        // SAFETY: the inactive copy is private to the mutex-holding
+        // writer — readers dereference only the active index, and the
+        // previous writer's grace period already drained everyone who
+        // saw this copy as active.
+        let out = mutate(unsafe { &mut *self.slots[inactive].get() });
+        self.publish(inactive);
+        let grace = epochs.grace_snapshot();
+        let barrier = epochs.synchronize_from(Some(tid), grace, snap);
+        st.barrier_stalls += barrier.stalls;
+        st.barriers_shared += barrier.shared as u64;
+        // SAFETY: the grace period drained every reader that could have
+        // loaded `active` as its index; the copy is now writer-private.
+        // Both copies held identical data before this call, so replaying
+        // restores the identical-copies invariant.
+        mutate(unsafe { &mut *self.slots[active].get() });
+        out
+    }
+}
+
+/// The native backend: plain-memory shards plus the shared epoch set
+/// whose grace periods writers on *any* shard can share.
+pub struct NativeBackend {
+    shards: Vec<NativeShard>,
+    epochs: EpochSet,
+    next_tid: AtomicUsize,
+    capacity: usize,
+}
+
+impl NativeBackend {
+    /// Builds `n_shards` shards sized for `max_threads` sessions, with
+    /// keys `0..prefill` pre-loaded as `value = key` (single-threaded,
+    /// before any sharing).
+    pub fn create(n_shards: usize, max_threads: usize, prefill: u64) -> NativeBackend {
+        assert!(n_shards > 0, "need at least one shard");
+        assert!(max_threads > 0, "need at least one session slot");
+        let mut backend = NativeBackend {
+            shards: (0..n_shards).map(|_| NativeShard::new()).collect(),
+            epochs: EpochSet::new(max_threads),
+            next_tid: AtomicUsize::new(0),
+            capacity: max_threads,
+        };
+        for key in 0..prefill {
+            let shard = shard_index(key, n_shards);
+            // Both copies get the key: the identical-copies invariant
+            // must hold before the first writer runs. `get_mut` needs no
+            // unsafe — we still own the backend exclusively.
+            for slot in backend.shards[shard].slots.iter_mut() {
+                slot.get_mut().insert(key, key);
+            }
+        }
+        backend
+    }
+
+    #[inline]
+    fn shard_of(&self, key: u64) -> &NativeShard {
+        &self.shards[shard_index(key, self.shards.len())]
+    }
+
+    /// Claims the next epoch slot. Relaxed: the counter only hands out
+    /// distinct indices; slot ownership is published by the thread
+    /// itself through the epoch clock, not through this counter.
+    fn register(&self) -> usize {
+        let tid = self.next_tid.fetch_add(1, Ordering::Relaxed);
+        assert!(
+            tid < self.capacity,
+            "native backend sized for {} sessions, session {} requested",
+            self.capacity,
+            tid + 1
+        );
+        tid
+    }
+}
+
+#[inline]
+fn shard_index(key: u64, n_shards: usize) -> usize {
+    ((key.wrapping_mul(SPREAD) >> 32) as usize) % n_shards
+}
+
+impl StoreBackend for NativeBackend {
+    fn session(&self) -> Box<dyn StoreSession + '_> {
+        Box::new(NativeSession {
+            backend: self,
+            tid: self.register(),
+            st: ThreadStats::new(),
+            snap: Vec::new(),
+        })
+    }
+
+    fn label(&self) -> &'static str {
+        "native"
+    }
+}
+
+/// Per-thread session over [`NativeBackend`]: an epoch slot plus the
+/// reusable barrier snapshot buffer.
+struct NativeSession<'a> {
+    backend: &'a NativeBackend,
+    tid: usize,
+    st: ThreadStats,
+    snap: Vec<u64>,
+}
+
+impl StoreSession for NativeSession<'_> {
+    fn get(&mut self, key: u64) -> Option<u64> {
+        let shard = self.backend.shard_of(key);
+        let out = shard.read(&self.backend.epochs, self.tid, |map| map.get(&key).copied());
+        // Reads are uninstrumented, exactly as under simulated RW-LE.
+        self.st.commit(CommitKind::Uninstrumented);
+        out
+    }
+
+    fn put(&mut self, key: u64, value: u64) -> Result<PutOutcome, StoreFull> {
+        let shard = self.backend.shard_of(key);
+        let prev = shard.write(
+            &self.backend.epochs,
+            self.tid,
+            &mut self.st,
+            &mut self.snap,
+            |map| map.insert(key, value),
+        );
+        // The publication flip stands in for a ROT's aggregate store.
+        self.st.commit(CommitKind::Rot);
+        Ok(match prev {
+            None => PutOutcome::Inserted,
+            Some(_) => PutOutcome::Updated,
+        })
+    }
+
+    fn del(&mut self, key: u64) -> bool {
+        let shard = self.backend.shard_of(key);
+        let removed = shard.write(
+            &self.backend.epochs,
+            self.tid,
+            &mut self.st,
+            &mut self.snap,
+            |map| map.remove(&key).is_some(),
+        );
+        self.st.commit(CommitKind::Rot);
+        removed
+    }
+
+    fn scan(&mut self, start: u64, count: u32, out: &mut Vec<(u64, u64)>) {
+        // One read section per shard over its slice of the range, same
+        // as the sharded simulated store (and the same op accounting:
+        // one uninstrumented commit per shard). Each shard holds only
+        // its own keys, so the ordered map's range walk yields exactly
+        // this shard's slice — no per-key shard filtering.
+        let end = start.saturating_add(count as u64);
+        for shard in &self.backend.shards {
+            shard.read(&self.backend.epochs, self.tid, |map| {
+                for (&k, &v) in map.range(start..end) {
+                    out.push((k, v));
+                }
+            });
+            self.st.commit(CommitKind::Uninstrumented);
+        }
+        out.sort_unstable();
+    }
+
+    fn take_stats(&mut self) -> ThreadStats {
+        std::mem::take(&mut self.st)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn copies_stay_identical_after_writes() {
+        let backend = NativeBackend::create(2, 2, 20);
+        {
+            let mut s = backend.session();
+            s.put(100, 7).unwrap();
+            s.del(5);
+            s.put(3, 99).unwrap();
+        }
+        for shard in &backend.shards {
+            // SAFETY: the session is dropped and no other thread exists;
+            // both copies are quiescent and safe to inspect.
+            let a = unsafe { &*shard.slots[0].get() };
+            // SAFETY: as above.
+            let b = unsafe { &*shard.slots[1].get() };
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn writer_barrier_accounting_flows_into_stats() {
+        let backend = NativeBackend::create(1, 2, 0);
+        let mut s = backend.session();
+        for k in 0..50 {
+            s.put(k, k).unwrap();
+        }
+        let st = s.take_stats();
+        assert_eq!(st.commits(CommitKind::Rot), 50);
+        assert_eq!(st.ops, 50);
+    }
+
+    #[test]
+    #[should_panic(expected = "sized for 1 sessions")]
+    fn oversubscribed_sessions_panic() {
+        let backend = NativeBackend::create(1, 1, 0);
+        let _a = backend.session();
+        let _b = backend.session();
+    }
+}

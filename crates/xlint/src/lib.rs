@@ -17,16 +17,26 @@ use manifest::Manifest;
 use std::path::{Path, PathBuf};
 
 /// The crates whose `Ordering::*` sites the manifest must cover and to
-/// which all five lints apply.
-pub const LINT_CRATES: [&str; 8] = [
-    "epoch", "htm", "rwle", "hle", "locks", "rlu", "sched", "svc",
+/// which all five lints apply. `workloads` joined the list when the
+/// native backend landed: its double-buffer publication runs on real
+/// hardware memory, so its orderings are protocol, not hygiene.
+pub const LINT_CRATES: [&str; 9] = [
+    "epoch",
+    "htm",
+    "rwle",
+    "hle",
+    "locks",
+    "rlu",
+    "sched",
+    "svc",
+    "workloads",
 ];
 
 /// Crates outside the protocol core that still get the hygiene lints
 /// (A2–A5) but whose `Ordering::*` sites the manifest does not track —
 /// simulated memory is sequentially consistent by construction and the
-/// bench/stats/workloads layers publish nothing through atomics.
-pub const HYGIENE_CRATES: [&str; 4] = ["simmem", "stats", "workloads", "bench"];
+/// bench/stats layers publish nothing through atomics.
+pub const HYGIENE_CRATES: [&str; 3] = ["simmem", "stats", "bench"];
 
 /// Workspace-relative path of the orderings manifest.
 pub const MANIFEST_PATH: &str = "docs/orderings.toml";

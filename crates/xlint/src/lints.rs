@@ -499,6 +499,23 @@ pub fn check_manifest(
     let mut out = Vec::new();
     let mut by_key: BTreeMap<(String, String), &Entry> = BTreeMap::new();
     for e in &manifest.entries {
+        // A `why` that is empty or the scaffold's literal "TODO" is a
+        // placeholder, not a justification — the entry silences the
+        // undocumented-site finding without anyone having argued the
+        // ordering is right.
+        let why = e.why.trim();
+        if why.is_empty() || why.eq_ignore_ascii_case("todo") {
+            out.push(Finding {
+                file: manifest_file.to_string(),
+                line: e.line,
+                lint: "A1",
+                message: format!(
+                    "placeholder justification for {} `{}`: replace the scaffold's \
+                     `why = \"TODO\"` with the actual ordering argument",
+                    e.file, e.symbol
+                ),
+            });
+        }
         if let Some(prev) = by_key.insert((e.file.clone(), e.symbol.clone()), e) {
             out.push(Finding {
                 file: manifest_file.to_string(),

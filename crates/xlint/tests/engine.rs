@@ -45,6 +45,23 @@ fn a1_fixture_reports_the_undocumented_site() {
 }
 
 #[test]
+fn a1_fixture_rejects_placeholder_why() {
+    let scan = scan_source(&fixture("a1_sites.rs"));
+    let groups = group_sites("a1_sites.rs", &scan);
+    // This manifest *covers* the site — but with the scaffold's
+    // `why = "TODO"` left in, which must fail rather than pass.
+    let manifest = Manifest::parse(&fixture("a1_todo_why.toml")).expect("fixture manifest parses");
+    let findings = check_manifest(&manifest, &groups, "a1_todo_why.toml");
+    assert_eq!(findings.len(), 1, "{findings:?}");
+    assert_eq!(findings[0].lint, "A1");
+    assert!(
+        findings[0].message.contains("placeholder justification"),
+        "{}",
+        findings[0]
+    );
+}
+
+#[test]
 fn a2_fixture_fires_exactly_once() {
     let findings = lint_fixture("a2_unsafe_missing_safety.rs");
     assert_eq!(findings.len(), 1, "{findings:?}");
