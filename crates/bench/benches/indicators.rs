@@ -1,0 +1,158 @@
+//! Criterion micro-benchmarks of the read-side indicator layer.
+//!
+//! Two groups:
+//!
+//! * `reader_scaling` — host-level [`locks::IndicatedRwLock`] read
+//!   acquisition for every indicator variant at 1/8/32/128 threads. The
+//!   BRAVO claim is that a certified publication (one CAS into a private
+//!   slot plus a bias re-check) stays flat as threads grow, while the
+//!   centralized path funnels every reader through one reader-count word.
+//! * `brlock_padding` — the satellite check for the cache-line padding of
+//!   `locks::BrLock`: contended per-slot read acquisition on the padded
+//!   lock versus an unpadded `Box<[SpinMutex]>` that packs 64 one-byte
+//!   slots into a single line, so every acquisition false-shares with its
+//!   neighbours.
+//!
+//! Each timed iteration spawns a thread scope and runs a fixed batch of
+//! acquisitions per thread; the batch amortizes the spawn cost, and the
+//! same harness shape is used for every variant so the comparison is fair
+//! even though the absolute numbers include scope setup.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use htm::{HtmConfig, HtmRuntime};
+use locks::{BrLock, IndicatedRwLock, SpinMutex};
+use rind::IndicatorKind;
+use rwle::{RwLe, RwLeConfig};
+use simmem::{SharedMem, SimAlloc};
+use stats::ThreadStats;
+
+/// Read acquisitions per thread per timed iteration.
+const OPS: usize = 64;
+
+/// Spawns `threads` workers that each acquire/release `OPS` times.
+fn read_batch(lock: &IndicatedRwLock, threads: usize) {
+    std::thread::scope(|s| {
+        for tid in 0..threads {
+            let lock = &lock;
+            s.spawn(move || {
+                for _ in 0..OPS {
+                    criterion::black_box(lock.read_lock(tid));
+                }
+            });
+        }
+    });
+}
+
+fn bench_reader_scaling(c: &mut Criterion) {
+    let mut g = c.benchmark_group("reader_scaling");
+    for kind in [
+        IndicatorKind::Central,
+        IndicatorKind::Bravo,
+        IndicatorKind::Cloned,
+    ] {
+        for threads in [1usize, 8, 32, 128] {
+            let lock = IndicatedRwLock::new(kind, 128);
+            // Prime the bias: BRAVO starts biased, but the first
+            // publication per thread still takes the table-install path.
+            read_batch(&lock, threads);
+            g.bench_function(format!("{kind:?}_{threads}_threads"), |b| {
+                b.iter(|| read_batch(&lock, threads))
+            });
+        }
+    }
+    g.finish();
+}
+
+/// The pre-padding `BrLock` layout: one-byte spin slots packed densely,
+/// so up to 64 of them share a cache line.
+struct UnpaddedBrSlots {
+    per_thread: Box<[SpinMutex]>,
+}
+
+impl UnpaddedBrSlots {
+    fn new(n: usize) -> Self {
+        UnpaddedBrSlots {
+            per_thread: (0..n).map(|_| SpinMutex::new()).collect(),
+        }
+    }
+
+    fn read_lock(&self, tid: usize) -> locks::SpinGuard<'_> {
+        self.per_thread[tid].lock()
+    }
+}
+
+/// Single-thread cost of one fallback (NS-only) `read_cs` per indicator:
+/// the per-acquisition price each scheme pays with zero contention. The
+/// BRAVO row should sit well below the central row — it replaces the
+/// epoch enter/exit pair and the lock-word check with one slot CAS and a
+/// bias re-check.
+fn bench_fallback_read(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fallback_read");
+    for kind in [
+        IndicatorKind::Central,
+        IndicatorKind::Bravo,
+        IndicatorKind::Cloned,
+    ] {
+        let mem = Arc::new(SharedMem::new_lines(64));
+        let rt = HtmRuntime::new(Arc::clone(&mem), HtmConfig::default());
+        let alloc = SimAlloc::new(Arc::clone(&mem));
+        let rwle = RwLe::new(&alloc, 4, RwLeConfig::fallback_only(kind)).unwrap();
+        let data = alloc.alloc(1).unwrap();
+        let mut ctx = rt.register();
+        let mut st = ThreadStats::new();
+        g.bench_function(format!("read_cs_{}", kind.label()), |b| {
+            b.iter(|| rwle.read_cs(&mut ctx, &mut st, &mut |acc| acc.read(data)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_brlock_padding(c: &mut Criterion) {
+    const THREADS: usize = 8;
+    let mut g = c.benchmark_group("brlock_padding");
+
+    let padded = BrLock::new(THREADS);
+    g.bench_function(format!("padded_read_{THREADS}_threads"), |b| {
+        b.iter(|| {
+            std::thread::scope(|s| {
+                for tid in 0..THREADS {
+                    let padded = &padded;
+                    s.spawn(move || {
+                        for _ in 0..OPS {
+                            criterion::black_box(padded.read_lock(tid));
+                        }
+                    });
+                }
+            })
+        })
+    });
+
+    let packed = UnpaddedBrSlots::new(THREADS);
+    g.bench_function(format!("unpadded_read_{THREADS}_threads"), |b| {
+        b.iter(|| {
+            std::thread::scope(|s| {
+                for tid in 0..THREADS {
+                    let packed = &packed;
+                    s.spawn(move || {
+                        for _ in 0..OPS {
+                            criterion::black_box(packed.read_lock(tid));
+                        }
+                    });
+                }
+            })
+        })
+    });
+
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_reader_scaling,
+    bench_fallback_read,
+    bench_brlock_padding
+);
+criterion_main!(benches);

@@ -1,0 +1,235 @@
+//! Reader-indicator sweep over the NS fallback read path.
+//!
+//! Measures what the BRAVO-style distributed indicator buys when elision
+//! is *disabled* (`RwLeConfig::fallback_only`: `max_htm_retries = 0`,
+//! `max_rot_retries = 0`) and every read takes the software path. Three
+//! indicator schemes run the same read-mostly critical sections over the
+//! same RW-LE lock:
+//!
+//! * `IND-C` — centralized accounting (the seed fallback: epoch
+//!   registration plus a lock-word check per read);
+//! * `IND-BRAVO` — bias-certified slot publication (one private CAS and
+//!   a bias re-check per read in steady state);
+//! * `IND-CLONE` — per-thread cloned slots (always published, reader
+//!   still checks the lock word).
+//!
+//! `SGL` — a test-and-test-and-set spin lock around the same bodies — is
+//! the machine-speed canary: the regression gate compares every scheme
+//! *relative to* SGL so host drift cancels out (`regress --relative-to`).
+//!
+//! ```text
+//! cargo run --release -p bench --bin indicators -- --threads 1,8,32 --writes 1,90 --json
+//! ```
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use bench::{Args, Output};
+use htm::{HtmConfig, HtmRuntime};
+use locks::SpinMutex;
+use rwle::{RwLe, RwLeConfig};
+use simmem::{SharedMem, SimAlloc};
+use stats::{CommitKind, StatsSummary, ThreadStats};
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Words of shared data touched by the critical sections. Small on
+/// purpose: the sweep measures entry/exit cost, not body cost.
+const DATA_WORDS: u32 = 8;
+
+/// Length of each thread's pre-drawn op plan (power of two; reused
+/// cyclically when `--ops` exceeds it).
+const PLAN_LEN: usize = 1024;
+
+/// One scheme of the sweep: a label plus the indicator kind behind it
+/// (`None` marks the SGL canary).
+struct Scheme {
+    label: &'static str,
+    kind: Option<rind::IndicatorKind>,
+}
+
+const SCHEMES: [Scheme; 4] = [
+    Scheme {
+        label: "SGL",
+        kind: None,
+    },
+    Scheme {
+        label: "IND-C",
+        kind: Some(rind::IndicatorKind::Central),
+    },
+    Scheme {
+        label: "IND-BRAVO",
+        kind: Some(rind::IndicatorKind::Bravo),
+    },
+    Scheme {
+        label: "IND-CLONE",
+        kind: Some(rind::IndicatorKind::Cloned),
+    },
+];
+
+struct Params {
+    threads: usize,
+    write_pct: u32,
+    ops_per_thread: u64,
+    seed: u64,
+}
+
+/// Runs one (scheme, threads, w) cell and returns (secs, throughput,
+/// per-thread stats).
+fn run_cell(scheme: &Scheme, p: &Params) -> (f64, f64, Vec<ThreadStats>) {
+    let mem = Arc::new(SharedMem::new_lines(64));
+    let rt = HtmRuntime::new(Arc::clone(&mem), HtmConfig::default());
+    let alloc = SimAlloc::new(Arc::clone(&mem));
+
+    let rwle = scheme.kind.map(|kind| {
+        Arc::new(
+            RwLe::new(&alloc, p.threads, RwLeConfig::fallback_only(kind))
+                .expect("fallback_only is NS-only, every indicator is accepted"),
+        )
+    });
+    let sgl = Arc::new(SpinMutex::new());
+    let data = alloc.alloc(DATA_WORDS).unwrap();
+
+    let start = Instant::now();
+    let stats: Vec<ThreadStats> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..p.threads)
+            .map(|tid| {
+                let rt = Arc::clone(&rt);
+                let rwle = rwle.clone();
+                let sgl = Arc::clone(&sgl);
+                s.spawn(move || {
+                    let mut ctx = rt.register();
+                    let mut st = ThreadStats::new();
+                    // Pre-draw the op plan so the timed loop pays no RNG
+                    // cost: the sweep measures entry/exit cost, and the
+                    // harness stays as thin as possible. One draw decides
+                    // both the op kind and the slot.
+                    let mut rng = SmallRng::seed_from_u64(p.seed ^ (tid as u64) << 32);
+                    let mut plan = [0u32; PLAN_LEN];
+                    for r in plan.iter_mut() {
+                        *r = rng.gen_range(0..100u32);
+                    }
+                    for i in 0..p.ops_per_thread {
+                        let r = plan[i as usize & (PLAN_LEN - 1)];
+                        let write = r < p.write_pct;
+                        let slot = r & (DATA_WORDS - 1);
+                        match (&rwle, write) {
+                            (Some(l), false) => {
+                                l.read_cs(&mut ctx, &mut st, &mut |acc| {
+                                    std::hint::black_box(acc.read(data.offset(slot))?);
+                                    Ok(())
+                                });
+                            }
+                            (Some(l), true) => {
+                                l.write_cs(&mut ctx, &mut st, &mut |acc| {
+                                    let v = acc.read(data.offset(slot))?;
+                                    acc.write(data.offset(slot), v + 1)
+                                });
+                            }
+                            (None, false) => {
+                                let _g = sgl.lock();
+                                std::hint::black_box(ctx.non_tx().read(data.offset(slot)));
+                                st.commit(CommitKind::Sgl);
+                            }
+                            (None, true) => {
+                                let _g = sgl.lock();
+                                let nt = ctx.non_tx();
+                                let v = nt.read(data.offset(slot));
+                                nt.write(data.offset(slot), v + 1);
+                                st.commit(CommitKind::Sgl);
+                            }
+                        }
+                    }
+                    st
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    let secs = start.elapsed().as_secs_f64();
+    let total_ops = p.ops_per_thread * p.threads as u64;
+    (secs, total_ops as f64 / secs, stats)
+}
+
+fn main() {
+    let args = Args::parse();
+    let threads = args.thread_list(&[1, 8, 32]);
+    let write_pcts: Vec<u32> = match args.get("writes") {
+        Some(v) => v
+            .split(',')
+            .map(|s| {
+                s.trim().parse().unwrap_or_else(|_| {
+                    eprintln!("bad write percentage in --writes: {s:?}");
+                    std::process::exit(2);
+                })
+            })
+            .collect(),
+        None => vec![1, 90],
+    };
+    let ops: u64 = args.get_or("ops", 2000);
+    let runs: usize = args.get_or("runs", 1);
+    let seed: u64 = args.get_or("seed", 42);
+    // `--schemes SGL,IND-BRAVO` narrows the sweep to the named indicator
+    // schemes (default: all four).
+    let schemes: Vec<&Scheme> = match args.get("schemes") {
+        Some(list) => list
+            .split(',')
+            .map(|name| {
+                let name = name.trim();
+                SCHEMES
+                    .iter()
+                    .find(|s| s.label.eq_ignore_ascii_case(name))
+                    .unwrap_or_else(|| {
+                        eprintln!(
+                            "unknown scheme in --schemes: {name:?} (expected one of SGL, IND-C, IND-BRAVO, IND-CLONE)"
+                        );
+                        std::process::exit(2);
+                    })
+            })
+            .collect(),
+        None => SCHEMES.iter().collect(),
+    };
+    let mut out = Output::from_args(&args);
+
+    out.section("Reader indicators — NS fallback read path");
+    // The note must start with "ops/thread" — `parse_results` treats any
+    // other `# ` line as a section header.
+    out.note(format_args!(
+        "ops/thread={ops} runs={runs} seed={seed} (elision disabled: fallback_only)"
+    ));
+    out.header();
+    for &w in &write_pcts {
+        for &t in &threads {
+            for scheme in &schemes {
+                let mut secs_sum = 0.0;
+                let mut tput_sum = 0.0;
+                let mut stats = Vec::new();
+                for r in 0..runs {
+                    let (secs, tput, st) = run_cell(
+                        scheme,
+                        &Params {
+                            threads: t,
+                            write_pct: w,
+                            ops_per_thread: ops,
+                            seed: seed + r as u64,
+                        },
+                    );
+                    secs_sum += secs;
+                    tput_sum += tput;
+                    stats.extend(st);
+                }
+                out.row_labeled(
+                    scheme.label,
+                    "sim",
+                    t,
+                    w,
+                    secs_sum / runs as f64,
+                    tput_sum / runs as f64,
+                    &StatsSummary::from_threads(&stats),
+                );
+            }
+        }
+        out.gap();
+    }
+}

@@ -253,12 +253,32 @@ impl Output {
         tput: f64,
         s: &StatsSummary,
     ) {
+        self.row_labeled(scheme.label(), "sim", threads, w, secs, tput, s);
+    }
+
+    /// [`Output::row`] with a free-form scheme label and an explicit
+    /// execution backend — for harnesses whose schemes are not
+    /// [`SchemeKind`]s (e.g. the reader-indicator sweep). The backend is
+    /// carried as a JSON key so recorded rows compare only against rows
+    /// measured the same way ([`ResultRow::backend`]); text and CSV keep
+    /// the established columns, where the backend is a per-run constant.
+    #[expect(clippy::too_many_arguments)]
+    pub fn row_labeled(
+        &self,
+        label: &str,
+        backend: &str,
+        threads: usize,
+        w: u32,
+        secs: f64,
+        tput: f64,
+        s: &StatsSummary,
+    ) {
         use AbortBucket as B;
         use CommitKind as C;
         match self.mode {
             OutputMode::Csv => println!(
                 "{},{},{},{:.6},{:.1},{:.2},{:.2},{:.2},{:.2},{:.2},{:.2},{:.2},{:.2},{:.2},{:.2},{:.2}",
-                scheme.label(),
+                label,
                 threads,
                 w,
                 secs,
@@ -277,7 +297,7 @@ impl Output {
             ),
             OutputMode::Text => println!(
                 "{:<11} {:>3} {:>4} {:>9.4} {:>12.0} {:>7.1} | {:>6.1} {:>7.1} {:>7.1} {:>6.1} {:>6.1} {:>7.1} | {:>6.1} {:>6.1} {:>6.1} {:>8.1}",
-                scheme.label(),
+                label,
                 threads,
                 w,
                 secs,
@@ -295,11 +315,13 @@ impl Output {
                 s.commit_share_pct(C::Uninstrumented),
             ),
             OutputMode::Json => println!(
-                "{{\"section\": {}, \"scheme\": {}, \"threads\": {threads}, \"w\": {w}, \
+                "{{\"section\": {}, \"scheme\": {}, \"backend\": {}, \"threads\": {threads}, \
+                 \"w\": {w}, \
                  \"time_s\": {secs:.6}, \"ops_per_s\": {tput:.1}, \"abort_pct\": {:.2}, \
                  \"c_htm\": {:.2}, \"c_rot\": {:.2}, \"c_sgl\": {:.2}, \"c_uninstr\": {:.2}}}",
                 json_string(&self.section),
-                json_string(scheme.label()),
+                json_string(label),
+                json_string(backend),
                 s.abort_rate_pct(),
                 s.commit_share_pct(C::Htm),
                 s.commit_share_pct(C::Rot),

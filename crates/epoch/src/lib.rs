@@ -18,6 +18,11 @@
 //!   (§3.3): [`EpochSet::record_version`] / [`EpochSet::synchronize_fair`],
 //!   which only waits for readers that entered before a given writer
 //!   version.
+//! * A pluggable *reader indicator* on the registration path
+//!   ([`EpochSet::with_indicator`]): a BRAVO-style or cloned
+//!   [`rind::ReaderIndicator`] lets a reader publish itself with a single
+//!   private store instead of the summary tree's shared RMWs; the barriers
+//!   then union the indicator's slot scan with the summary scan.
 //!
 //! # Examples
 //!
@@ -41,6 +46,7 @@ pub use scalable::BarrierOutcome;
 
 use scalable::{AdaptiveWaiter, GraceSeq, Parking, Summary};
 
+use rind::{Indicator, IndicatorKind, Publish, ReaderIndicator, Revocation};
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// A cache-line-padded atomic counter.
@@ -63,11 +69,67 @@ pub struct EpochSet {
     grace: GraceSeq,
     /// Condvar rendezvous for parked barrier waiters.
     parking: Parking,
+    /// Optional distributed reader indicator on the registration path
+    /// (`None` for [`IndicatorKind::Central`], the seed behaviour): a
+    /// reader that publishes a slot skips the summary tree entirely, and
+    /// barriers discover it by scanning the indicator instead.
+    ind: Option<Indicator>,
+    /// Per-thread indicator token: `slot + 1` while the thread's current
+    /// read-side section is slot-published, `0` when it registered through
+    /// the summary tree. Owner-only (same single-writer discipline as the
+    /// clock), hence Relaxed.
+    ind_tokens: Box<[PaddedU64]>,
     /// Debug builds only: token of the OS thread currently updating the
     /// slot's clock (0 = none), used to detect two OS threads racing the
     /// non-atomic load-then-store clock update.
     #[cfg(debug_assertions)]
     owners: Box<[PaddedU64]>,
+}
+
+/// A barrier's indicator collection, scoped so `end_collect` runs on
+/// every exit path (including the mid-wait quiescence-sharing returns).
+///
+/// `begin` forces `must_scan` whenever an indicator is installed, even if
+/// [`rind::ReaderIndicator::begin_collect`] said the scan was skippable:
+/// that proof relies on lock-style collectors waiting for slot *vacation*
+/// before `end_collect`, whereas epoch barriers wait for clock movement —
+/// a published reader that had not yet flipped its clock at one barrier's
+/// scan (ignored there as a post-scan entry) can still be inside, slot
+/// occupied and summary-invisible, when the next collection begins.
+struct IndCollect<'a> {
+    ind: Option<&'a dyn ReaderIndicator>,
+    rev: Revocation,
+}
+
+impl<'a> IndCollect<'a> {
+    fn begin(ind: Option<&'a dyn ReaderIndicator>) -> Self {
+        let rev = match ind {
+            Some(i) => Revocation {
+                must_scan: true,
+                ..i.begin_collect()
+            },
+            None => Revocation {
+                revoked: false,
+                must_scan: false,
+            },
+        };
+        IndCollect { ind, rev }
+    }
+
+    /// Visits the thread id of every currently published reader.
+    fn scan(&self, mut f: impl FnMut(usize)) {
+        if let Some(i) = self.ind {
+            i.collect(&self.rev, &mut |_slot, tid| f(tid));
+        }
+    }
+}
+
+impl Drop for IndCollect<'_> {
+    fn drop(&mut self) {
+        if let Some(i) = self.ind {
+            i.end_collect();
+        }
+    }
 }
 
 /// A unique, never-zero token per OS thread (debug builds only).
@@ -83,6 +145,19 @@ fn thread_token() -> u64 {
 impl EpochSet {
     /// Creates a set of `n` clocks, all initially even (outside).
     pub fn new(n: usize) -> Self {
+        Self::with_indicator(n, IndicatorKind::Central)
+    }
+
+    /// Creates a set of `n` clocks whose registration path runs through a
+    /// reader indicator of the given kind.
+    ///
+    /// [`IndicatorKind::Central`] is exactly [`EpochSet::new`]: readers
+    /// mark the summary tree. For the distributed kinds, a reader first
+    /// tries to publish an indicator slot (one private store for BRAVO in
+    /// steady state); only on decline does it fall back to the summary
+    /// RMWs. Barriers union the indicator scan with the summary scan, so
+    /// either registration route is discovered.
+    pub fn with_indicator(n: usize, kind: IndicatorKind) -> Self {
         let mk = |_| PaddedU64(AtomicU64::new(0));
         EpochSet {
             clocks: (0..n).map(mk).collect(),
@@ -90,9 +165,20 @@ impl EpochSet {
             summary: Summary::new(n),
             grace: GraceSeq::new(),
             parking: Parking::new(),
+            ind: match kind {
+                IndicatorKind::Central => None,
+                _ => Some(Indicator::new(kind, n)),
+            },
+            ind_tokens: (0..n).map(mk).collect(),
             #[cfg(debug_assertions)]
             owners: (0..n).map(mk).collect(),
         }
+    }
+
+    /// The reader indicator on the registration path, if one is installed
+    /// (tests and benches inspect bias state through this).
+    pub fn indicator(&self) -> Option<&dyn ReaderIndicator> {
+        self.ind.as_ref().map(|i| i as &dyn ReaderIndicator)
     }
 
     /// Number of tracked threads.
@@ -122,6 +208,29 @@ impl EpochSet {
     #[inline]
     pub fn enter(&self, tid: usize) {
         sched::step();
+        if let Some(ind) = &self.ind {
+            match ind.publish(tid) {
+                // The slot store plays the summary bit's role and obeys
+                // the same ordering rule: it is SeqCst and precedes the
+                // SeqCst clock store, so a barrier scan that misses the
+                // slot is ordered before the publication — the reader
+                // entered after the scan and is conflict detection's
+                // responsibility, exactly like a post-scan summary entry.
+                // (`Published`, the uncertified cloned outcome, needs no
+                // extra writer check here because epoch barriers always
+                // scan; see `IndCollect::begin`.)
+                Publish::Certified(slot) | Publish::Published(slot) => {
+                    self.ind_tokens[tid]
+                        .0
+                        .store(slot as u64 + 1, Ordering::Relaxed);
+                    self.update_clock(tid, 0, "nested enter", Ordering::SeqCst);
+                    return;
+                }
+                // Bias down or slot collision: centralized registration,
+                // counted so the rebias policy can re-arm the fast path.
+                Publish::Declined => ind.note_slow_read(),
+            }
+        }
         // The summary bits go up first: both are SeqCst, so they precede
         // the clock store in the SeqCst total order and any barrier scan
         // that could observe the odd clock observes the bits (the
@@ -144,9 +253,19 @@ impl EpochSet {
     pub fn exit(&self, tid: usize) {
         sched::step();
         self.update_clock(tid, 1, "exit without enter", Ordering::Release);
-        // Retract the summary bit only after the clock is even, so the
-        // bit covers the clock's entire odd window, then wake any barrier
-        // parked on this reader (one load when nobody is parked).
+        // Retract the registration only after the clock is even, so it
+        // covers the clock's entire odd window (slot or summary bit,
+        // whichever route `enter` took), then wake any barrier parked on
+        // this reader (one load when nobody is parked).
+        if let Some(ind) = &self.ind {
+            let tok = self.ind_tokens[tid].0.load(Ordering::Relaxed);
+            if tok != 0 {
+                self.ind_tokens[tid].0.store(0, Ordering::Relaxed);
+                ind.retire(tid, (tok - 1) as u32);
+                self.parking.wake_all();
+                return;
+            }
+        }
         self.summary.mark_exit(tid);
         self.parking.wake_all();
     }
@@ -199,8 +318,10 @@ impl EpochSet {
     }
 
     /// Whether the summary tree currently marks `tid` active. Always set
-    /// while `tid`'s clock is odd; may be transiently set just before
-    /// entry or just after exit (the conservative direction).
+    /// while `tid`'s clock is odd — unless an installed indicator admitted
+    /// the reader, which is then visible through the indicator's slot scan
+    /// instead. May be transiently set just before entry or just after
+    /// exit (the conservative direction).
     pub fn summary_active(&self, tid: usize) -> bool {
         self.summary.leaf_word(tid / 64) & (1 << (tid % 64)) != 0
     }
@@ -276,6 +397,7 @@ impl EpochSet {
             };
         }
         let ticket = self.grace.begin();
+        let collect = IndCollect::begin(self.ind.as_ref().map(|i| i as &dyn ReaderIndicator));
         snap.clear();
         let mut skip_active = false;
         self.summary.scan(|tid| {
@@ -287,6 +409,23 @@ impl EpochSet {
                 // The caller's own read-side section (nesting): this
                 // barrier does not drain it, so it must not be published
                 // as a full grace period for other writers to share.
+                skip_active = true;
+                return;
+            }
+            snap.push(tid as u64);
+            snap.push(c);
+        });
+        // Indicator-admitted readers never touched the summary: union the
+        // slot scan in under the same rules (odd clock, own slot exempt).
+        // A tid already snapshotted exited and re-entered through the
+        // other route between the two scans — its first epoch is the one
+        // this barrier owes a wait, so keep the earlier pair.
+        collect.scan(|tid| {
+            let c = self.clocks[tid].0.load(Ordering::Acquire);
+            if c % 2 != 1 || snap.chunks(2).any(|p| p[0] == tid as u64) {
+                return;
+            }
+            if Some(tid) == skip {
                 skip_active = true;
                 return;
             }
@@ -351,6 +490,7 @@ impl EpochSet {
             };
         }
         let ticket = self.grace.begin();
+        let collect = IndCollect::begin(self.ind.as_ref().map(|i| i as &dyn ReaderIndicator));
         let mut waiter = AdaptiveWaiter::new(&self.parking);
         let mut skip_active = false;
         // Manual summary walk (the closure-based scan cannot host the
@@ -380,6 +520,32 @@ impl EpochSet {
                     waiter.stall(|| self.clocks[tid].0.load(Ordering::Acquire) % 2 == 1);
                 }
             }
+        }
+        // Indicator-admitted readers (invisible to the summary), same
+        // single-pass rule: new readers are blocked, so each published
+        // slot's clock only needs to be observed even once.
+        let mut covered = false;
+        collect.scan(|tid| {
+            if covered {
+                return;
+            }
+            if Some(tid) == skip {
+                skip_active = skip_active || self.clocks[tid].0.load(Ordering::Acquire) % 2 == 1;
+                return;
+            }
+            while self.clocks[tid].0.load(Ordering::Acquire) % 2 == 1 {
+                if self.grace.covered(grace_snap) {
+                    covered = true;
+                    return;
+                }
+                waiter.stall(|| self.clocks[tid].0.load(Ordering::Acquire) % 2 == 1);
+            }
+        });
+        if covered {
+            return BarrierOutcome {
+                stalls: waiter.stalls,
+                shared: true,
+            };
         }
         if !skip_active {
             self.grace.publish(ticket);
@@ -451,7 +617,23 @@ impl EpochSet {
                 shared: true,
             };
         }
+        let collect = IndCollect::begin(self.ind.as_ref().map(|i| i as &dyn ReaderIndicator));
         self.fair_wait_set_in(skip, writer_version, snap);
+        // Indicator-admitted readers join the wait set under the same
+        // fair rule ([`EpochSet::fair_wait_set`] documents the
+        // summary-path rule; the barrier applies it to slot-published
+        // readers here): odd clock AND recorded version older than the
+        // writer's.
+        collect.scan(|tid| {
+            if Some(tid) == skip || snap.chunks(2).any(|p| p[0] == tid as u64) {
+                return;
+            }
+            let c = self.clocks[tid].0.load(Ordering::Acquire);
+            if c % 2 == 1 && self.versions[tid].0.load(Ordering::Acquire) < writer_version {
+                snap.push(tid as u64);
+                snap.push(c);
+            }
+        });
         let mut waiter = AdaptiveWaiter::new(&self.parking);
         let mut i = 0;
         while i < snap.len() {
@@ -652,6 +834,83 @@ mod tests {
         let e2 = Arc::clone(&e);
         std::thread::spawn(move || e2.exit(0)).join().unwrap();
         assert_eq!(e.read_clock(0), 2);
+    }
+
+    #[test]
+    fn indicator_reader_skips_summary_but_barrier_sees_it() {
+        let e = EpochSet::with_indicator(4, IndicatorKind::Bravo);
+        assert!(e.indicator().unwrap().bias_enabled());
+        e.enter(0);
+        assert!(e.is_active(0));
+        assert!(
+            !e.summary_active(0),
+            "certified reader must not touch the summary tree"
+        );
+        // The slot scan must find the reader: with `skip` naming it, the
+        // barrier marks its own slot active and therefore must NOT publish
+        // a full grace period. A barrier blind to the slot would publish.
+        let o = e.synchronize(Some(0));
+        assert!(!o.shared);
+        assert_eq!(
+            e.graces_completed(),
+            0,
+            "barrier published a grace period despite an active slot reader"
+        );
+        e.synchronize_blocked_readers(Some(0));
+        assert_eq!(e.graces_completed(), 0);
+        e.exit(0);
+        assert!(!e.is_active(0));
+        e.synchronize(None);
+        // Ticket high-water mark: the skipped barriers consumed tickets,
+        // so only "a full grace period completed" is asserted, not "one".
+        assert!(e.graces_completed() > 0);
+    }
+
+    #[test]
+    fn indicator_barrier_waits_for_slot_reader() {
+        let e = Arc::new(EpochSet::with_indicator(2, IndicatorKind::Cloned));
+        e.enter(1);
+        assert!(!e.summary_active(1), "cloned reader registers via its slot");
+        let exiting = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let e2 = Arc::clone(&e);
+        let x2 = Arc::clone(&exiting);
+        let h = std::thread::spawn(move || {
+            x2.store(true, Ordering::SeqCst);
+            e2.exit(1);
+        });
+        e.synchronize(Some(0));
+        assert!(
+            exiting.load(Ordering::SeqCst),
+            "barrier returned before the slot reader started draining"
+        );
+        h.join().unwrap();
+    }
+
+    #[test]
+    fn indicator_declined_reader_falls_back_to_summary() {
+        let e = EpochSet::with_indicator(2, IndicatorKind::Bravo);
+        let ind = e.indicator().unwrap();
+        // Revoke the bias: subsequent publishes decline.
+        let rev = ind.begin_collect();
+        assert!(rev.revoked);
+        e.enter(0);
+        assert!(
+            e.summary_active(0),
+            "declined reader must register through the summary tree"
+        );
+        e.exit(0);
+        assert!(!e.summary_active(0));
+        ind.end_collect();
+    }
+
+    #[test]
+    fn indicator_fair_barrier_respects_versions() {
+        let e = EpochSet::with_indicator(2, IndicatorKind::Cloned);
+        e.enter(1);
+        e.record_version(1, 5);
+        // Slot reader with version >= the writer's: no wait, no deadlock.
+        e.synchronize_fair(Some(0), 5);
+        e.exit(1);
     }
 
     #[test]

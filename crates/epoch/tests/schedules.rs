@@ -72,6 +72,89 @@ fn grace_period_schedules() {
     sched::explore("epoch-grace-period", 0..400, grace_period_schedule);
 }
 
+/// The grace-period model over an indicator-equipped epoch set: readers
+/// register through BRAVO/cloned slots (or decline to the summary after a
+/// revocation), writers revoke the bias inside `synchronize` and must
+/// union the slot scan with the summary scan. A barrier that misses a
+/// slot-admitted reader lets it observe poisoned memory.
+///
+/// `slot_admitted` counts pause-point states where a reader was inside
+/// with its summary bit clear — proof the exploration actually drove the
+/// slot path, not just the post-revocation summary fallback.
+fn indicator_grace_schedule(kind: rind::IndicatorKind, seed: u64, slot_admitted: &Arc<AtomicU64>) {
+    const READERS: usize = 3;
+    const WRITER: usize = READERS;
+    const POISON: u64 = u64::MAX;
+    let epochs = Arc::new(EpochSet::with_indicator(READERS + 1, kind));
+    let bufs: Arc<[AtomicU64; 2]> = Arc::new([AtomicU64::new(50), AtomicU64::new(0)]);
+    let current = Arc::new(AtomicUsize::new(0));
+
+    let mut s = sched::Scheduler::new(seed);
+    for tid in 0..READERS {
+        let epochs = Arc::clone(&epochs);
+        let bufs = Arc::clone(&bufs);
+        let current = Arc::clone(&current);
+        let slot_admitted = Arc::clone(slot_admitted);
+        s.spawn(move || {
+            for _ in 0..3 {
+                epochs.enter(tid);
+                if !epochs.summary_active(tid) {
+                    slot_admitted.fetch_add(1, Ordering::Relaxed);
+                }
+                sched::yield_point();
+                let idx = current.load(Ordering::SeqCst);
+                sched::yield_point();
+                let v = bufs[idx].load(Ordering::SeqCst);
+                assert_ne!(v, POISON, "reader observed a reclaimed buffer");
+                epochs.exit(tid);
+                sched::yield_point();
+            }
+        });
+    }
+    {
+        let epochs = Arc::clone(&epochs);
+        let bufs = Arc::clone(&bufs);
+        let current = Arc::clone(&current);
+        s.spawn(move || {
+            for round in 0..3u64 {
+                let old = current.load(Ordering::SeqCst);
+                let new = 1 - old;
+                bufs[new].store(100 + round, Ordering::SeqCst);
+                current.store(new, Ordering::SeqCst);
+                epochs.synchronize(Some(WRITER));
+                bufs[old].store(POISON, Ordering::SeqCst);
+            }
+        });
+    }
+    s.run();
+}
+
+#[test]
+fn bravo_indicator_grace_schedules() {
+    let admitted = Arc::new(AtomicU64::new(0));
+    let counter = Arc::clone(&admitted);
+    sched::explore("epoch-bravo-grace", 0..320, move |seed| {
+        indicator_grace_schedule(rind::IndicatorKind::Bravo, seed, &counter)
+    });
+    assert!(
+        admitted.load(Ordering::Relaxed) > 0,
+        "no schedule admitted a reader through the BRAVO slot path"
+    );
+}
+
+#[test]
+fn cloned_indicator_grace_schedules() {
+    let admitted = Arc::new(AtomicU64::new(0));
+    let counter = Arc::clone(&admitted);
+    sched::explore("epoch-cloned-grace", 0..320, move |seed| {
+        indicator_grace_schedule(rind::IndicatorKind::Cloned, seed, &counter)
+    });
+    assert!(
+        admitted.load(Ordering::Relaxed) > 0,
+        "no schedule admitted a reader through the cloned slot path"
+    );
+}
+
 /// Single-pass quiescence (§3.3): sound exactly because the writer's
 /// "lock" blocks new readers. The writer then updates two words
 /// non-atomically; a reader overlapping the update would see a torn pair.
@@ -133,6 +216,78 @@ fn blocked_readers_schedule(seed: u64) {
 #[test]
 fn blocked_readers_schedules() {
     sched::explore("epoch-blocked-readers", 0..400, blocked_readers_schedule);
+}
+
+/// Single-pass quiescence over an indicator-equipped set: the barrier's
+/// one-shot summary walk is followed by the slot walk, and a certified
+/// reader that retreats (sees the lock after entering) must retire its
+/// slot cleanly. A torn pair means the single-pass barrier missed a
+/// slot-admitted reader.
+fn indicator_blocked_readers_schedule(kind: rind::IndicatorKind, seed: u64) {
+    const READERS: usize = 2;
+    const WRITER: usize = READERS;
+    let epochs = Arc::new(EpochSet::with_indicator(READERS + 1, kind));
+    let lock = Arc::new(AtomicBool::new(false));
+    let data: Arc<[AtomicU64; 2]> = Arc::new([AtomicU64::new(0), AtomicU64::new(0)]);
+
+    let mut s = sched::Scheduler::new(seed);
+    for tid in 0..READERS {
+        let epochs = Arc::clone(&epochs);
+        let lock = Arc::clone(&lock);
+        let data = Arc::clone(&data);
+        s.spawn(move || {
+            for _ in 0..3 {
+                loop {
+                    epochs.enter(tid);
+                    if !lock.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    epochs.exit(tid);
+                    while lock.load(Ordering::SeqCst) {
+                        sched::yield_point();
+                    }
+                }
+                sched::yield_point();
+                let a = data[0].load(Ordering::SeqCst);
+                sched::yield_point();
+                let b = data[1].load(Ordering::SeqCst);
+                assert_eq!(a, b, "torn read: single-pass barrier under-waited");
+                epochs.exit(tid);
+                sched::yield_point();
+            }
+        });
+    }
+    {
+        let epochs = Arc::clone(&epochs);
+        let lock = Arc::clone(&lock);
+        let data = Arc::clone(&data);
+        s.spawn(move || {
+            for round in 1..=2u64 {
+                lock.store(true, Ordering::SeqCst);
+                epochs.synchronize_blocked_readers(Some(WRITER));
+                data[0].store(round, Ordering::SeqCst);
+                sched::yield_point();
+                data[1].store(round, Ordering::SeqCst);
+                lock.store(false, Ordering::SeqCst);
+                sched::yield_point();
+            }
+        });
+    }
+    s.run();
+}
+
+#[test]
+fn bravo_indicator_blocked_readers_schedules() {
+    sched::explore("epoch-bravo-blocked-readers", 0..320, |seed| {
+        indicator_blocked_readers_schedule(rind::IndicatorKind::Bravo, seed)
+    });
+}
+
+#[test]
+fn cloned_indicator_blocked_readers_schedules() {
+    sched::explore("epoch-cloned-blocked-readers", 0..320, |seed| {
+        indicator_blocked_readers_schedule(rind::IndicatorKind::Cloned, seed)
+    });
 }
 
 /// A reader whose recorded version is the writer's own (or newer) must

@@ -550,8 +550,12 @@ impl MemAccess for NonTx<'_> {
 /// set and *before* writing back (the RW-LE write path does exactly
 /// this). The `SeqCst` epoch entry plays the role of the paper's
 /// `MEM_FENCE`; see `HtmRuntime::read_epoch_as` for the full dichotomy
-/// argument. Generic code racing with non-quiescing transactions must
-/// use [`NonTx`] instead.
+/// argument. An indicator-certified reader (see `rind`) satisfies the
+/// same contract under the NS-only configuration: its `SeqCst` slot CAS
+/// is the fence, and the NS writer waits published slots out between
+/// taking the lock and its first store — and NS-only means no writer of
+/// this lock ever holds a transactional claim at all. Generic code
+/// racing with non-quiescing transactions must use [`NonTx`] instead.
 pub struct EpochReader<'a> {
     rt: &'a HtmRuntime,
     slot: usize,

@@ -2,15 +2,25 @@
 
 use crate::spin::{SpinGuard, SpinMutex};
 
+/// A [`SpinMutex`] padded out to its own cache line. [`SpinMutex`] is one
+/// byte, so a plain `Box<[SpinMutex]>` packs 64 per-thread slots into a
+/// single line and every read acquisition false-shares with 63 neighbours
+/// — exactly the coherence traffic a big-reader lock exists to avoid. The
+/// `benches/indicators.rs` `brlock_padding` group measures the before vs
+/// after.
+#[repr(align(64))]
+struct PaddedSpin(SpinMutex);
+
 /// The paper's **BRLock** baseline (once part of the Linux kernel).
 ///
-/// Each thread owns a private mutex. Acquiring in read mode locks only the
-/// caller's own mutex — cheap and contention-free. Acquiring in write mode
-/// locks *every* private mutex (in index order, so writers do not
-/// deadlock), trading write throughput for read throughput. The paper's
-/// variant uses compare-and-swap acquisition, which [`SpinMutex`] does.
+/// Each thread owns a private mutex on its own cache line. Acquiring in
+/// read mode locks only the caller's own mutex — cheap and
+/// contention-free. Acquiring in write mode locks *every* private mutex
+/// (in index order, so writers do not deadlock), trading write throughput
+/// for read throughput. The paper's variant uses compare-and-swap
+/// acquisition, which [`SpinMutex`] does.
 pub struct BrLock {
-    per_thread: Box<[SpinMutex]>,
+    per_thread: Box<[PaddedSpin]>,
 }
 
 impl BrLock {
@@ -18,7 +28,7 @@ impl BrLock {
     pub fn new(n: usize) -> Self {
         assert!(n > 0, "BRLock needs at least one slot");
         BrLock {
-            per_thread: (0..n).map(|_| SpinMutex::new()).collect(),
+            per_thread: (0..n).map(|_| PaddedSpin(SpinMutex::new())).collect(),
         }
     }
 
@@ -34,13 +44,13 @@ impl BrLock {
     /// Panics if `tid` is out of range.
     pub fn read_lock(&self, tid: usize) -> BrReadGuard<'_> {
         BrReadGuard {
-            _guard: self.per_thread[tid].lock(),
+            _guard: self.per_thread[tid].0.lock(),
         }
     }
 
     /// Acquires in write mode: locks all private mutexes in index order.
     pub fn write_lock(&self) -> BrWriteGuard<'_> {
-        let guards = self.per_thread.iter().map(|m| m.lock()).collect();
+        let guards = self.per_thread.iter().map(|m| m.0.lock()).collect();
         BrWriteGuard { _guards: guards }
     }
 }

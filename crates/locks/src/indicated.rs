@@ -1,0 +1,236 @@
+//! A read-write lock with a pluggable reader indicator (BRAVO-style).
+//!
+//! [`IndicatedRwLock`] bolts a [`rind::ReaderIndicator`] onto the
+//! [`PthreadRwLock`](crate::PthreadRwLock) baseline, exactly the way BRAVO
+//! (arXiv:1810.01553) retrofits an existing rwlock: readers first try to
+//! publish into the indicator — a bias-certified publication admits the
+//! read without touching the underlying lock at all — and only fall back
+//! to the centralized `read_lock` when the indicator declines. Writers
+//! take the underlying lock in write mode, raise a writer-present word,
+//! revoke the bias, and wait published readers out before proceeding.
+//!
+//! Soundness is the bias-word dichotomy (see `rind` and
+//! docs/PROTOCOL.md): a certified reader's slot is provably visible to
+//! any collecting writer's scan, and a published-but-uncertified reader
+//! (the cloned indicator) runs a Dekker-style check of the writer word
+//! that pairs with the writer's raise-then-scan order.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use rind::{collect_wait, Indicator, IndicatorKind, Publish, ReaderIndicator};
+
+use crate::rwlock::{PthreadRwLock, RwReadGuard, RwWriteGuard};
+
+/// A [`PthreadRwLock`] with distributed read-side accounting.
+pub struct IndicatedRwLock {
+    inner: PthreadRwLock,
+    ind: Indicator,
+    /// Writer-present word (Dekker partner of uncertified publications):
+    /// raised after the underlying write lock is held, lowered before it
+    /// is released.
+    wactive: AtomicU64,
+}
+
+impl IndicatedRwLock {
+    /// Creates an unlocked lock using the given indicator scheme, sized
+    /// for thread ids `0..max_threads`.
+    pub fn new(kind: IndicatorKind, max_threads: usize) -> Self {
+        IndicatedRwLock {
+            inner: PthreadRwLock::new(),
+            ind: Indicator::new(kind, max_threads),
+            wactive: AtomicU64::new(0),
+        }
+    }
+
+    /// The indicator scheme in use.
+    pub fn kind(&self) -> IndicatorKind {
+        self.ind.kind()
+    }
+
+    /// The indicator itself (tests and benches).
+    pub fn indicator(&self) -> &dyn ReaderIndicator {
+        &self.ind
+    }
+
+    /// Acquires in shared mode. `tid` is the caller's thread id (only
+    /// used by the indicator; any id below `max_threads` works, but
+    /// concurrent readers sharing an id would collide on their slot).
+    pub fn read_lock(&self, tid: usize) -> IndReadGuard<'_> {
+        match self.ind.publish(tid) {
+            Publish::Certified(slot) => {
+                // Certified: the publication alone excludes writers (any
+                // writer must revoke the bias and scan us out first).
+                return IndReadGuard {
+                    lock: self,
+                    mode: ReadMode::Fast { tid, slot },
+                };
+            }
+            Publish::Published(slot) => {
+                sched::step();
+                // Dekker check: our slot store (SeqCst) precedes this
+                // load, the writer's wactive store precedes its scan —
+                // one of the two must see the other.
+                if self.wactive.load(Ordering::SeqCst) == 0 {
+                    return IndReadGuard {
+                        lock: self,
+                        mode: ReadMode::Fast { tid, slot },
+                    };
+                }
+                self.ind.retire(tid, slot);
+            }
+            Publish::Declined => {}
+        }
+        let guard = self.inner.read_lock();
+        self.ind.note_slow_read();
+        IndReadGuard {
+            lock: self,
+            mode: ReadMode::Slow(guard),
+        }
+    }
+
+    /// Acquires in exclusive mode: underlying write lock, writer word,
+    /// bias revocation, then a scan waiting published readers out.
+    pub fn write_lock(&self) -> IndWriteGuard<'_> {
+        let inner = self.inner.write_lock();
+        sched::step();
+        self.wactive.store(1, Ordering::SeqCst);
+        let rev = self.ind.begin_collect();
+        collect_wait(&self.ind, &rev, None);
+        IndWriteGuard {
+            lock: self,
+            revoked: rev.revoked,
+            _inner: inner,
+        }
+    }
+}
+
+enum ReadMode<'a> {
+    /// Admitted via the indicator; the underlying lock was never touched.
+    Fast { tid: usize, slot: u32 },
+    /// Fell through to the underlying centralized lock.
+    Slow(#[expect(dead_code)] RwReadGuard<'a>),
+}
+
+/// Shared-mode RAII guard for [`IndicatedRwLock`].
+pub struct IndReadGuard<'a> {
+    lock: &'a IndicatedRwLock,
+    mode: ReadMode<'a>,
+}
+
+impl IndReadGuard<'_> {
+    /// Whether this acquisition took the indicator fast path.
+    pub fn is_fast(&self) -> bool {
+        matches!(self.mode, ReadMode::Fast { .. })
+    }
+}
+
+impl Drop for IndReadGuard<'_> {
+    fn drop(&mut self) {
+        if let ReadMode::Fast { tid, slot } = self.mode {
+            self.lock.ind.retire(tid, slot);
+        }
+    }
+}
+
+/// Exclusive-mode RAII guard for [`IndicatedRwLock`].
+pub struct IndWriteGuard<'a> {
+    lock: &'a IndicatedRwLock,
+    revoked: bool,
+    _inner: RwWriteGuard<'a>,
+}
+
+impl IndWriteGuard<'_> {
+    /// Whether this acquisition revoked the read bias (benches/stats).
+    pub fn revoked(&self) -> bool {
+        self.revoked
+    }
+}
+
+impl Drop for IndWriteGuard<'_> {
+    fn drop(&mut self) {
+        self.lock.wactive.store(0, Ordering::SeqCst);
+        self.lock.ind.end_collect();
+        // _inner drops last, releasing the underlying lock.
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+    use std::sync::Arc;
+
+    #[test]
+    fn bravo_reads_certify_until_revoked() {
+        let l = IndicatedRwLock::new(IndicatorKind::Bravo, 4);
+        assert!(l.indicator().bias_enabled());
+        {
+            let g = l.read_lock(0);
+            assert!(g.is_fast());
+        }
+        {
+            let w = l.write_lock();
+            assert!(w.revoked());
+        }
+        // Bias is down until the rebias policy restores it.
+        assert!(!l.indicator().bias_enabled());
+        let g = l.read_lock(0);
+        assert!(!g.is_fast());
+    }
+
+    #[test]
+    fn cloned_reads_publish_and_yield_to_writer() {
+        let l = IndicatedRwLock::new(IndicatorKind::Cloned, 4);
+        {
+            let g = l.read_lock(1);
+            assert!(g.is_fast());
+        }
+        let w = l.write_lock();
+        assert!(!w.revoked());
+        drop(w);
+        assert!(l.read_lock(1).is_fast());
+    }
+
+    #[test]
+    fn central_reads_always_take_the_underlying_lock() {
+        let l = IndicatedRwLock::new(IndicatorKind::Central, 4);
+        assert!(!l.read_lock(0).is_fast());
+    }
+
+    #[test]
+    fn writer_excludes_all_reader_paths() {
+        for kind in [
+            IndicatorKind::Central,
+            IndicatorKind::Bravo,
+            IndicatorKind::Cloned,
+        ] {
+            let l = Arc::new(IndicatedRwLock::new(kind, 4));
+            let data = Arc::new(AtomicU64::new(0));
+            std::thread::scope(|s| {
+                // Readers check the invariant (value is even outside
+                // writes) on whatever path the indicator admits them.
+                for tid in 0..3usize {
+                    let l = Arc::clone(&l);
+                    let data = Arc::clone(&data);
+                    s.spawn(move || {
+                        for _ in 0..200 {
+                            let _g = l.read_lock(tid);
+                            assert_eq!(data.load(Ordering::Relaxed) % 2, 0);
+                        }
+                    });
+                }
+                let l = Arc::clone(&l);
+                let data = Arc::clone(&data);
+                s.spawn(move || {
+                    for _ in 0..100 {
+                        let _g = l.write_lock();
+                        data.fetch_add(1, Ordering::Relaxed); // odd: "mid-update"
+                        std::thread::yield_now();
+                        data.fetch_add(1, Ordering::Relaxed); // even again
+                    }
+                });
+            });
+            assert_eq!(data.load(Ordering::Relaxed), 200, "kind {kind:?}");
+        }
+    }
+}

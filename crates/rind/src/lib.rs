@@ -1,0 +1,1089 @@
+//! Read-side **reader indicators** — pluggable visibility schemes for the
+//! fallback (non-elided) read paths.
+//!
+//! The paper's elision fast path gives readers a free ride through the
+//! hardware, but the moment elision is disabled or exhausted every reader
+//! funnels through centralized state: a shared counter, a lock word, or an
+//! epoch slot that writers must scan. A *reader indicator* abstracts the
+//! question "which readers are inside?" behind a small protocol so the
+//! answer can be maintained centrally (cheap for writers, a coherence
+//! hot-spot for readers) or distributedly (one private store per reader,
+//! a bounded scan for writers).
+//!
+//! Three implementations ship behind [`ReaderIndicator`]:
+//!
+//! * [`CentralIndicator`] — the null indicator. Every publish is
+//!   [`Publish::Declined`], so callers keep using whatever centralized
+//!   accounting they already have. This is the seed behaviour, kept as the
+//!   baseline.
+//! * [`BravoIndicator`] — BRAVO (Dice & Kogan, arXiv:1810.01553): a
+//!   process-global, cache-line-padded *visible-readers table*. A reader
+//!   hashes `(indicator id, thread id)` to a slot, publishes with one
+//!   compare-and-swap, and re-checks the indicator's **bias** word; while
+//!   the bias is set the publication alone certifies the read (no writer
+//!   check needed). A writer *revokes* the bias and scans the table,
+//!   waiting out published readers. An adaptive rebias policy bounds the
+//!   scan cost against the slow-path fraction (see [`BravoIndicator`]).
+//! * [`ClonedIndicator`] — one padded slot per thread, owned by the
+//!   indicator instance. Readers always publish ([`Publish::Published`])
+//!   and must still perform their own writer check (Dekker-style); writers
+//!   always scan all slots. The classic big-reader/cloned-lock layout,
+//!   here as the no-bias comparison point.
+//!
+//! # The bias-word dichotomy
+//!
+//! The soundness argument is the *enter-vs-scan dichotomy* from the epoch
+//! layer, extended to the bias word (docs/PROTOCOL.md): a reader's slot
+//! CAS and bias re-check are `SeqCst`, a writer's bias revocation and slot
+//! scan are `SeqCst`. In the single total order, if the reader's re-check
+//! observed the bias set, it precedes the writer's revocation, so the
+//! reader's earlier slot publication precedes the writer's later scan —
+//! the scan *must* see the slot and wait the reader out. Otherwise the
+//! reader observes the revocation and declines to the slow path. There is
+//! no interleaving in which a certified reader is invisible to a
+//! collecting writer: no lost reader.
+//!
+//! All protocol steps run under `sched::step()` so the schedule-exploration
+//! suites (`tests/schedules.rs`) can drive every interleaving of the
+//! publish/revoke race.
+
+#![warn(missing_docs)]
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Which reader-indicator scheme a lock (or epoch set) uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum IndicatorKind {
+    /// Centralized accounting (the seed behaviour) — the null indicator.
+    #[default]
+    Central,
+    /// BRAVO-style global visible-readers table with a revocable bias.
+    Bravo,
+    /// Per-thread cloned slots, always published, writer scans all.
+    Cloned,
+}
+
+impl IndicatorKind {
+    /// Short scheme label used by benches and CLI flags.
+    pub fn label(self) -> &'static str {
+        match self {
+            IndicatorKind::Central => "central",
+            IndicatorKind::Bravo => "bravo",
+            IndicatorKind::Cloned => "cloned",
+        }
+    }
+
+    /// Parses a CLI spelling (`central` | `bravo` | `cloned`).
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "central" => Some(IndicatorKind::Central),
+            "bravo" => Some(IndicatorKind::Bravo),
+            "cloned" => Some(IndicatorKind::Cloned),
+            _ => None,
+        }
+    }
+}
+
+/// Outcome of a reader's publication attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Publish {
+    /// Published *and* bias-certified: the publication alone admits the
+    /// read. The caller may skip its writer check entirely — any writer
+    /// must revoke the bias and scan the table before mutating, and the
+    /// dichotomy guarantees the scan sees this slot.
+    Certified(u32),
+    /// Published but not certified: the slot is visible to collecting
+    /// writers, but the caller must still perform its own writer check
+    /// (Dekker-style) before proceeding, and [`ReaderIndicator::retire`]
+    /// the slot if the check fails.
+    Published(u32),
+    /// Not published — take the centralized slow path.
+    Declined,
+}
+
+/// What a writer learned when it began collecting readers.
+#[derive(Debug, Clone, Copy)]
+pub struct Revocation {
+    /// The bias was set and this collector cleared it (a *revocation* in
+    /// BRAVO's sense). Feeds `ThreadStats::revocations`.
+    pub revoked: bool,
+    /// The table may hold live readers and must be scanned. When `false`
+    /// (bias was already clear **and** no other collector was active) the
+    /// scan is provably empty and is skipped — see
+    /// [`BravoIndicator::begin_collect`] for the argument.
+    pub must_scan: bool,
+}
+
+/// A pluggable read-side visibility scheme.
+///
+/// Reader protocol: [`publish`](ReaderIndicator::publish) on entry; on
+/// exit, [`retire`](ReaderIndicator::retire) the slot returned by a
+/// `Certified`/`Published` outcome. A reader that fell through to the
+/// centralized slow path reports it via
+/// [`note_slow_read`](ReaderIndicator::note_slow_read) (which drives the
+/// rebias policy).
+///
+/// Writer protocol: [`begin_collect`](ReaderIndicator::begin_collect)
+/// (revokes the bias), then either [`collect_wait`] to wait published
+/// readers out (lock-style) or [`collect`](ReaderIndicator::collect) to
+/// enumerate them and wait on some other channel (epoch-style, waiting on
+/// per-thread clocks), then [`end_collect`](ReaderIndicator::end_collect)
+/// once the critical section is over. Writers that are already serialized
+/// by their own lock word and gate reader rebias behind their own drain
+/// protocol can use the registration-free
+/// [`revoke_serialized`](ReaderIndicator::revoke_serialized) instead.
+pub trait ReaderIndicator: Send + Sync {
+    /// Which scheme this is.
+    fn kind(&self) -> IndicatorKind;
+
+    /// Attempts to publish thread `tid` as an active reader.
+    fn publish(&self, tid: usize) -> Publish;
+
+    /// Withdraws a publication made by `publish` (same `tid`, the slot it
+    /// returned).
+    fn retire(&self, tid: usize, slot: u32);
+
+    /// Begins a collection: revokes the bias (if any) and registers this
+    /// caller as an active collector, blocking rebias until
+    /// [`end_collect`](ReaderIndicator::end_collect).
+    fn begin_collect(&self) -> Revocation;
+
+    /// Ends a collection begun by
+    /// [`begin_collect`](ReaderIndicator::begin_collect).
+    fn end_collect(&self);
+
+    /// Enumerates currently published readers of *this* indicator as
+    /// `(slot, tid)` pairs. Honours `rev.must_scan` (no-op when `false`).
+    fn collect(&self, rev: &Revocation, each: &mut dyn FnMut(u32, usize));
+
+    /// Whether a previously observed `(slot, tid)` publication has been
+    /// withdrawn (or the slot reused by an unrelated reader).
+    fn vacated(&self, slot: u32, tid: usize) -> bool;
+
+    /// A reader took the centralized slow path. Drives the adaptive
+    /// rebias policy; cheap no-op for indicators without a bias.
+    fn note_slow_read(&self);
+
+    /// Records a slow read **without** attempting a rebias; returns `true`
+    /// when the rebias policy wants one. The caller must then invoke
+    /// [`try_rebias`](ReaderIndicator::try_rebias) from a context where no
+    /// [serialized collection](ReaderIndicator::revoke_serialized) can be
+    /// in progress — e.g. `rwle` calls it from inside the reader's epoch
+    /// after observing the NS lock free, so a concurrent NS writer's
+    /// quiescence barrier is guaranteed to drain the rebias before the
+    /// writer's post-quiescence re-check. Indicators without a bias
+    /// return `false`.
+    fn note_slow_read_deferred(&self) -> bool {
+        false
+    }
+
+    /// Attempts to re-enable the bias (the deferred half of
+    /// [`note_slow_read_deferred`](ReaderIndicator::note_slow_read_deferred)).
+    /// No-op for indicators without a bias.
+    fn try_rebias(&self) {}
+
+    /// Serialized-collector revocation: the cheap alternative to the
+    /// [`begin_collect`](ReaderIndicator::begin_collect)/
+    /// [`end_collect`](ReaderIndicator::end_collect) pair, with no
+    /// registration and no paired end call. The caller must guarantee
+    /// **(a)** its collections are mutually exclusive (serialized by an
+    /// external writer lock) and **(b)** every rebias attempt is gated by
+    /// [`note_slow_read_deferred`](ReaderIndicator::note_slow_read_deferred)
+    /// +[`try_rebias`](ReaderIndicator::try_rebias) placed so that the
+    /// caller's own reader-drain protocol flushes any rebias racing a
+    /// collection — and it must call this method *again* after that drain
+    /// to catch one that slipped in (see `rwle`'s NS write path). Under
+    /// those guarantees, observing the bias already clear proves no
+    /// certified reader is live, so the scan is skipped entirely.
+    fn revoke_serialized(&self) -> Revocation;
+
+    /// Reports the measured cost (stall iterations) of a completed
+    /// collection so the rebias policy can bound scan cost against the
+    /// slow-path fraction.
+    fn note_collect_cost(&self, stalls: u64);
+
+    /// Whether the read bias is currently enabled (tests/benches).
+    fn bias_enabled(&self) -> bool;
+}
+
+/// Constructs an indicator of the given kind sized for `max_threads`.
+///
+/// Returns a trait object; callers on a read-side fast path should prefer
+/// [`Indicator::build`], whose enum dispatch lets `publish`/`retire`
+/// inline into the caller.
+pub fn build(kind: IndicatorKind, max_threads: usize) -> Arc<dyn ReaderIndicator> {
+    Indicator::build(kind, max_threads)
+}
+
+/// A statically dispatched indicator: the enum counterpart of
+/// `Arc<dyn ReaderIndicator>`.
+///
+/// Virtual dispatch costs a few nanoseconds per call and — worse — hides
+/// the slot hash and CAS from the inliner. On the certified read path
+/// (publish + retire around a tiny critical section) that overhead is a
+/// measurable fraction of the whole acquisition, so the hot callers
+/// (`rwle::RwLe::read_cs`, epoch registration) hold this enum instead.
+/// `Indicator` also implements [`ReaderIndicator`], so it coerces to the
+/// trait object wherever genericity matters more than the last few
+/// nanoseconds (e.g. [`collect_wait`]).
+pub enum Indicator {
+    /// The null indicator (see [`CentralIndicator`]).
+    Central(CentralIndicator),
+    /// BRAVO (see [`BravoIndicator`]).
+    Bravo(BravoIndicator),
+    /// Per-thread cloned slots (see [`ClonedIndicator`]).
+    Cloned(ClonedIndicator),
+}
+
+/// Forwards one method to whichever variant is live, statically.
+macro_rules! each_variant {
+    ($self:ident, $i:pat => $body:expr) => {
+        match $self {
+            Indicator::Central($i) => $body,
+            Indicator::Bravo($i) => $body,
+            Indicator::Cloned($i) => $body,
+        }
+    };
+}
+
+impl Indicator {
+    /// Constructs an indicator of the given kind sized for `max_threads`.
+    /// Hot-path holders (`rwle`, epoch registration) embed the enum
+    /// inline — no `Arc` indirection on the publish path.
+    pub fn new(kind: IndicatorKind, max_threads: usize) -> Indicator {
+        match kind {
+            IndicatorKind::Central => Indicator::Central(CentralIndicator::new()),
+            IndicatorKind::Bravo => Indicator::Bravo(BravoIndicator::sized(max_threads)),
+            IndicatorKind::Cloned => Indicator::Cloned(ClonedIndicator::new(max_threads)),
+        }
+    }
+
+    /// [`Indicator::new`] behind an `Arc`, for holders that share it.
+    pub fn build(kind: IndicatorKind, max_threads: usize) -> Arc<Indicator> {
+        Arc::new(Self::new(kind, max_threads))
+    }
+
+    /// Statically dispatched [`ReaderIndicator::publish`].
+    #[inline]
+    pub fn publish(&self, tid: usize) -> Publish {
+        each_variant!(self, i => i.publish(tid))
+    }
+
+    /// Statically dispatched [`ReaderIndicator::retire`].
+    #[inline]
+    pub fn retire(&self, tid: usize, slot: u32) {
+        each_variant!(self, i => i.retire(tid, slot))
+    }
+
+    /// Statically dispatched [`ReaderIndicator::note_slow_read`].
+    #[inline]
+    pub fn note_slow_read(&self) {
+        each_variant!(self, i => i.note_slow_read())
+    }
+
+    /// Statically dispatched [`ReaderIndicator::note_slow_read_deferred`].
+    #[inline]
+    pub fn note_slow_read_deferred(&self) -> bool {
+        each_variant!(self, i => i.note_slow_read_deferred())
+    }
+
+    /// Statically dispatched [`ReaderIndicator::try_rebias`].
+    pub fn try_rebias(&self) {
+        each_variant!(self, i => i.try_rebias())
+    }
+
+    /// Statically dispatched [`ReaderIndicator::revoke_serialized`].
+    pub fn revoke_serialized(&self) -> Revocation {
+        each_variant!(self, i => i.revoke_serialized())
+    }
+}
+
+impl ReaderIndicator for Indicator {
+    fn kind(&self) -> IndicatorKind {
+        each_variant!(self, i => i.kind())
+    }
+
+    fn publish(&self, tid: usize) -> Publish {
+        Indicator::publish(self, tid)
+    }
+
+    fn retire(&self, tid: usize, slot: u32) {
+        Indicator::retire(self, tid, slot)
+    }
+
+    fn begin_collect(&self) -> Revocation {
+        each_variant!(self, i => i.begin_collect())
+    }
+
+    fn end_collect(&self) {
+        each_variant!(self, i => i.end_collect())
+    }
+
+    fn collect(&self, rev: &Revocation, each: &mut dyn FnMut(u32, usize)) {
+        each_variant!(self, i => i.collect(rev, each))
+    }
+
+    fn vacated(&self, slot: u32, tid: usize) -> bool {
+        each_variant!(self, i => i.vacated(slot, tid))
+    }
+
+    fn note_slow_read(&self) {
+        Indicator::note_slow_read(self)
+    }
+
+    fn note_slow_read_deferred(&self) -> bool {
+        Indicator::note_slow_read_deferred(self)
+    }
+
+    fn try_rebias(&self) {
+        Indicator::try_rebias(self)
+    }
+
+    fn revoke_serialized(&self) -> Revocation {
+        Indicator::revoke_serialized(self)
+    }
+
+    fn note_collect_cost(&self, stalls: u64) {
+        each_variant!(self, i => i.note_collect_cost(stalls))
+    }
+
+    fn bias_enabled(&self) -> bool {
+        each_variant!(self, i => i.bias_enabled())
+    }
+}
+
+/// Waits out every reader published in the indicator (lock-style
+/// collection): enumerates occupied slots and spins (with backoff) until
+/// each is vacated. `skip` exempts the collector's own thread id, so a
+/// writer that is itself inside a read-side nest cannot deadlock on its
+/// own slot. Returns the number of stall iterations and reports it to the
+/// rebias policy.
+pub fn collect_wait(ind: &dyn ReaderIndicator, rev: &Revocation, skip: Option<usize>) -> u64 {
+    let mut stalls = 0u64;
+    ind.collect(rev, &mut |slot, tid| {
+        if skip == Some(tid) {
+            return;
+        }
+        let mut bo = sched::Backoff::new();
+        while !ind.vacated(slot, tid) {
+            stalls += 1;
+            bo.snooze();
+        }
+    });
+    ind.note_collect_cost(stalls);
+    stalls
+}
+
+/// A cache-line-padded table slot (avoids false sharing between adjacent
+/// readers — the whole point of distributing the indicator).
+#[repr(align(64))]
+struct PaddedSlot(AtomicU64);
+
+// ---------------------------------------------------------------------------
+// Central (null) indicator
+// ---------------------------------------------------------------------------
+
+/// The null indicator: never publishes, never needs scanning. Callers fall
+/// through to their existing centralized accounting, making this the
+/// zero-overhead baseline every other indicator is measured against.
+#[derive(Default)]
+pub struct CentralIndicator;
+
+impl CentralIndicator {
+    /// Creates the null indicator.
+    pub fn new() -> Self {
+        CentralIndicator
+    }
+}
+
+impl ReaderIndicator for CentralIndicator {
+    fn kind(&self) -> IndicatorKind {
+        IndicatorKind::Central
+    }
+
+    #[inline]
+    fn publish(&self, _tid: usize) -> Publish {
+        Publish::Declined
+    }
+
+    fn retire(&self, _tid: usize, _slot: u32) {
+        unreachable!("central indicator never publishes");
+    }
+
+    fn begin_collect(&self) -> Revocation {
+        Revocation {
+            revoked: false,
+            must_scan: false,
+        }
+    }
+
+    fn end_collect(&self) {}
+
+    fn collect(&self, _rev: &Revocation, _each: &mut dyn FnMut(u32, usize)) {}
+
+    fn vacated(&self, _slot: u32, _tid: usize) -> bool {
+        true
+    }
+
+    fn note_slow_read(&self) {}
+
+    fn revoke_serialized(&self) -> Revocation {
+        Revocation {
+            revoked: false,
+            must_scan: false,
+        }
+    }
+
+    fn note_collect_cost(&self, _stalls: u64) {}
+
+    fn bias_enabled(&self) -> bool {
+        false
+    }
+}
+
+// ---------------------------------------------------------------------------
+// BRAVO indicator
+// ---------------------------------------------------------------------------
+
+/// Slots in the process-global visible-readers table. Power of two so the
+/// hash reduces with a mask. 1024 padded slots = 64 KiB of static data,
+/// shared by every [`BravoIndicator`] in the process (BRAVO's design: the
+/// table is global, slots are claimed per `(lock, thread)` pair, and
+/// collisions simply decline to the slow path).
+const TABLE_SLOTS: usize = 1024;
+
+/// The global visible-readers table. A slot holds `0` when free, otherwise
+/// `(indicator id << 32) | (tid + 1)`.
+static TABLE: [PaddedSlot; TABLE_SLOTS] = [const { PaddedSlot(AtomicU64::new(0)) }; TABLE_SLOTS];
+
+/// Allocator for indicator instance ids (nonzero, so a packed slot value
+/// is never 0).
+static NEXT_ID: AtomicU64 = AtomicU64::new(1);
+
+/// Bias bit of the packed state word; the collector count lives in the
+/// bits above it.
+const BIAS: u64 = 1;
+
+/// SplitMix64 finalizer: cheap avalanche for slot and region hashing.
+fn splitmix(mut x: u64) -> u64 {
+    x ^= x >> 33;
+    x = x.wrapping_mul(0xC2B2_AE3D_27D4_EB4F);
+    x ^= x >> 29;
+    x
+}
+
+/// Rebias policy: after a revocation the bias stays off until
+/// `rebias_threshold` reads have taken the slow path. The threshold is
+/// adaptive — the deterministic (operation-counted, not timed) analogue of
+/// BRAVO's `N × revocation-time` inhibition window:
+///
+/// * it starts at [`REBIAS_BASE`];
+/// * a collection that *stalled* waiting certified readers out ratchets it
+///   up to at least `REBIAS_BASE + stalls × REBIAS_STALL_MULT` (an
+///   expensive revocation must be amortized by more slow reads before the
+///   next one is enabled);
+/// * a collection arriving while the bias is already down bumps it by one,
+///   capped at [`REBIAS_MAX`] — evidence that writes outpace the rebias
+///   policy. Under a write-heavy mix many such bumps land between
+///   consecutive rebias events, so the threshold compounds and revocation
+///   scans become vanishingly rare; under a read-heavy mix at most a
+///   couple do, and the threshold stays at the base;
+/// * each successful rebias halves it (floored at the base), so the bias
+///   recovers quickly once reads dominate again.
+///
+/// Operation counts keep the policy reproducible under schedule
+/// exploration.
+const REBIAS_BASE: u64 = 2;
+/// Per-stall multiplier of the rebias threshold (see [`REBIAS_BASE`]).
+const REBIAS_STALL_MULT: u64 = 4;
+/// Upper bound of the rebias threshold (see [`REBIAS_BASE`]): caps how
+/// long a read-heavy phase pays centralized costs before the first rebias
+/// after a long write-heavy phase.
+const REBIAS_MAX: u64 = 4096;
+
+/// BRAVO-style distributed reader indicator.
+///
+/// Reader fast path (three shared-memory operations, all on lines no other
+/// thread writes in steady state): load the bias word, CAS the private
+/// slot, re-load the bias word. If the re-check still sees the
+/// bias, the read is certified — no writer check, no centralized counter.
+///
+/// Writer path: [`begin_collect`](ReaderIndicator::begin_collect) clears
+/// the bias and bumps the collector count in one RMW; the scan then visits
+/// this indicator's region of the global table (sized for its thread
+/// count — see [`BravoIndicator::sized`]) filtering on its id. The packed
+/// bias+collectors word closes the rebias-during-scan race: a reader can
+/// only re-enable the bias with a CAS from the all-zero state, which fails
+/// while any collector is registered.
+pub struct BravoIndicator {
+    /// This instance's nonzero id (the high half of its slot values).
+    id: u64,
+    /// First slot of this instance's region of the global table.
+    base: usize,
+    /// Region size minus one (region sizes are powers of two).
+    mask: usize,
+    /// Packed `collectors << 1 | bias`.
+    state: AtomicU64,
+    /// Slow-path reads since the last revocation (rebias policy input).
+    slow_reads: AtomicU64,
+    /// Current rebias threshold (rebias policy output).
+    rebias_threshold: AtomicU64,
+}
+
+impl BravoIndicator {
+    /// Creates a biased indicator with a fresh id, hashing over the whole
+    /// global table (equivalent to `sized(TABLE_SLOTS)`).
+    #[expect(clippy::new_without_default)]
+    pub fn new() -> Self {
+        Self::sized(TABLE_SLOTS)
+    }
+
+    /// Creates a biased indicator whose readers occupy a region of the
+    /// global table sized for `max_threads` (rounded up to a power of
+    /// two). Slots are dense by thread id within the region — no
+    /// intra-indicator collisions, no hash on the publish path — and a
+    /// revocation scan visits only this region, so its cost is
+    /// `O(max_threads)`, not `O(TABLE_SLOTS)` — the bound the rebias
+    /// policy amortizes against. The region's *placement* is hashed from
+    /// the instance id; distinct indicators may overlap, which at worst
+    /// declines a colliding publish.
+    pub fn sized(max_threads: usize) -> Self {
+        let id = NEXT_ID.fetch_add(1, Ordering::Relaxed) & 0xFFFF_FFFF;
+        let region = max_threads.max(1).next_power_of_two().min(TABLE_SLOTS);
+        // Region-aligned base so `base | (tid & mask)` stays in range.
+        let base = (splitmix(id) as usize) & (TABLE_SLOTS - 1) & !(region - 1);
+        BravoIndicator {
+            id,
+            base,
+            mask: region - 1,
+            state: AtomicU64::new(BIAS),
+            slow_reads: AtomicU64::new(0),
+            rebias_threshold: AtomicU64::new(REBIAS_BASE),
+        }
+    }
+
+    /// This thread's slot index in the global table: dense by thread id.
+    /// The mask only matters for a `tid` beyond `max_threads`, which
+    /// degrades to a collision (declined publish), never an out-of-range
+    /// index.
+    fn slot_of(&self, tid: usize) -> usize {
+        self.base | (tid & self.mask)
+    }
+
+    /// The packed value this `(indicator, tid)` pair publishes.
+    fn slot_value(&self, tid: usize) -> u64 {
+        (self.id << 32) | (tid as u64 + 1)
+    }
+
+    /// A collection arrived while the bias was already down: writes are
+    /// outpacing the rebias policy, so defer the next rebias by one more
+    /// slow read (see [`REBIAS_BASE`]). Plain load+store: a lost update
+    /// under a race only under-counts a heuristic.
+    fn defer_rebias(&self) {
+        let t = self.rebias_threshold.load(Ordering::Relaxed);
+        if t < REBIAS_MAX {
+            self.rebias_threshold.store(t + 1, Ordering::Relaxed);
+        }
+    }
+}
+
+impl ReaderIndicator for BravoIndicator {
+    fn kind(&self) -> IndicatorKind {
+        IndicatorKind::Bravo
+    }
+
+    #[inline]
+    fn publish(&self, tid: usize) -> Publish {
+        // Advisory pre-check: unbiased means the CAS would be wasted work.
+        // No yield point of its own — the races that matter interleave
+        // around the slot CAS and the certify re-check below.
+        if self.state.load(Ordering::Relaxed) & BIAS == 0 {
+            return Publish::Declined;
+        }
+        let slot = self.slot_of(tid);
+        // No yield point before the CAS: a revocation interleaved here is
+        // observationally the same as one interleaved before the advisory
+        // pre-check (decline) or before the re-check below (withdraw),
+        // both of which the schedule suites explore.
+        if TABLE[slot]
+            .0
+            .compare_exchange(0, self.slot_value(tid), Ordering::SeqCst, Ordering::Relaxed)
+            .is_err()
+        {
+            // Hash collision with a live reader (possibly of another
+            // indicator): decline rather than probe.
+            return Publish::Declined;
+        }
+        sched::step();
+        // The load-bearing re-check (enter-vs-scan dichotomy on the bias
+        // word): seeing the bias set here orders this publication before
+        // any collector's scan.
+        if self.state.load(Ordering::SeqCst) & BIAS != 0 {
+            return Publish::Certified(slot as u32);
+        }
+        // Revoked between the pre-check and here: withdraw and go slow.
+        TABLE[slot].0.store(0, Ordering::Release);
+        Publish::Declined
+    }
+
+    #[inline]
+    fn retire(&self, tid: usize, slot: u32) {
+        // No yield point of its own: the reader-holds-slot-while-writer-
+        // scans window is explored via the yield points inside the
+        // critical section's reads and the collector's `vacated` loop.
+        debug_assert_eq!(
+            TABLE[slot as usize].0.load(Ordering::Relaxed),
+            self.slot_value(tid),
+            "retire of a slot this reader does not hold"
+        );
+        TABLE[slot as usize].0.store(0, Ordering::Release);
+    }
+
+    fn begin_collect(&self) -> Revocation {
+        sched::step();
+        // Register as a collector first: a non-zero count blocks the
+        // rebias CAS (which requires the all-zero state), so the bias
+        // cannot come back up mid-collection. In the write-heavy steady
+        // state the bias is already clear and this is the only RMW.
+        let old = self.state.fetch_add(2, Ordering::SeqCst);
+        let revoked = old & BIAS != 0;
+        if revoked {
+            sched::step();
+            // The revocation proper. A reader whose certify re-check
+            // (SeqCst) precedes this clear is certified — and our scan
+            // below that clear must see its slot (single total order). A
+            // concurrent co-collector may observe `revoked` too; both
+            // then clear (idempotent) and both scan.
+            self.state.fetch_and(!BIAS, Ordering::SeqCst);
+        }
+        if !revoked {
+            self.defer_rebias();
+        }
+        // Skipping the scan is sound only when the bias was already clear
+        // AND no other collector was registered: the previous collection
+        // then finished completely (its end_collect dropped the count to
+        // zero) having waited out every certified reader, and with the
+        // bias clear ever since, no new reader can have certified. A live
+        // co-collector, in contrast, may still be waiting out a certified
+        // reader that predates *both* revocations — we must see it too.
+        Revocation {
+            revoked,
+            must_scan: revoked || (old >> 1) != 0,
+        }
+    }
+
+    fn revoke_serialized(&self) -> Revocation {
+        // Caller contract (see the trait doc): collections are serialized
+        // by an external writer lock, and rebias attempts are gated so
+        // the caller's reader-drain protocol flushes any that race this
+        // collection before the caller's re-call of this method.
+        if self.state.load(Ordering::SeqCst) & BIAS == 0 {
+            // Bias already down and — by the contract — no rebias can
+            // have survived the previous serialized collection, so no
+            // certified reader is live: skip the scan entirely. This is
+            // the write-heavy steady state, and it costs one load.
+            self.defer_rebias();
+            return Revocation {
+                revoked: false,
+                must_scan: false,
+            };
+        }
+        sched::step();
+        // The revocation proper, as in `begin_collect`: a reader whose
+        // certify re-check (SeqCst) precedes this clear is certified, and
+        // the caller's scan after this clear must see its slot.
+        self.state.fetch_and(!BIAS, Ordering::SeqCst);
+        Revocation {
+            revoked: true,
+            must_scan: true,
+        }
+    }
+
+    fn end_collect(&self) {
+        sched::step();
+        // The bias bit is zero for the whole collection (rebias CASes from
+        // the all-zero state only), so decrementing the packed count never
+        // borrows into the bias bit.
+        self.state.fetch_sub(2, Ordering::SeqCst);
+    }
+
+    fn collect(&self, rev: &Revocation, each: &mut dyn FnMut(u32, usize)) {
+        if !rev.must_scan {
+            return;
+        }
+        sched::step();
+        // Only this instance's region can hold its publications (`slot_of`
+        // masks into it), so the scan is O(region), not O(TABLE_SLOTS).
+        for (i, slot) in TABLE.iter().enumerate().skip(self.base).take(self.mask + 1) {
+            let v = slot.0.load(Ordering::SeqCst);
+            if v != 0 && v >> 32 == self.id {
+                sched::step();
+                each(i as u32, (v & 0xFFFF_FFFF) as usize - 1);
+            }
+        }
+    }
+
+    fn vacated(&self, slot: u32, tid: usize) -> bool {
+        sched::step();
+        TABLE[slot as usize].0.load(Ordering::SeqCst) != self.slot_value(tid)
+    }
+
+    #[inline]
+    fn note_slow_read(&self) {
+        if self.note_slow_read_deferred() {
+            self.try_rebias();
+        }
+    }
+
+    #[inline]
+    fn note_slow_read_deferred(&self) -> bool {
+        if self.state.load(Ordering::Relaxed) & BIAS != 0 {
+            return false;
+        }
+        let n = self.slow_reads.fetch_add(1, Ordering::Relaxed) + 1;
+        n >= self.rebias_threshold.load(Ordering::Relaxed)
+    }
+
+    fn try_rebias(&self) {
+        sched::step();
+        // Rebias only from the fully idle state: bias clear, zero
+        // collectors. Failure just means a collector is live (or another
+        // reader already rebias-ed) — try again after more slow reads.
+        if self
+            .state
+            .compare_exchange(0, BIAS, Ordering::SeqCst, Ordering::Relaxed)
+            .is_ok()
+        {
+            self.slow_reads.store(0, Ordering::Relaxed);
+            // Decay: each successful rebias halves the threshold (floored
+            // at the base), so a one-off expensive collection does not
+            // keep the bias suppressed forever once reads flow again.
+            let t = self.rebias_threshold.load(Ordering::Relaxed);
+            self.rebias_threshold
+                .store((t / 2).max(REBIAS_BASE), Ordering::Relaxed);
+        }
+    }
+
+    fn note_collect_cost(&self, stalls: u64) {
+        // Ratchet, don't overwrite: most collections are cheap (the scan
+        // was skipped, zero stalls) and must not erase what an expensive
+        // one taught us. The rebias decay above is the only way down.
+        // Checked with a plain load first so the common no-op costs no
+        // RMW on the write path.
+        let want = REBIAS_BASE + stalls.saturating_mul(REBIAS_STALL_MULT);
+        if want > self.rebias_threshold.load(Ordering::Relaxed) {
+            self.rebias_threshold.fetch_max(want, Ordering::Relaxed);
+        }
+    }
+
+    fn bias_enabled(&self) -> bool {
+        self.state.load(Ordering::Relaxed) & BIAS != 0
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Cloned indicator
+// ---------------------------------------------------------------------------
+
+/// Per-thread cloned reader slots: one padded flag per thread, owned by
+/// this instance. Readers always publish and must still run their own
+/// writer check; writers always scan all `max_threads` slots. No bias, no
+/// revocation — the comparison point showing what the bias buys (a
+/// certified fast path) and what it costs (revocation scans).
+pub struct ClonedIndicator {
+    slots: Box<[PaddedSlot]>,
+}
+
+impl ClonedIndicator {
+    /// Creates an indicator with one slot per thread id below
+    /// `max_threads`.
+    pub fn new(max_threads: usize) -> Self {
+        ClonedIndicator {
+            slots: (0..max_threads)
+                .map(|_| PaddedSlot(AtomicU64::new(0)))
+                .collect(),
+        }
+    }
+}
+
+impl ReaderIndicator for ClonedIndicator {
+    fn kind(&self) -> IndicatorKind {
+        IndicatorKind::Cloned
+    }
+
+    #[inline]
+    fn publish(&self, tid: usize) -> Publish {
+        sched::step();
+        // SeqCst store: the Dekker half of publish-then-check-writer
+        // against the writer's set-writer-then-scan.
+        self.slots[tid].0.store(1, Ordering::SeqCst);
+        Publish::Published(tid as u32)
+    }
+
+    #[inline]
+    fn retire(&self, tid: usize, slot: u32) {
+        debug_assert_eq!(tid as u32, slot);
+        sched::step();
+        self.slots[tid].0.store(0, Ordering::Release);
+    }
+
+    fn begin_collect(&self) -> Revocation {
+        Revocation {
+            revoked: false,
+            must_scan: true,
+        }
+    }
+
+    fn end_collect(&self) {}
+
+    fn collect(&self, rev: &Revocation, each: &mut dyn FnMut(u32, usize)) {
+        if !rev.must_scan {
+            return;
+        }
+        for (tid, slot) in self.slots.iter().enumerate() {
+            sched::step();
+            if slot.0.load(Ordering::SeqCst) != 0 {
+                each(tid as u32, tid);
+            }
+        }
+    }
+
+    fn vacated(&self, _slot: u32, tid: usize) -> bool {
+        sched::step();
+        self.slots[tid].0.load(Ordering::SeqCst) == 0
+    }
+
+    fn note_slow_read(&self) {}
+
+    fn revoke_serialized(&self) -> Revocation {
+        // No bias to revoke, but cloned slots are always live: a
+        // serialized collector must still scan them all.
+        Revocation {
+            revoked: false,
+            must_scan: true,
+        }
+    }
+
+    fn note_collect_cost(&self, _stalls: u64) {}
+
+    fn bias_enabled(&self) -> bool {
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Publishes with retries: the global table is shared by every test in
+    /// the process, so an unlucky transient collision with another test's
+    /// live reader may decline a publish that this test needs to succeed.
+    fn publish_certified(ind: &BravoIndicator, tid: usize) -> u32 {
+        let mut bo = sched::Backoff::new();
+        for _ in 0..1_000_000 {
+            match ind.publish(tid) {
+                Publish::Certified(slot) => return slot,
+                Publish::Published(_) => unreachable!("bravo never returns Published"),
+                Publish::Declined => {
+                    assert!(
+                        ind.bias_enabled(),
+                        "declined with bias set and no collision"
+                    );
+                    bo.snooze();
+                }
+            }
+        }
+        panic!("slot collision never cleared");
+    }
+
+    #[test]
+    fn central_always_declines() {
+        let ind = CentralIndicator::new();
+        assert_eq!(ind.publish(0), Publish::Declined);
+        let rev = ind.begin_collect();
+        assert!(!rev.revoked);
+        assert!(!rev.must_scan);
+        assert_eq!(collect_wait(&ind, &rev, None), 0);
+        ind.end_collect();
+    }
+
+    #[test]
+    fn bravo_publish_certifies_while_biased() {
+        let ind = BravoIndicator::new();
+        assert!(ind.bias_enabled());
+        let slot = publish_certified(&ind, 3);
+        // The collector must see the published reader.
+        let rev = ind.begin_collect();
+        assert!(rev.revoked);
+        assert!(rev.must_scan);
+        let mut seen = Vec::new();
+        ind.collect(&rev, &mut |s, tid| seen.push((s, tid)));
+        assert_eq!(seen, vec![(slot, 3)]);
+        assert!(!ind.vacated(slot, 3));
+        ind.retire(3, slot);
+        assert!(ind.vacated(slot, 3));
+        ind.end_collect();
+    }
+
+    #[test]
+    fn bravo_declines_after_revocation() {
+        let ind = BravoIndicator::new();
+        let rev = ind.begin_collect();
+        assert!(rev.revoked);
+        // Bias is down and a collector is live: no publication possible.
+        assert_eq!(ind.publish(1), Publish::Declined);
+        ind.end_collect();
+        // Still down after the collection — only the rebias policy
+        // re-enables it.
+        assert_eq!(ind.publish(1), Publish::Declined);
+    }
+
+    #[test]
+    fn bravo_second_collector_skips_empty_scan_only_when_alone() {
+        let ind = BravoIndicator::new();
+        let first = ind.begin_collect();
+        assert!(first.revoked);
+        // A second collector overlapping the first must scan (the first
+        // may still be waiting out a certified reader)...
+        let second = ind.begin_collect();
+        assert!(!second.revoked);
+        assert!(second.must_scan);
+        ind.end_collect();
+        ind.end_collect();
+        // ...but once all collectors drained and the bias stayed down, the
+        // next collection is provably empty.
+        let third = ind.begin_collect();
+        assert!(!third.revoked);
+        assert!(!third.must_scan);
+        ind.end_collect();
+    }
+
+    #[test]
+    fn bravo_rebias_policy_counts_slow_reads() {
+        let ind = BravoIndicator::new();
+        let rev = ind.begin_collect();
+        collect_wait(&ind, &rev, None);
+        ind.end_collect();
+        assert!(!ind.bias_enabled());
+        // An idle collection saw zero stalls: threshold is REBIAS_BASE.
+        for _ in 0..REBIAS_BASE - 1 {
+            ind.note_slow_read();
+            assert!(!ind.bias_enabled());
+        }
+        ind.note_slow_read();
+        assert!(ind.bias_enabled(), "threshold reached, bias restored");
+        // Reads certify again.
+        let slot = publish_certified(&ind, 0);
+        ind.retire(0, slot);
+    }
+
+    #[test]
+    fn bravo_rebias_blocked_while_collector_live() {
+        let ind = BravoIndicator::new();
+        let rev = ind.begin_collect();
+        collect_wait(&ind, &rev, None);
+        // Collector still registered: no amount of slow reads may rebias.
+        for _ in 0..REBIAS_BASE * 4 {
+            ind.note_slow_read();
+        }
+        assert!(!ind.bias_enabled());
+        ind.end_collect();
+        ind.note_slow_read();
+        assert!(ind.bias_enabled());
+    }
+
+    #[test]
+    fn bravo_collect_cost_raises_threshold() {
+        let ind = BravoIndicator::new();
+        ind.note_collect_cost(10);
+        let raised = REBIAS_BASE + 10 * REBIAS_STALL_MULT;
+        assert_eq!(ind.rebias_threshold.load(Ordering::Relaxed), raised);
+        // A later cheap collection must not erase the lesson: the
+        // threshold ratchets up and only rebias decays it.
+        ind.note_collect_cost(0);
+        assert_eq!(ind.rebias_threshold.load(Ordering::Relaxed), raised);
+    }
+
+    #[test]
+    fn bravo_rebias_halves_threshold() {
+        let ind = BravoIndicator::new();
+        ind.note_collect_cost(10);
+        let raised = REBIAS_BASE + 10 * REBIAS_STALL_MULT;
+        // Knock the bias down, then feed slow reads until rebias fires.
+        let rev = ind.begin_collect();
+        assert!(rev.revoked);
+        ind.end_collect();
+        while !ind.bias_enabled() {
+            ind.note_slow_read();
+        }
+        assert_eq!(ind.rebias_threshold.load(Ordering::Relaxed), raised / 2);
+        // Repeated rebias cycles decay all the way back to the base; the
+        // threshold halves per cycle, so 64 cycles is far more than enough.
+        for _ in 0..64 {
+            if ind.rebias_threshold.load(Ordering::Relaxed) == REBIAS_BASE {
+                break;
+            }
+            let rev = ind.begin_collect();
+            assert!(rev.revoked);
+            ind.end_collect();
+            while !ind.bias_enabled() {
+                ind.note_slow_read();
+            }
+        }
+        assert_eq!(ind.rebias_threshold.load(Ordering::Relaxed), REBIAS_BASE);
+    }
+
+    #[test]
+    fn cloned_publishes_and_writer_scans_all() {
+        let ind = ClonedIndicator::new(4);
+        let Publish::Published(slot) = ind.publish(2) else {
+            panic!("cloned must always publish");
+        };
+        assert_eq!(slot, 2);
+        let rev = ind.begin_collect();
+        assert!(rev.must_scan);
+        let mut seen = Vec::new();
+        ind.collect(&rev, &mut |s, tid| seen.push((s, tid)));
+        assert_eq!(seen, vec![(2, 2)]);
+        ind.retire(2, slot);
+        assert!(ind.vacated(slot, 2));
+        ind.end_collect();
+    }
+
+    #[test]
+    fn collect_wait_skips_own_slot() {
+        let ind = ClonedIndicator::new(2);
+        let Publish::Published(_) = ind.publish(1) else {
+            panic!()
+        };
+        let rev = ind.begin_collect();
+        // Without skip this would spin forever on tid 1's live slot.
+        assert_eq!(collect_wait(&ind, &rev, Some(1)), 0);
+        ind.end_collect();
+        ind.retire(1, 1);
+    }
+
+    #[test]
+    fn build_matches_kind() {
+        for kind in [
+            IndicatorKind::Central,
+            IndicatorKind::Bravo,
+            IndicatorKind::Cloned,
+        ] {
+            assert_eq!(build(kind, 8).kind(), kind);
+            assert_eq!(IndicatorKind::parse(kind.label()), Some(kind));
+        }
+        assert_eq!(IndicatorKind::parse("nope"), None);
+    }
+
+    #[test]
+    fn bravo_ids_are_distinct_and_slots_disjoint_in_value() {
+        let a = BravoIndicator::new();
+        let b = BravoIndicator::new();
+        assert_ne!(a.id, b.id);
+        // Even on a hash collision the packed values differ, so a scan
+        // never mistakes b's reader for a's.
+        assert_ne!(a.slot_value(0), b.slot_value(0));
+    }
+}

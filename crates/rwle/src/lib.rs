@@ -53,6 +53,7 @@ use std::sync::Arc;
 
 use epoch::EpochSet;
 use htm::{AbortCause, MemAccess, ThreadCtx, TxMode, ABORT_LOCK_BUSY};
+use rind::{Indicator, IndicatorKind, Publish, ReaderIndicator};
 use simmem::{Addr, AllocError, SimAlloc};
 use stats::{CommitKind, ThreadStats};
 
@@ -135,6 +136,16 @@ pub struct RwLeConfig {
     /// Fast-path read entry (§3.3): enter the epoch first and check the
     /// lock once, saving a comparison when uncontended.
     pub fast_read_entry: bool,
+    /// Read-side indicator for the fallback path (BRAVO-style, see
+    /// `rind`). With a non-[`Central`](IndicatorKind::Central) indicator,
+    /// readers first try to publish into a distributed table — a
+    /// bias-certified publication admits the read with *no* epoch flip
+    /// and *no* lock check — and NS writers revoke the bias and wait the
+    /// table out before their quiescence barrier. Requires the NS-only
+    /// configuration (both retry budgets zero): HTM/ROT writers quiesce
+    /// via the epoch clocks alone and would never see an
+    /// indicator-published reader (see [`RwLe::new`]).
+    pub indicator: IndicatorKind,
 }
 
 impl RwLeConfig {
@@ -147,6 +158,7 @@ impl RwLeConfig {
             split_locks: true,
             single_pass_quiesce: true,
             fast_read_entry: true,
+            indicator: IndicatorKind::Central,
         }
     }
 
@@ -179,6 +191,19 @@ impl RwLeConfig {
         }
     }
 
+    /// Elision disabled entirely (both retry budgets zero): every write
+    /// takes the NS path, every read the fallback entry — the regime the
+    /// reader indicators exist for. `kind` selects the indicator.
+    pub fn fallback_only(kind: IndicatorKind) -> Self {
+        RwLeConfig {
+            max_htm_retries: 0,
+            max_rot_retries: 0,
+            split_locks: false,
+            indicator: kind,
+            ..Self::opt()
+        }
+    }
+
     /// Returns this configuration with custom retry budgets.
     pub fn with_retries(mut self, htm: u32, rot: u32) -> Self {
         self.max_htm_retries = htm;
@@ -206,6 +231,9 @@ pub struct RwLe {
     rot_lock: Addr,
     epochs: Arc<EpochSet>,
     nesting: guard::NestingDepths,
+    /// Read-side indicator; `None` for [`IndicatorKind::Central`] so the
+    /// default configuration pays nothing (not even a publish attempt).
+    ind: Option<Indicator>,
     cfg: RwLeConfig,
 }
 
@@ -225,7 +253,23 @@ impl RwLe {
     /// writer could skip waiting for a genuinely older reader. The
     /// combination stays rejected until the two words share one version
     /// domain.
+    ///
+    /// Also rejects a non-`Central` indicator outside the NS-only
+    /// configuration: a bias-certified reader is visible only through its
+    /// table slot, which only the NS write path scans. An HTM or ROT
+    /// writer quiesces via the epoch clocks alone, so it would commit
+    /// straight past a certified reader — a lost reader by construction.
     pub fn new(alloc: &SimAlloc, max_threads: usize, cfg: RwLeConfig) -> Result<Self, RwLeError> {
+        if cfg.indicator != IndicatorKind::Central
+            && (cfg.max_htm_retries > 0 || cfg.max_rot_retries > 0)
+        {
+            return Err(RwLeError::UnsupportedConfig(
+                "indicator != Central requires the NS-only configuration \
+                 (max_htm_retries == 0 && max_rot_retries == 0): speculative \
+                 writers quiesce via the epoch clocks only and would never \
+                 see an indicator-published reader",
+            ));
+        }
         if cfg.fair && cfg.split_locks {
             return Err(RwLeError::UnsupportedConfig(
                 "fair && split_locks: the ROT and NS lock words have independent \
@@ -239,13 +283,23 @@ impl RwLe {
         } else {
             wlock
         };
+        let ind = match cfg.indicator {
+            IndicatorKind::Central => None,
+            kind => Some(Indicator::new(kind, max_threads)),
+        };
         Ok(RwLe {
             wlock,
             rot_lock,
             epochs: Arc::new(EpochSet::new(max_threads)),
             nesting: guard::NestingDepths::new(max_threads),
+            ind,
             cfg,
         })
+    }
+
+    /// The reader indicator, if one is configured (tests/benches).
+    pub fn indicator(&self) -> Option<&dyn ReaderIndicator> {
+        self.ind.as_ref().map(|i| i as &dyn ReaderIndicator)
     }
 
     /// The configuration this lock was built with.
@@ -275,18 +329,77 @@ impl RwLe {
     ///
     /// Readers are **uninstrumented**: the body runs with plain
     /// non-transactional accesses, so it can never abort. The only
-    /// synchronization is the epoch-clock flip and the NS-lock check.
-    pub fn read_cs<R>(
-        &self,
-        ctx: &mut ThreadCtx,
-        stats: &mut ThreadStats,
-        body: &mut dyn FnMut(&mut dyn MemAccess) -> Result<R, AbortCause>,
-    ) -> R {
+    /// synchronization is the epoch-clock flip and the NS-lock check —
+    /// or, with a configured indicator, a single table-slot publication:
+    /// a bias-certified read skips the epoch *and* the lock check
+    /// entirely (the certified fast path the indicators exist for).
+    pub fn read_cs<R, F>(&self, ctx: &mut ThreadCtx, stats: &mut ThreadStats, body: &mut F) -> R
+    where
+        F: FnMut(&mut dyn MemAccess) -> Result<R, AbortCause> + ?Sized,
+    {
         let tid = ctx.slot();
+        if let Some(ind) = &self.ind {
+            match ind.publish(tid) {
+                Publish::Certified(slot) => {
+                    // Certified: any writer must revoke the bias and wait
+                    // this slot out before mutating (bias-word dichotomy),
+                    // so reads are safe with no epoch flip and no lock
+                    // check. The claim-filtered accessor is sound here for
+                    // the same reason it is for epoch readers: an
+                    // indicator requires the NS-only configuration, and
+                    // the NS writer waits published slots out after taking
+                    // the lock and before its first store — the slot CAS
+                    // plays the epoch entry's MEM_FENCE role.
+                    stats.bias_reads += 1;
+                    let mut acc = ctx.epoch_reader();
+                    let r = body(&mut acc).expect("uninstrumented read cannot abort");
+                    ind.retire(tid, slot);
+                    stats.commit(CommitKind::Uninstrumented);
+                    return r;
+                }
+                Publish::Published(slot) => {
+                    // Published but uncertified (the cloned indicator):
+                    // Dekker check of the NS lock word. The fence orders
+                    // our slot store before the lock load against the
+                    // writer's lock-CAS-then-scan.
+                    std::sync::atomic::fence(std::sync::atomic::Ordering::SeqCst);
+                    if state(ctx.read_nt(self.wlock)) != ST_NS {
+                        stats.bias_reads += 1;
+                        // Claim-filtered for the same reason as the
+                        // certified path: NS-only writers wait our slot
+                        // out before storing.
+                        let mut acc = ctx.epoch_reader();
+                        let r = body(&mut acc).expect("uninstrumented read cannot abort");
+                        ind.retire(tid, slot);
+                        stats.commit(CommitKind::Uninstrumented);
+                        return r;
+                    }
+                    ind.retire(tid, slot);
+                    stats.bias_slowpath += 1;
+                }
+                Publish::Declined => {
+                    stats.bias_slowpath += 1;
+                }
+            }
+        }
         if self.cfg.fair {
             stats.reader_waits += self.fair_read_enter(ctx, tid);
         } else {
             stats.reader_retreats += self.read_enter(ctx, tid);
+        }
+        if let Some(ind) = &self.ind {
+            // Deferred rebias, gated here and only here: we are inside our
+            // epoch and both entry protocols returned only after observing
+            // the NS lock word not-NS *after* the epoch flip. Any NS
+            // writer whose lock CAS our observation preceded must drain us
+            // through its quiescence barrier, and its post-quiescence
+            // `revoke_serialized` re-check then sees this rebias (the CAS
+            // below is program-ordered before our epoch exit). That gating
+            // is what lets NS writers skip collector registration
+            // entirely — see `write_ns`.
+            if ind.note_slow_read_deferred() {
+                ind.try_rebias();
+            }
         }
         // Epoch-protected accessor: loads consult the engine's claim
         // filter and skip the per-line conflict metadata when no writer
@@ -551,6 +664,11 @@ impl RwLe {
     ) -> R {
         let tid = ctx.slot();
         let my_version = self.acquire_word(ctx, self.wlock, ST_NS);
+        // Serialized (registration-free) revocation: NS writers are
+        // mutually exclusive on the lock word, so no collector count is
+        // needed — `revoke_serialized` costs one load in the bias-down
+        // steady state. First call: catch a bias set before our lock CAS.
+        let early = self.ind.as_ref().map(|ind| ind.revoke_serialized());
         if self.cfg.split_locks {
             // Writers must be mutually exclusive: wait for any ROT holder
             // (new ROTs check the NS lock before acquiring).
@@ -578,6 +696,28 @@ impl RwLe {
             self.epochs.synchronize_from(Some(tid), gp, snap)
         };
         self.note_barrier(stats, o);
+        if let Some(ind) = &self.ind {
+            // Second revocation, after the quiescence barrier. A reader
+            // rebias can only land from inside an epoch entered before our
+            // lock CAS (see `read_cs`), and the barrier above drained
+            // every such reader — so a rebias that raced the first
+            // `revoke_serialized` is visible here, and after this point
+            // none can land until we release the lock. Then wait every
+            // certified slot out: past here, and before our first store,
+            // no indicator-published reader is live.
+            let early = early.expect("early revocation ran: self.ind is Some");
+            let late = ind.revoke_serialized();
+            let rev = rind::Revocation {
+                revoked: early.revoked || late.revoked,
+                must_scan: early.must_scan || late.must_scan,
+            };
+            if rev.revoked {
+                stats.revocations += 1;
+            }
+            if rev.must_scan {
+                stats.barrier_stalls += rind::collect_wait(ind, &rev, Some(tid));
+            }
+        }
         let mut nt = ctx.non_tx();
         let r = body(&mut nt).expect("non-speculative execution cannot abort");
         self.release_word(ctx, self.wlock);
@@ -673,6 +813,142 @@ mod tests {
             RwLeConfig::fair_htm_only(),
         ] {
             assert!(RwLe::new(&alloc, 4, cfg).is_ok(), "preset {cfg:?} rejected");
+        }
+    }
+
+    #[test]
+    fn indicator_outside_ns_only_is_rejected() {
+        let mem = Arc::new(SharedMem::new_lines(16));
+        let alloc = SimAlloc::new(Arc::clone(&mem));
+        for cfg in [
+            RwLeConfig {
+                indicator: IndicatorKind::Bravo,
+                ..RwLeConfig::opt()
+            },
+            RwLeConfig {
+                indicator: IndicatorKind::Cloned,
+                ..RwLeConfig::pes()
+            },
+        ] {
+            match RwLe::new(&alloc, 4, cfg)
+                .err()
+                .expect("indicator with speculation must be rejected")
+            {
+                RwLeError::UnsupportedConfig(why) => {
+                    assert!(why.contains("NS-only"), "unexpected reason: {why}")
+                }
+                e => panic!("wrong error kind: {e}"),
+            }
+        }
+        // The NS-only configuration accepts all three indicator kinds.
+        for kind in [
+            IndicatorKind::Central,
+            IndicatorKind::Bravo,
+            IndicatorKind::Cloned,
+        ] {
+            assert!(
+                RwLe::new(&alloc, 4, RwLeConfig::fallback_only(kind)).is_ok(),
+                "fallback_only({kind:?}) rejected"
+            );
+        }
+    }
+
+    #[test]
+    fn bravo_certified_reads_skip_the_epoch() {
+        let (rt, alloc, rwle) = setup(
+            64,
+            HtmConfig::default(),
+            RwLeConfig::fallback_only(IndicatorKind::Bravo),
+        );
+        let data = alloc.alloc(1).unwrap();
+        let mut ctx = rt.register();
+        let tid = ctx.slot();
+        let mut st = ThreadStats::new();
+        // The indicator starts biased: the very first read certifies.
+        assert_eq!(
+            rwle.read_cs(&mut ctx, &mut st, &mut |acc| acc.read(data)),
+            0
+        );
+        assert_eq!(st.bias_reads, 1);
+        assert_eq!(
+            rwle.epochs().read_clock(tid),
+            0,
+            "certified read flipped the clock"
+        );
+        // The first NS write revokes the bias...
+        rwle.write_cs(&mut ctx, &mut st, &mut |acc| acc.write(data, 9));
+        assert_eq!(st.revocations, 1);
+        assert!(!rwle.indicator().unwrap().bias_enabled());
+        // ...so subsequent reads decline to the slow (epoch + lock check)
+        // path until enough of them re-arm the bias per the rebias policy.
+        let before = st.bias_slowpath;
+        let mut rearmed = false;
+        for _ in 0..1000 {
+            assert_eq!(
+                rwle.read_cs(&mut ctx, &mut st, &mut |acc| acc.read(data)),
+                9
+            );
+            if rwle.indicator().unwrap().bias_enabled() {
+                rearmed = true;
+                break;
+            }
+        }
+        assert!(rearmed, "rebias policy never restored the bias");
+        assert!(st.bias_slowpath > before);
+        // Certified again after the rebias.
+        let fast_before = st.bias_reads;
+        assert_eq!(
+            rwle.read_cs(&mut ctx, &mut st, &mut |acc| acc.read(data)),
+            9
+        );
+        assert_eq!(st.bias_reads, fast_before + 1);
+        assert!(!rwle.epochs().is_active(tid));
+    }
+
+    #[test]
+    fn indicator_variants_maintain_invariant_real_threads() {
+        // The indicator twin of `concurrent_readers_and_writers_maintain_
+        // invariant`: certified readers must never see a torn NS update.
+        for kind in [IndicatorKind::Bravo, IndicatorKind::Cloned] {
+            let (rt, alloc, rwle) =
+                setup(256, HtmConfig::default(), RwLeConfig::fallback_only(kind));
+            let data = alloc.alloc(2).unwrap();
+            std::thread::scope(|s| {
+                for _ in 0..2 {
+                    let rt = Arc::clone(&rt);
+                    let rwle = Arc::clone(&rwle);
+                    s.spawn(move || {
+                        let mut ctx = rt.register();
+                        let mut st = ThreadStats::new();
+                        for _ in 0..200 {
+                            rwle.read_cs(&mut ctx, &mut st, &mut |acc| {
+                                let a = acc.read(data)?;
+                                let b = acc.read(data.offset(1))?;
+                                assert_eq!(a, b, "reader saw a torn writer update");
+                                Ok(())
+                            });
+                        }
+                    });
+                }
+                for _ in 0..2 {
+                    let rt = Arc::clone(&rt);
+                    let rwle = Arc::clone(&rwle);
+                    s.spawn(move || {
+                        let mut ctx = rt.register();
+                        let mut st = ThreadStats::new();
+                        for _ in 0..100 {
+                            rwle.write_cs(&mut ctx, &mut st, &mut |acc| {
+                                let v = acc.read(data)?;
+                                acc.write(data, v + 1)?;
+                                acc.write(data.offset(1), v + 1)?;
+                                Ok(())
+                            });
+                        }
+                    });
+                }
+            });
+            assert_eq!(rt.mem().load(data), 200, "kind {kind:?}");
+            assert_eq!(rt.mem().load(data.offset(1)), 200, "kind {kind:?}");
         }
     }
 

@@ -146,6 +146,23 @@ fn run_schedule(cfg: RwLeConfig, seed: u64) {
     } else {
         assert_eq!(sum.reader_waits, 0, "unfair readers never wait in place");
     }
+    if cfg.indicator == rind::IndicatorKind::Central {
+        assert_eq!(sum.bias_reads, 0, "no indicator, no certified reads");
+        assert_eq!(sum.revocations, 0, "no indicator, no revocations");
+        assert_eq!(sum.bias_slowpath, 0, "no indicator, no fall-throughs");
+    } else {
+        // With an indicator every read either certifies or falls through,
+        // exactly once.
+        assert_eq!(
+            sum.bias_reads + sum.bias_slowpath,
+            READERS as u64 * READS_PER_READER,
+            "indicator accounting must cover every read exactly once"
+        );
+        assert!(
+            sum.revocations <= total_writes,
+            "at most one revocation per write CS"
+        );
+    }
 }
 
 /// Variant schedule whose bodies hammer one word: readers load it three
@@ -374,6 +391,40 @@ fn sharing_doomed_schedules() {
         shared.load(std::sync::atomic::Ordering::SeqCst) > 0,
         "no schedule exercised writer-to-writer quiescence sharing"
     );
+}
+
+#[test]
+fn bravo_indicator_ns_schedules() {
+    // Bias revocation vs concurrent reader entry over the real fallback
+    // stack: certified readers (no epoch flip, no lock check) racing NS
+    // writers that revoke + scan before their quiescence barrier. A lost
+    // reader shows up as a torn snapshot or a backwards read.
+    sched::explore("rwle-bravo-ns", 0..320, |seed| {
+        run_schedule(RwLeConfig::fallback_only(rind::IndicatorKind::Bravo), seed)
+    });
+}
+
+#[test]
+fn cloned_indicator_ns_schedules() {
+    // The cloned indicator's Dekker race: slot publish + NS-lock check
+    // against lock CAS + slot scan.
+    sched::explore("rwle-cloned-ns", 0..320, |seed| {
+        run_schedule(RwLeConfig::fallback_only(rind::IndicatorKind::Cloned), seed)
+    });
+}
+
+#[test]
+fn fair_bravo_indicator_schedules() {
+    // Fair slow readers (wait in place, version-skipping barrier)
+    // combined with certified fast readers that bypass the version
+    // protocol entirely — sound because writers drain the table before
+    // the fair barrier runs.
+    let cfg = RwLeConfig {
+        fair: true,
+        fast_read_entry: false,
+        ..RwLeConfig::fallback_only(rind::IndicatorKind::Bravo)
+    };
+    sched::explore("rwle-fair-bravo", 0..160, |seed| run_schedule(cfg, seed));
 }
 
 #[test]

@@ -153,6 +153,18 @@ pub struct ThreadStats {
     /// Commit barriers satisfied by another writer's completed grace
     /// period instead of a full clock walk (quiescence sharing).
     pub barriers_shared: u64,
+    /// Reads admitted by a bias-certified indicator publication (BRAVO
+    /// fast path): one slot store plus a bias re-check, no centralized
+    /// accounting, no writer check.
+    pub bias_reads: u64,
+    /// Writer-side bias revocations: collections that found the read bias
+    /// set, cleared it, and scanned the visible-readers table.
+    pub revocations: u64,
+    /// Reads that attempted the indicator fast path but fell through to
+    /// the centralized slow path (bias revoked, slot collision, or a
+    /// writer present). The rebias policy bounds revocation scan cost
+    /// against this count.
+    pub bias_slowpath: u64,
 }
 
 impl ThreadStats {
@@ -206,6 +218,13 @@ pub struct StatsSummary {
     pub barrier_stalls: u64,
     /// Total shared (skipped) barriers (see [`ThreadStats::barriers_shared`]).
     pub barriers_shared: u64,
+    /// Total bias-certified fast reads (see [`ThreadStats::bias_reads`]).
+    pub bias_reads: u64,
+    /// Total bias revocations (see [`ThreadStats::revocations`]).
+    pub revocations: u64,
+    /// Total indicator fast-path fall-throughs (see
+    /// [`ThreadStats::bias_slowpath`]).
+    pub bias_slowpath: u64,
 }
 
 impl StatsSummary {
@@ -220,6 +239,9 @@ impl StatsSummary {
             reader_waits: 0,
             barrier_stalls: 0,
             barriers_shared: 0,
+            bias_reads: 0,
+            revocations: 0,
+            bias_slowpath: 0,
         }
     }
 
@@ -238,6 +260,9 @@ impl StatsSummary {
             s.reader_waits += t.reader_waits;
             s.barrier_stalls += t.barrier_stalls;
             s.barriers_shared += t.barriers_shared;
+            s.bias_reads += t.bias_reads;
+            s.revocations += t.revocations;
+            s.bias_slowpath += t.bias_slowpath;
         }
         s
     }

@@ -20,12 +20,16 @@ use std::path::{Path, PathBuf};
 /// which all five lints apply. `workloads` joined the list when the
 /// native backend landed: its double-buffer publication runs on real
 /// hardware memory, so its orderings are protocol, not hygiene.
-pub const LINT_CRATES: [&str; 9] = [
+/// `rind` joined with the reader-indicator layer: its bias word and
+/// visible-readers table are the read-side half of the NS fallback
+/// protocol.
+pub const LINT_CRATES: [&str; 10] = [
     "epoch",
     "htm",
     "rwle",
     "hle",
     "locks",
+    "rind",
     "rlu",
     "sched",
     "svc",
