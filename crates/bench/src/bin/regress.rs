@@ -23,6 +23,18 @@
 //! schemes falling *relative to* the canary. The canary's own row always
 //! passes by construction and is reported as `canary`.
 //!
+//! ## The SLO row dialect
+//!
+//! Rows whose section starts with `svc slo` come from the load
+//! generator's shared-pacing open loop (`loadgen --total-rate`), where
+//! throughput is pinned to the arrival rate by construction — comparing
+//! ops/s would gate nothing. These rows gate the p99 latency instead:
+//! the fresh p99 must stay within `--slo-factor` (default 4x) of the
+//! recorded one. The factor is wide because tail latency on shared CI
+//! runners is far noisier than throughput; the gate exists to catch the
+//! pathological regime (a batching or readiness bug pushing the tail
+//! from milliseconds to hundreds of milliseconds), not scheduler jitter.
+//!
 //! ```text
 //! cargo run --release -p bench --bin sensitivity -- --scenario hc-lc > fresh.txt
 //! cargo run --release -p bench --bin regress -- --file fresh.txt --against BENCH_rwle.json
@@ -54,6 +66,7 @@ fn main() {
         std::process::exit(2);
     };
     let tolerance: f64 = args.get_or("tolerance", 30.0);
+    let slo_factor: f64 = args.get_or("slo-factor", 4.0);
     let canary = args.get("relative-to").map(str::to_owned);
     let fresh = parse_results(file);
     let record = load_record(against);
@@ -62,12 +75,9 @@ fn main() {
         std::process::exit(2);
     }
 
-    let mut recorded: BTreeMap<(&str, &str, &str, u32, u32), f64> = BTreeMap::new();
+    let mut recorded: BTreeMap<(&str, &str, &str, u32, u32), &ResultRow> = BTreeMap::new();
     for (section, r) in &record {
-        recorded.insert(
-            (section, &r.scheme, &r.backend, r.threads, r.w),
-            r.ops_per_s,
-        );
+        recorded.insert((section, &r.scheme, &r.backend, r.threads, r.w), r);
     }
     // The canary's fresh/recorded drift per (section, backend, threads,
     // w): only configurations where the canary appears on both sides
@@ -78,7 +88,7 @@ fn main() {
             if &r.scheme != canary {
                 continue;
             }
-            let Some(&base) = recorded.get(&(
+            let Some(base) = recorded.get(&(
                 section.as_str(),
                 canary.as_str(),
                 r.backend.as_str(),
@@ -87,10 +97,10 @@ fn main() {
             )) else {
                 continue;
             };
-            if base > 0.0 && r.ops_per_s > 0.0 {
+            if base.ops_per_s > 0.0 && r.ops_per_s > 0.0 {
                 drift.insert(
                     (section.as_str(), r.backend.as_str(), r.threads, r.w),
-                    r.ops_per_s / base,
+                    r.ops_per_s / base.ops_per_s,
                 );
             }
         }
@@ -122,7 +132,42 @@ fn main() {
             continue;
         };
         matched += 1;
-        let mut ratio = if base > 0.0 { r.ops_per_s / base } else { 1.0 };
+        // SLO rows (shared-pacing open loop) gate tail latency, not
+        // throughput: the arrival rate fixes ops/s by construction.
+        if section.starts_with("svc slo") {
+            let (rec_p99, fresh_p99) = match (base.latency_us, r.latency_us) {
+                (Some(b), Some(f)) => (b[2], f[2]),
+                _ => {
+                    failures += 1;
+                    println!(
+                        "{:<11} {:<7} {:>3} {:>4} {:>12} {:>12} {:>7}  SLO row missing p99",
+                        r.scheme, r.backend, r.threads, r.w, "-", "-", "-"
+                    );
+                    continue;
+                }
+            };
+            let ok = rec_p99 > 0.0 && fresh_p99 <= rec_p99 * slo_factor;
+            if !ok {
+                failures += 1;
+            }
+            println!(
+                "{:<11} {:<7} {:>3} {:>4} {:>10.0}us {:>10.0}us {:>6.2}x  {}",
+                r.scheme,
+                r.backend,
+                r.threads,
+                r.w,
+                rec_p99,
+                fresh_p99,
+                fresh_p99 / rec_p99.max(1e-9),
+                if ok { "slo ok" } else { "SLO REGRESSION (p99)" }
+            );
+            continue;
+        }
+        let mut ratio = if base.ops_per_s > 0.0 {
+            r.ops_per_s / base.ops_per_s
+        } else {
+            1.0
+        };
         let is_canary = canary.as_deref() == Some(r.scheme.as_str());
         if !is_canary {
             if let Some(d) = drift.get(&(section.as_str(), r.backend.as_str(), r.threads, r.w)) {
@@ -139,7 +184,7 @@ fn main() {
             r.backend,
             r.threads,
             r.w,
-            base,
+            base.ops_per_s,
             r.ops_per_s,
             ratio,
             if is_canary {

@@ -4,15 +4,18 @@
 //! loadgen [--addr HOST:PORT | --port P] [--conns N] [--writes PCT]
 //!         [--scans PCT] [--scan-count N] [--secs S] [--ops N]
 //!         [--keys N] [--theta F] [--rate OPS_PER_CONN_PER_S]
+//!         [--total-rate OPS_PER_S] [--pipeline D]
 //!         [--seed N] [--json] [--shutdown]
 //! ```
 //!
-//! `--rate 0` (default) is closed-loop; a positive rate switches to
-//! open-loop injection. `--json` emits one JSON-lines row compatible
-//! with `summarize` (commit-mix keys are zero placeholders — the
-//! service measures latency, not the commit path; see DESIGN.md §8).
-//! Exit codes: 0 clean, 1 errors or lost replies, 2 bad input or
-//! unreachable server.
+//! Closed loop by default (`--pipeline D` keeps D requests outstanding
+//! per connection); `--rate R` switches to per-connection open-loop
+//! injection, and `--total-rate R` to the shared-pacing open loop (one
+//! sender, one epoll receiver, any number of connections — the SLO-gate
+//! mode). `--json` emits one JSON-lines row compatible with `summarize`
+//! (commit-mix keys are zero placeholders — the service measures
+//! latency, not the commit path; see DESIGN.md §8). Exit codes: 0
+//! clean, 1 errors or lost replies, 2 bad input or unreachable server.
 
 use std::process::exit;
 
@@ -22,11 +25,15 @@ use svc::loadgen::{self, LoadgenConfig, CLASS_NAMES};
 const USAGE: &str = "\
 usage: loadgen [--addr HOST:PORT | --port P] [--conns N] [--writes PCT]
                [--scans PCT] [--scan-count N] [--secs S] [--ops N]
-               [--keys N] [--theta F] [--rate R] [--seed N]
-               [--json] [--shutdown]
+               [--keys N] [--theta F] [--rate R] [--total-rate R]
+               [--pipeline D] [--seed N] [--json] [--shutdown]
 
-  Closed loop by default; --rate R injects R ops/s per connection
-  (open loop). --shutdown drains the server at the end.";
+  Closed loop by default; --pipeline D keeps D requests outstanding per
+  connection (default 1). --rate R injects R ops/s per connection (one
+  sender thread each); --total-rate R paces R ops/s aggregate across
+  all connections from a single sender with an epoll receiver — use it
+  for thousands of connections. --shutdown drains the server at the
+  end.";
 
 /// Nanoseconds to microseconds for reporting.
 fn us(nanos: u64) -> f64 {
@@ -54,11 +61,28 @@ fn main() {
         key_range: args.get_or("keys", 100_000u64),
         zipf_theta: args.get_or("theta", 0.0f64),
         open_rate: args.get_or("rate", 0u64),
+        total_rate: args.get_or("total-rate", 0u64),
+        pipeline: args.get_or("pipeline", 1usize),
         seed: args.get_or("seed", 1u64),
         shutdown: args.flag("shutdown"),
     };
     if cfg.conns == 0 {
         eprintln!("loadgen: --conns must be at least 1");
+        exit(2);
+    }
+    if cfg.pipeline == 0 {
+        eprintln!("loadgen: --pipeline must be at least 1");
+        eprintln!("hint: 1 is the classic closed loop; deeper windows pipeline");
+        exit(2);
+    }
+    if cfg.open_rate > 0 && cfg.total_rate > 0 {
+        eprintln!("loadgen: --rate and --total-rate are mutually exclusive");
+        eprintln!("hint: --rate paces each connection; --total-rate paces the aggregate");
+        exit(2);
+    }
+    if (cfg.open_rate > 0 || cfg.total_rate > 0) && cfg.pipeline > 1 {
+        eprintln!("loadgen: --pipeline only applies to the closed loop");
+        eprintln!("hint: open-loop depth is set by the arrival rate, not a window");
         exit(2);
     }
     if cfg.write_pct + cfg.scan_pct > 100 {
@@ -106,10 +130,24 @@ fn main() {
         .map(|s| s.backend.clone())
         .unwrap_or_else(|| String::from("UNKNOWN"));
     if args.flag("json") {
-        let mode = if cfg.open_rate > 0 {
-            format!("open rate={}", cfg.open_rate)
+        // Shared-pacing rows are the SLO-gate dialect: regress compares
+        // their p99 instead of ops/s (an open loop at a fixed arrival
+        // rate always "achieves" its rate unless it collapses), keyed by
+        // the "svc slo" section prefix.
+        let section = if cfg.total_rate > 0 {
+            format!(
+                "svc slo open total-rate={} conns={}",
+                cfg.total_rate, cfg.conns
+            )
         } else {
-            String::from("closed")
+            let mode = if cfg.open_rate > 0 {
+                format!("open rate={}", cfg.open_rate)
+            } else if cfg.pipeline > 1 {
+                format!("closed pipeline={}", cfg.pipeline)
+            } else {
+                String::from("closed")
+            };
+            format!("svc loopback {mode} conns={}", cfg.conns)
         };
         let mut per_class = String::new();
         for (i, name) in CLASS_NAMES.iter().enumerate() {
@@ -130,7 +168,7 @@ fn main() {
              \"p50_us\": {:.1}, \"p90_us\": {:.1}, \"p99_us\": {:.1}, \
              \"p999_us\": {:.1}, \"max_us\": {:.1}, \"sent\": {}, \
              \"received\": {}, \"errors\": {}, \"shed\": {}{per_class}}}",
-            json_string(&format!("svc loopback {mode} conns={}", cfg.conns)),
+            json_string(&section),
             json_string(&scheme),
             json_string(&backend),
             cfg.conns,
@@ -148,8 +186,12 @@ fn main() {
             res.shed,
         );
     } else {
-        let mode = if cfg.open_rate > 0 {
+        let mode = if cfg.total_rate > 0 {
+            format!("open loop @ {} ops/s aggregate", cfg.total_rate)
+        } else if cfg.open_rate > 0 {
             format!("open loop @ {} ops/s/conn", cfg.open_rate)
+        } else if cfg.pipeline > 1 {
+            format!("closed loop, pipeline {}", cfg.pipeline)
         } else {
             String::from("closed loop")
         };
@@ -193,6 +235,17 @@ fn main() {
                  {} timeouts, {} conns",
                 s.enqueued, s.replied, s.shed, s.malformed, s.timeouts, s.conns
             );
+            if s.batches > 0 {
+                println!(
+                    "  amortization: {:.2} ops/batch, {:.4} barriers/mutation \
+                     ({} full + {} shared), {} writev",
+                    s.mean_batch(),
+                    s.barriers_per_mutation(),
+                    s.barriers,
+                    s.barriers_shared,
+                    s.writev_calls
+                );
+            }
         }
     }
     if res.errors > 0 {

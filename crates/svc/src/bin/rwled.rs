@@ -3,31 +3,39 @@
 //! ```text
 //! rwled [--port P] [--threads N] [--scheme NAME] [--backend NAME]
 //!       [--shards N] [--buckets N] [--prefill N] [--capacity N]
-//!       [--queue-depth N] [--max-conns N] [--idle-ms MS] [--seed N]
-//!       [--port-file PATH]
+//!       [--queue-depth N] [--max-conns N] [--shed MODE] [--idle-ms MS]
+//!       [--reap-ms MS] [--seed N] [--port-file PATH]
 //! ```
 //!
 //! Prints the bound address on stdout, serves until a SHUTDOWN request,
-//! then drains and prints the final report. Exit codes: 0 clean drain,
-//! 1 runtime failure or drain mismatch, 2 bad configuration.
+//! then drains and prints the final report (including batch/barrier
+//! amortization counters). Exit codes: 0 clean drain, 1 runtime failure
+//! or drain mismatch, 2 bad configuration.
 
 use std::process::exit;
 use std::time::Duration;
 
 use bench::Args;
-use svc::server::{Server, ServerConfig};
+use svc::server::{Server, ServerConfig, ShedMode};
 use workloads::{BackendKind, SchemeKind};
 
 const USAGE: &str = "\
 usage: rwled [--port P] [--threads N] [--scheme NAME] [--backend NAME]
              [--shards N] [--buckets N] [--prefill N] [--capacity N]
-             [--queue-depth N] [--max-conns N] [--idle-ms MS] [--seed N]
-             [--port-file PATH]
+             [--queue-depth N] [--max-conns N] [--shed MODE] [--idle-ms MS]
+             [--reap-ms MS] [--seed N] [--port-file PATH]
 
   --port 0 binds an ephemeral port; --port-file writes the bound port
   there for scripts. Schemes: rw-le_opt (default), rw-le_pes, hle, sgl,
   rwl, brlock, ... Backends: sim (default, simulated-HTM pipeline) or
-  native (plain process memory; --scheme is ignored).";
+  native (plain process memory; --scheme sgl selects the single-mutex
+  canary, anything else the RW-LE publication store).
+  --queue-depth bounds the per-worker batch per event-loop iteration
+  (frames beyond it wait in TCP). --max-conns bounds concurrent
+  connections; --shed busy (default) answers Busy before closing,
+  --shed drop closes silently. --idle-ms drops silent connections;
+  --reap-ms sets how often workers sweep for them (also the event-loop
+  tick; default 100, clamped to at most --idle-ms).";
 
 fn main() {
     let args = Args::parse();
@@ -47,6 +55,18 @@ fn main() {
         eprintln!("hint: try --backend sim or --backend native");
         exit(2);
     };
+    let shed_name = args.get("shed").unwrap_or("busy").to_string();
+    let Some(shed) = ShedMode::parse(&shed_name) else {
+        eprintln!("unknown shed mode {shed_name:?}");
+        eprintln!("hint: --shed busy replies Busy before closing; --shed drop closes silently");
+        exit(2);
+    };
+    let reap_ms = args.get_or("reap-ms", 100u64);
+    if reap_ms == 0 {
+        eprintln!("--reap-ms must be at least 1");
+        eprintln!("hint: the reap interval is the event-loop tick; 0 would busy-spin the workers");
+        exit(2);
+    }
     let cfg = ServerConfig {
         port: args.get_or("port", 7878u16),
         threads: args.get_or("threads", 4usize),
@@ -58,7 +78,9 @@ fn main() {
         extra_capacity: args.get_or("capacity", 400_000u64),
         queue_depth: args.get_or("queue-depth", 1024usize),
         max_conns: args.get_or("max-conns", 1024usize),
+        shed,
         idle_timeout: Duration::from_millis(args.get_or("idle-ms", 10_000u64)),
+        reap_interval: Duration::from_millis(reap_ms),
         seed: args.get_or("seed", 1u64),
     };
     let threads = cfg.threads;
@@ -101,6 +123,20 @@ fn main() {
                 report.malformed,
                 report.timeouts,
                 report.conns
+            );
+            let mean_batch = if report.batches == 0 {
+                0.0
+            } else {
+                report.batch_ops as f64 / report.batches as f64
+            };
+            println!(
+                "  batches: {} ({:.2} ops/batch), barriers: {} full + {} shared, \
+                 writev: {}",
+                report.batches,
+                mean_batch,
+                report.barriers,
+                report.barriers_shared,
+                report.writev_calls
             );
             println!("  {}", report.summary);
             if !report.drained() {

@@ -8,17 +8,21 @@
 //!
 //! * [`proto`] — the length-prefixed binary wire protocol (GET / PUT /
 //!   DEL / SCAN / STATS / SHUTDOWN) and its incremental frame parser;
-//! * [`server`] — the `rwled` server: thread-per-core workers, each
-//!   owning an HTM thread context, routing requests into the sharded
-//!   elided store (`workloads::sharded`);
+//! * [`poll`] — a thin epoll/eventfd readiness shim over raw syscalls
+//!   (no external crates), with a portable degraded fallback;
+//! * [`server`] — the `rwled` server: event-driven workers, each owning
+//!   an epoll loop, a slab of nonblocking connections and one session
+//!   into the sharded elided store (`workloads::sharded`), batching
+//!   each iteration's mutations into a single quiescence barrier;
 //! * [`loadgen`] — the client: open- and closed-loop traffic with
 //!   configurable skew and write fraction, latency recorded per op class
 //!   in [`stats::LatencyHist`].
 //!
-//! See DESIGN.md §8 for the architecture rationale.
+//! See DESIGN.md §8 and §11 for the architecture rationale.
 
 #![warn(missing_docs)]
 
 pub mod loadgen;
+pub mod poll;
 pub mod proto;
 pub mod server;

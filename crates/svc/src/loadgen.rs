@@ -1,29 +1,52 @@
 //! The load generator behind the `loadgen` binary.
 //!
-//! Two pacing modes:
+//! Three pacing modes:
 //!
-//! * **Closed loop** (default): each connection keeps exactly one
-//!   request outstanding — send, wait, record. Throughput adapts to the
-//!   server; latency excludes queueing the client itself causes.
+//! * **Closed loop** (default): each connection keeps a bounded window
+//!   of requests outstanding — `pipeline = 1` is the classic
+//!   send-wait-record loop; deeper windows measure pipelined
+//!   throughput. Throughput adapts to the server; latency excludes
+//!   queueing the client itself causes (at depth 1).
 //! * **Open loop** (`open_rate > 0`): a sender thread per connection
 //!   injects at a fixed rate regardless of replies, and a receiver
 //!   thread matches replies in order. Latency is measured from the
 //!   *intended* send instant, so server-side queueing delay is charged
 //!   to the request (no coordinated omission).
+//! * **Shared-pacing open loop** (`total_rate > 0`): ONE sender thread
+//!   round-robins a single global arrival schedule across all
+//!   connections and one readiness-driven receiver matches replies, so
+//!   a single process can hold thousands of mostly-idle connections
+//!   open for SLO runs without thousands of client threads.
+//!
+//! ## Coordinated omission at high connection counts
+//!
+//! In both open-loop modes latency runs from the *intended* arrival
+//! instant of the global (or per-connection) schedule. If the sender
+//! falls behind — a backpressured `write` blocking it, or simple CPU
+//! starvation at very high `conns` — the delay is charged to every
+//! affected request rather than silently stretching the schedule, so
+//! percentiles stay honest under overload. The one residual artifact:
+//! requests that were never sent by the deadline are dropped from the
+//! histogram entirely (they count in neither sent nor latency), so a
+//! grossly overloaded run under-reports its own tail; compare `sent`
+//! against `total_rate * secs` to detect that.
 //!
 //! Latency is recorded in nanoseconds per op class (GET / PUT / DEL /
 //! SCAN) into [`LatencyHist`]; histograms merge across connections.
 
-use std::io::{self, Write};
+use std::collections::VecDeque;
+use std::io::{self, Read, Write};
 use std::net::TcpStream;
-use std::sync::{mpsc, Arc};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use stats::LatencyHist;
 
-use crate::proto::{read_frame, Request, Response, ServerStats};
+use crate::poll::{Interest, Poller};
+use crate::proto::{read_frame, FrameReader, Request, Response, ServerStats};
 
 /// Per-connection seed spreader (same constant as the bench driver).
 const SPREAD: u64 = 0x9e37_79b9_7f4a_7c15;
@@ -64,6 +87,14 @@ pub struct LoadgenConfig {
     /// Open-loop injection rate per connection in ops/s (0 = closed
     /// loop).
     pub open_rate: u64,
+    /// Aggregate open-loop rate in ops/s shared across all connections
+    /// by one paced sender (0 = off). Takes precedence over
+    /// [`LoadgenConfig::open_rate`]; this is the mode that scales to
+    /// thousands of mostly-idle connections.
+    pub total_rate: u64,
+    /// Closed-loop window: requests kept outstanding per connection.
+    /// 1 (default) is the classic closed loop; deeper windows pipeline.
+    pub pipeline: usize,
     /// Base RNG seed (per-connection streams are decorrelated).
     pub seed: u64,
     /// Send SHUTDOWN after the run and wait for the drain ack.
@@ -83,6 +114,8 @@ impl Default for LoadgenConfig {
             key_range: 100_000,
             zipf_theta: 0.0,
             open_rate: 0,
+            total_rate: 0,
+            pipeline: 1,
             seed: 1,
             shutdown: false,
         }
@@ -251,24 +284,63 @@ impl ConnResult {
     }
 }
 
-/// One closed-loop connection: one request outstanding at a time.
+/// One closed-loop connection: a window of `cfg.pipeline` requests kept
+/// outstanding, replies drained through a buffered frame reader (at
+/// depth 1 this is the classic one-outstanding loop, minus the separate
+/// header-read syscall).
 fn closed_loop(cfg: &LoadgenConfig, dist: &KeyDist, conn_id: usize) -> io::Result<ConnResult> {
     let mut stream = TcpStream::connect(&cfg.addr)?;
     stream.set_nodelay(true)?;
     let mut rng = SmallRng::seed_from_u64(cfg.seed ^ (conn_id as u64 + 1).wrapping_mul(SPREAD));
     let mut res = ConnResult::new();
+    let depth = cfg.pipeline.max(1);
     let deadline = Instant::now() + Duration::from_secs_f64(cfg.secs);
-    while Instant::now() < deadline {
-        if cfg.ops_per_conn > 0 && res.sent >= cfg.ops_per_conn {
+    let mut fr = FrameReader::new();
+    let mut pending: VecDeque<(Instant, usize)> = VecDeque::new();
+    let mut wbuf: Vec<u8> = Vec::new();
+    let mut rbuf = [0u8; 16 * 1024];
+    loop {
+        let stop_sending =
+            Instant::now() >= deadline || (cfg.ops_per_conn > 0 && res.sent >= cfg.ops_per_conn);
+        if stop_sending && pending.is_empty() {
             break;
         }
-        let (req, class) = gen_op(&mut rng, dist, cfg);
-        let frame = req.to_frame();
-        let t0 = Instant::now();
-        stream.write_all(&frame)?;
-        res.sent += 1;
-        let body = read_frame(&mut stream)?;
-        res.account(&body, class, t0.elapsed().as_nanos() as u64);
+        if !stop_sending && pending.len() < depth {
+            // Top the window up with one gathered write.
+            wbuf.clear();
+            while pending.len() < depth {
+                let (req, class) = gen_op(&mut rng, dist, cfg);
+                pending.push_back((Instant::now(), class));
+                req.encode_frame(&mut wbuf);
+                res.sent += 1;
+                if cfg.ops_per_conn > 0 && res.sent >= cfg.ops_per_conn {
+                    break;
+                }
+            }
+            stream.write_all(&wbuf)?;
+        }
+        // Drain at least one reply (blocking read, then whatever else
+        // arrived with it).
+        let n = stream.read(&mut rbuf)?;
+        if n == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "server closed with replies outstanding",
+            ));
+        }
+        fr.extend(&rbuf[..n]);
+        while let Some(body) = fr
+            .next_frame()
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, format!("bad frame: {e}")))?
+        {
+            let (t0, class) = pending.pop_front().ok_or_else(|| {
+                io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    "reply without a pending request",
+                )
+            })?;
+            res.account(&body, class, t0.elapsed().as_nanos() as u64);
+        }
     }
     Ok(res)
 }
@@ -346,6 +418,232 @@ fn intended_send_offset(k: u64, rate: u64) -> Duration {
     Duration::from_nanos((k as u128 * 1_000_000_000 / rate.max(1) as u128) as u64)
 }
 
+/// How long the shared-pacing receiver keeps draining replies after the
+/// sender finishes; whatever is still unanswered then counts as errors.
+const SHARED_DRAIN_GRACE: Duration = Duration::from_secs(3);
+
+/// Shared-pacing open loop (`total_rate > 0`): one paced sender
+/// round-robins the global schedule across every connection, one
+/// readiness-driven receiver matches replies per connection in FIFO
+/// order. Two threads total, any number of connections — this is the
+/// mode that holds thousands of mostly-idle connections for SLO runs.
+/// See the module docs for the coordinated-omission discussion.
+fn shared_open_loop(cfg: &LoadgenConfig, dist: &KeyDist) -> Vec<io::Result<ConnResult>> {
+    let n = cfg.conns;
+    let mut streams = Vec::with_capacity(n);
+    for _ in 0..n {
+        match TcpStream::connect(&cfg.addr).and_then(|s| {
+            s.set_nodelay(true)?;
+            Ok(s)
+        }) {
+            Ok(s) => streams.push(s),
+            Err(e) => {
+                // Connection setup failed (fd limit, conn shed, ...):
+                // report one error per unopened connection.
+                let mut out: Vec<io::Result<ConnResult>> = streams
+                    .into_iter()
+                    .map(|_| Err(io::Error::from(e.kind())))
+                    .collect();
+                out.push(Err(e));
+                return out;
+            }
+        }
+    }
+    let readers: Vec<TcpStream> = match streams.iter().map(|s| s.try_clone()).collect() {
+        Ok(r) => r,
+        Err(e) => return vec![Err(e)],
+    };
+    let queues: Vec<Mutex<VecDeque<(Instant, usize)>>> =
+        (0..n).map(|_| Mutex::new(VecDeque::new())).collect();
+    let done = AtomicBool::new(false);
+    let mut sent = vec![0u64; n];
+    let mut send_errors = vec![0u64; n];
+
+    let mut received = Vec::new();
+    std::thread::scope(|s| {
+        let recv = s.spawn(|| shared_receiver(readers, &queues, &done));
+
+        // The sender runs inline. The schedule is absolute: send k
+        // belongs at start + k/rate, and a late sender catches up with
+        // a burst rather than stretching the schedule.
+        let mut rng = SmallRng::seed_from_u64(cfg.seed ^ SPREAD);
+        let start = Instant::now();
+        let deadline = start + Duration::from_secs_f64(cfg.secs);
+        let cap = cfg.ops_per_conn.saturating_mul(n as u64);
+        let mut wbuf = Vec::with_capacity(32);
+        let mut alive = vec![true; n];
+        let mut alive_left = n;
+        let mut k = 0u64;
+        loop {
+            if cap > 0 && k >= cap {
+                break;
+            }
+            let next = start + intended_send_offset(k, cfg.total_rate);
+            if next >= deadline || alive_left == 0 {
+                break;
+            }
+            let now = Instant::now();
+            if now < next {
+                // xlint: allow(a5) -- open-loop pacing sleeps real
+                // wall-clock time between injections on live sockets;
+                // this is client think time, not a simulated-HTM wait.
+                std::thread::sleep(next - now);
+            }
+            let conn = (k % n as u64) as usize;
+            k += 1;
+            if !alive[conn] {
+                continue;
+            }
+            let (req, class) = gen_op(&mut rng, dist, cfg);
+            wbuf.clear();
+            req.encode_frame(&mut wbuf);
+            // Enqueue the intended instant first; the reply cannot beat
+            // the write that hasn't happened yet.
+            queues[conn].lock().unwrap().push_back((next, class));
+            if (&streams[conn]).write_all(&wbuf).is_err() {
+                queues[conn].lock().unwrap().pop_back();
+                send_errors[conn] += 1;
+                alive[conn] = false;
+                alive_left -= 1;
+                continue;
+            }
+            sent[conn] += 1;
+        }
+        done.store(true, Ordering::Release);
+        received = recv.join().expect("shared receiver panicked");
+    });
+
+    received
+        .into_iter()
+        .zip(sent)
+        .zip(send_errors)
+        .map(|((mut res, sent), errs)| {
+            res.sent = sent;
+            res.errors += errs;
+            Ok(res)
+        })
+        .collect()
+}
+
+/// The shared-pacing receiver: readiness loop over every connection,
+/// accounting replies against each connection's FIFO of intended send
+/// instants. Returns one [`ConnResult`] per connection (sent counts are
+/// filled in by the sender afterwards).
+fn shared_receiver(
+    streams: Vec<TcpStream>,
+    queues: &[Mutex<VecDeque<(Instant, usize)>>],
+    done: &AtomicBool,
+) -> Vec<ConnResult> {
+    let n = streams.len();
+    let mut per: Vec<ConnResult> = (0..n).map(|_| ConnResult::new()).collect();
+    let mut frs: Vec<FrameReader> = (0..n).map(|_| FrameReader::new()).collect();
+    let mut alive = vec![true; n];
+    let mut poller = match Poller::new() {
+        Ok(p) => p,
+        Err(_) => {
+            for r in per.iter_mut() {
+                r.errors += 1;
+            }
+            return per;
+        }
+    };
+    for (i, s) in streams.iter().enumerate() {
+        let registered = s
+            .set_nonblocking(true)
+            .and_then(|()| poller.add(stream_fd(s), i as u64, Interest::READ));
+        if registered.is_err() {
+            alive[i] = false;
+            per[i].errors += 1;
+        }
+    }
+    let mut events = Vec::new();
+    let mut buf = [0u8; 16 * 1024];
+    let mut drain_deadline: Option<Instant> = None;
+    loop {
+        events.clear();
+        if poller
+            .wait(&mut events, Some(Duration::from_millis(10)))
+            .is_err()
+        {
+            break;
+        }
+        for ev in &events {
+            let i = ev.token as usize;
+            if i >= n || !alive[i] {
+                continue;
+            }
+            loop {
+                match (&streams[i]).read(&mut buf) {
+                    Ok(0) => {
+                        alive[i] = false;
+                        break;
+                    }
+                    Ok(got) => {
+                        frs[i].extend(&buf[..got]);
+                        let mut ok = true;
+                        loop {
+                            match frs[i].next_frame() {
+                                Ok(Some(body)) => {
+                                    if let Some((t, class)) = queues[i].lock().unwrap().pop_front()
+                                    {
+                                        per[i].account(&body, class, t.elapsed().as_nanos() as u64);
+                                    } else {
+                                        per[i].errors += 1;
+                                    }
+                                }
+                                Ok(None) => break,
+                                Err(_) => {
+                                    per[i].errors += 1;
+                                    alive[i] = false;
+                                    ok = false;
+                                    break;
+                                }
+                            }
+                        }
+                        if !ok {
+                            break;
+                        }
+                    }
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                    Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                    Err(_) => {
+                        alive[i] = false;
+                        break;
+                    }
+                }
+            }
+        }
+        if done.load(Ordering::Acquire) {
+            let deadline =
+                *drain_deadline.get_or_insert_with(|| Instant::now() + SHARED_DRAIN_GRACE);
+            let outstanding = queues
+                .iter()
+                .zip(&alive)
+                .any(|(q, &a)| a && !q.lock().unwrap().is_empty());
+            if !outstanding || Instant::now() >= deadline {
+                break;
+            }
+        }
+    }
+    // Whatever never got an answer is an error, not a latency sample.
+    for (i, q) in queues.iter().enumerate() {
+        per[i].errors += q.lock().unwrap().len() as u64;
+    }
+    per
+}
+
+#[cfg(unix)]
+fn stream_fd(stream: &TcpStream) -> std::os::fd::RawFd {
+    use std::os::fd::AsRawFd;
+    stream.as_raw_fd()
+}
+
+#[cfg(not(unix))]
+fn stream_fd(_stream: &TcpStream) -> i32 {
+    // The portable poll fallback ignores descriptors entirely.
+    0
+}
+
 /// Fetches server counters over a fresh connection.
 fn fetch_stats(addr: &str) -> io::Result<ServerStats> {
     let mut stream = TcpStream::connect(addr)?;
@@ -353,7 +651,7 @@ fn fetch_stats(addr: &str) -> io::Result<ServerStats> {
     stream.write_all(&Request::Stats.to_frame())?;
     let body = read_frame(&mut stream)?;
     match Response::decode(&body) {
-        Ok(Response::Stats(s)) => Ok(s),
+        Ok(Response::Stats(s)) => Ok(*s),
         other => Err(io::Error::new(
             io::ErrorKind::InvalidData,
             format!("unexpected STATS reply: {other:?}"),
@@ -385,22 +683,26 @@ pub fn run(cfg: &LoadgenConfig) -> io::Result<LoadResult> {
     let dist = KeyDist::new(cfg.key_range, cfg.zipf_theta);
     let t0 = Instant::now();
     let mut conn_results: Vec<io::Result<ConnResult>> = Vec::with_capacity(cfg.conns);
-    std::thread::scope(|s| {
-        let mut handles = Vec::with_capacity(cfg.conns);
-        for conn_id in 0..cfg.conns {
-            let dist = dist.clone();
-            handles.push(s.spawn(move || {
-                if cfg.open_rate > 0 {
-                    open_loop(cfg, &dist, conn_id)
-                } else {
-                    closed_loop(cfg, &dist, conn_id)
-                }
-            }));
-        }
-        for h in handles {
-            conn_results.push(h.join().expect("connection thread panicked"));
-        }
-    });
+    if cfg.total_rate > 0 {
+        conn_results = shared_open_loop(cfg, &dist);
+    } else {
+        std::thread::scope(|s| {
+            let mut handles = Vec::with_capacity(cfg.conns);
+            for conn_id in 0..cfg.conns {
+                let dist = dist.clone();
+                handles.push(s.spawn(move || {
+                    if cfg.open_rate > 0 {
+                        open_loop(cfg, &dist, conn_id)
+                    } else {
+                        closed_loop(cfg, &dist, conn_id)
+                    }
+                }));
+            }
+            for h in handles {
+                conn_results.push(h.join().expect("connection thread panicked"));
+            }
+        });
+    }
     let elapsed = t0.elapsed().as_secs_f64();
 
     let mut out = LoadResult {

@@ -27,7 +27,7 @@
 //! | Ok | `0x80` | — (PUT/DEL-hit/SHUTDOWN ack) |
 //! | Value | `0x81` | `value: u64` (GET hit) |
 //! | Pairs | `0x82` | `n: u32, n × (key: u64, value: u64)` (SCAN) |
-//! | Stats | `0x83` | ten `u64` counters, `len: u8`, scheme label, `len: u8`, backend label |
+//! | Stats | `0x83` | 23 `u64` counters, `len: u8`, scheme label, `len: u8`, backend label |
 //! | NotFound | `0x90` | — |
 //! | BadRequest | `0x91` | — |
 //! | Busy | `0x92` | — (load shed: worker queue or conn limit full) |
@@ -85,8 +85,9 @@ pub enum Response {
     Value(u64),
     /// SCAN result.
     Pairs(Vec<(u64, u64)>),
-    /// STATS result.
-    Stats(ServerStats),
+    /// STATS result (boxed: the counters snapshot dwarfs every other
+    /// variant, and replies sit in per-batch vectors).
+    Stats(Box<ServerStats>),
     /// GET/DEL miss.
     NotFound,
     /// Malformed frame or unparsable request body.
@@ -122,10 +123,50 @@ pub struct ServerStats {
     pub scans: u64,
     /// Connections accepted since start.
     pub conns: u64,
+    /// Event-loop iterations that executed at least one request.
+    pub batches: u64,
+    /// Requests executed across all batches (mean batch size is
+    /// `batch_ops / batches`).
+    pub batch_ops: u64,
+    /// Quiescence barriers paid in full by a batch's store pass.
+    pub barriers: u64,
+    /// Barriers satisfied by an already-elapsed shared grace period
+    /// (`GraceSeq` sharing) — amortization across workers, on top of the
+    /// per-batch amortization across connections.
+    pub barriers_shared: u64,
+    /// Vectored reply writes issued (`writev` amortization:
+    /// `replied / writev_calls` replies per syscall).
+    pub writev_calls: u64,
+    /// Batch-size histogram: bucket `i` counts batches of
+    /// `2^i ..= 2^(i+1) - 1` requests (last bucket is open-ended).
+    pub batch_hist: [u64; 8],
     /// Label of the synchronization scheme guarding the store.
     pub scheme: String,
     /// Label of the execution backend (`"sim"` / `"native"`).
     pub backend: String,
+}
+
+impl ServerStats {
+    /// Mean requests per executing batch; 0 when no batch has run.
+    pub fn mean_batch(&self) -> f64 {
+        if self.batches == 0 {
+            0.0
+        } else {
+            self.batch_ops as f64 / self.batches as f64
+        }
+    }
+
+    /// Full quiescence barriers per *mutation* — the amortization factor
+    /// the paper's argument predicts should drop below 1.0 once batching
+    /// coalesces writes (each unbatched PUT/DEL pays exactly 1.0).
+    pub fn barriers_per_mutation(&self) -> f64 {
+        let muts = self.puts + self.dels;
+        if muts == 0 {
+            0.0
+        } else {
+            self.barriers as f64 / muts as f64
+        }
+    }
 }
 
 /// Decode failure. `EmptyFrame` and `Oversize` are framing errors (the
@@ -237,6 +278,17 @@ impl Request {
         frame(&body)
     }
 
+    /// Appends the complete frame (length prefix + body) to `out` —
+    /// the allocation-free variant of [`Request::to_frame`] for senders
+    /// gathering several frames into one write.
+    pub fn encode_frame(&self, out: &mut Vec<u8>) {
+        let at = out.len();
+        out.extend_from_slice(&[0u8; 4]);
+        self.encode_body(out);
+        let len = (out.len() - at - 4) as u32;
+        out[at..at + 4].copy_from_slice(&len.to_le_bytes());
+    }
+
     /// Parses a frame body. Never panics, for any input.
     pub fn decode(body: &[u8]) -> Result<Request, ProtoError> {
         let Some(&op) = body.first() else {
@@ -316,7 +368,15 @@ impl Response {
                     s.dels,
                     s.scans,
                     s.conns,
+                    s.batches,
+                    s.batch_ops,
+                    s.barriers,
+                    s.barriers_shared,
+                    s.writev_calls,
                 ] {
+                    out.extend_from_slice(&c.to_le_bytes());
+                }
+                for c in s.batch_hist {
                     out.extend_from_slice(&c.to_le_bytes());
                 }
                 for label in [s.scheme.as_bytes(), s.backend.as_bytes()] {
@@ -374,31 +434,38 @@ impl Response {
                 Ok(Response::Pairs(pairs))
             }
             0x83 => {
-                if body.len() < 1 + 80 + 1 {
+                // 23 u64 counters (10 request/connection counters, 5 batch
+                // counters, 8 histogram buckets), then the two labels.
+                const COUNTERS: usize = 23 * 8;
+                if body.len() < 1 + COUNTERS + 1 {
                     return Err(ProtoError::Truncated {
-                        need: 81,
+                        need: COUNTERS + 1,
                         got: body.len() - 1,
                     });
                 }
                 let c = |i: usize| get_u64(body, 1 + i * 8);
-                let label_len = body[81] as usize;
-                let backend_at = 82 + label_len;
+                let label_len = body[1 + COUNTERS] as usize;
+                let backend_at = 2 + COUNTERS + label_len;
                 if body.len() < backend_at + 1 {
                     return Err(ProtoError::Truncated {
-                        need: 80 + 1 + label_len + 1,
+                        need: COUNTERS + 1 + label_len + 1,
                         got: body.len() - 1,
                     });
                 }
                 let backend_len = body[backend_at] as usize;
-                expect_len(body, 80 + 1 + label_len + 1 + backend_len)?;
-                let scheme = std::str::from_utf8(&body[82..82 + label_len])
+                expect_len(body, COUNTERS + 1 + label_len + 1 + backend_len)?;
+                let scheme = std::str::from_utf8(&body[2 + COUNTERS..2 + COUNTERS + label_len])
                     .map_err(|_| ProtoError::BadLabel)?
                     .to_string();
                 let backend =
                     std::str::from_utf8(&body[backend_at + 1..backend_at + 1 + backend_len])
                         .map_err(|_| ProtoError::BadLabel)?
                         .to_string();
-                Ok(Response::Stats(ServerStats {
+                let mut batch_hist = [0u64; 8];
+                for (i, b) in batch_hist.iter_mut().enumerate() {
+                    *b = c(15 + i);
+                }
+                Ok(Response::Stats(Box::new(ServerStats {
                     enqueued: c(0),
                     replied: c(1),
                     shed: c(2),
@@ -409,9 +476,15 @@ impl Response {
                     dels: c(7),
                     scans: c(8),
                     conns: c(9),
+                    batches: c(10),
+                    batch_ops: c(11),
+                    barriers: c(12),
+                    barriers_shared: c(13),
+                    writev_calls: c(14),
+                    batch_hist,
                     scheme,
                     backend,
-                }))
+                })))
             }
             0x90 => {
                 expect_len(body, 0)?;
@@ -481,6 +554,24 @@ impl FrameReader {
         self.pos < self.buf.len()
     }
 
+    /// True if [`FrameReader::next_frame`] would yield a frame *or* a
+    /// sticky framing error — i.e. the event loop has decodable input
+    /// buffered here even if the socket reports nothing new. Deferred
+    /// frames (batch-budget carryover) are found through this peek.
+    pub fn has_complete_frame(&self) -> bool {
+        if self.poisoned.is_some() {
+            return true;
+        }
+        let avail = self.buf.len() - self.pos;
+        if avail < 4 {
+            return false;
+        }
+        let len = u32::from_le_bytes(self.buf[self.pos..self.pos + 4].try_into().unwrap()) as usize;
+        // Bad headers count as "complete": next_frame will surface the
+        // framing error immediately.
+        len == 0 || len > MAX_FRAME || avail >= 4 + len
+    }
+
     /// Next complete frame body, `None` if more bytes are needed, or a
     /// (sticky) framing error.
     pub fn next_frame(&mut self) -> Result<Option<Vec<u8>>, ProtoError> {
@@ -506,6 +597,91 @@ impl FrameReader {
         let body = self.buf[self.pos + 4..self.pos + 4 + len].to_vec();
         self.pos += 4 + len;
         Ok(Some(body))
+    }
+}
+
+/// Queue of encoded reply frames awaiting transmission on a nonblocking
+/// socket, with partial-write resumption.
+///
+/// The event loop pushes whole frames, asks for a vectored view of what's
+/// pending ([`Outbox::chunks`]), hands that to `write_vectored`, and
+/// reports back how many bytes the kernel took ([`Outbox::advance`]) —
+/// which may land mid-frame. The cursor never splits or reorders frames,
+/// so pipelined FIFO reply order is preserved across any schedule of
+/// short writes (the proptests in `tests/wire.rs` drive this with
+/// arbitrary split schedules).
+#[derive(Debug, Default)]
+pub struct Outbox {
+    queue: std::collections::VecDeque<Vec<u8>>,
+    /// Bytes of `queue[0]` already written.
+    head_pos: usize,
+    /// Total bytes pending (all queued frames minus `head_pos`).
+    pending: usize,
+}
+
+impl Outbox {
+    /// Creates an empty outbox.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// True when nothing is waiting to be written.
+    pub fn is_empty(&self) -> bool {
+        self.pending == 0
+    }
+
+    /// Bytes waiting to be written.
+    pub fn pending_bytes(&self) -> usize {
+        self.pending
+    }
+
+    /// Queues one encoded frame (length prefix included).
+    pub fn push(&mut self, frame: Vec<u8>) {
+        debug_assert!(frame.len() > 4, "outbox frames carry a header and body");
+        self.pending += frame.len();
+        self.queue.push_back(frame);
+    }
+
+    /// Fills `out` with up to `max` slices covering the pending bytes in
+    /// order, starting mid-frame if a previous write was short. Returns
+    /// the number of slices pushed.
+    pub fn chunks<'a>(&'a self, out: &mut Vec<io::IoSlice<'a>>, max: usize) -> usize {
+        let mut n = 0;
+        for (i, frame) in self.queue.iter().enumerate() {
+            if n == max {
+                break;
+            }
+            let skip = if i == 0 { self.head_pos } else { 0 };
+            if skip < frame.len() {
+                out.push(io::IoSlice::new(&frame[skip..]));
+                n += 1;
+            }
+        }
+        n
+    }
+
+    /// Consumes `written` bytes from the front of the queue (the return
+    /// value of a vectored write). Short writes leave the cursor mid-frame.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `written` exceeds the pending byte count.
+    pub fn advance(&mut self, written: usize) {
+        assert!(written <= self.pending, "advance past outbox contents");
+        self.pending -= written;
+        let mut left = written;
+        while left > 0 {
+            let head = self.queue.front().expect("pending bytes imply a frame");
+            let rem = head.len() - self.head_pos;
+            if left >= rem {
+                left -= rem;
+                self.head_pos = 0;
+                self.queue.pop_front();
+            } else {
+                self.head_pos += left;
+                left = 0;
+            }
+        }
     }
 }
 
@@ -566,7 +742,7 @@ mod tests {
             Response::Ok,
             Response::Value(42),
             Response::Pairs(vec![(1, 2), (3, 4)]),
-            Response::Stats(ServerStats {
+            Response::Stats(Box::new(ServerStats {
                 enqueued: 1,
                 replied: 2,
                 shed: 3,
@@ -577,9 +753,15 @@ mod tests {
                 dels: 8,
                 scans: 9,
                 conns: 10,
+                batches: 11,
+                batch_ops: 12,
+                barriers: 13,
+                barriers_shared: 14,
+                writev_calls: 15,
+                batch_hist: [16, 17, 18, 19, 20, 21, 22, 23],
                 scheme: "RW-LE_OPT".to_string(),
                 backend: "sim".to_string(),
-            }),
+            })),
             Response::NotFound,
             Response::BadRequest,
             Response::Busy,
@@ -613,7 +795,57 @@ mod tests {
     fn framing_errors_are_sticky() {
         let mut fr = FrameReader::new();
         fr.extend(&0u32.to_le_bytes());
+        assert!(fr.has_complete_frame());
         assert_eq!(fr.next_frame(), Err(ProtoError::EmptyFrame));
         assert_eq!(fr.next_frame(), Err(ProtoError::EmptyFrame));
+    }
+
+    #[test]
+    fn complete_frame_peek_tracks_buffer_state() {
+        let mut fr = FrameReader::new();
+        assert!(!fr.has_complete_frame());
+        let f = Request::Get { key: 9 }.to_frame();
+        fr.extend(&f[..f.len() - 1]);
+        assert!(!fr.has_complete_frame(), "one byte short");
+        fr.extend(&f[f.len() - 1..]);
+        assert!(fr.has_complete_frame());
+        fr.next_frame().unwrap().unwrap();
+        assert!(!fr.has_complete_frame());
+    }
+
+    #[test]
+    fn outbox_resumes_mid_frame() {
+        let mut ob = Outbox::new();
+        let a = Response::Value(1).to_frame();
+        let b = Response::Ok.to_frame();
+        ob.push(a.clone());
+        ob.push(b.clone());
+        assert_eq!(ob.pending_bytes(), a.len() + b.len());
+
+        // A short write that ends inside frame `a`.
+        ob.advance(3);
+        let mut iovs = Vec::new();
+        assert_eq!(ob.chunks(&mut iovs, 16), 2);
+        assert_eq!(&*iovs[0], &a[3..]);
+        assert_eq!(&*iovs[1], &b[..]);
+
+        // Drain the rest one byte at a time; frames stay in order.
+        let seen: Vec<u8> = iovs.iter().flat_map(|s| s.to_vec()).collect();
+        while !ob.is_empty() {
+            ob.advance(1);
+        }
+        let mut expect = a[3..].to_vec();
+        expect.extend_from_slice(&b);
+        assert_eq!(seen, expect);
+        let mut iovs = Vec::new();
+        assert_eq!(ob.chunks(&mut iovs, 16), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "advance past outbox contents")]
+    fn outbox_advance_is_bounded() {
+        let mut ob = Outbox::new();
+        ob.push(Response::Ok.to_frame());
+        ob.advance(ob.pending_bytes() + 1);
     }
 }

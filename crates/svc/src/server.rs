@@ -1,38 +1,99 @@
-//! The `rwled` server: thread-per-core workers over the sharded elided
+//! The `rwled` server: event-driven workers over the sharded elided
 //! store.
 //!
-//! Each worker thread owns one [`htm::ThreadCtx`] (HTM thread contexts
-//! are not transferable between OS threads) and one bounded work queue;
-//! a connection is pinned to the queue `conn_id % workers`, so replies
-//! on a pipelined connection come back in request order. Reader threads
-//! do the socket work — framing, decode, enqueue — and never touch the
-//! store.
+//! Each worker thread owns one epoll instance ([`crate::poll`]), a slab
+//! of nonblocking connection state machines, and one backend session
+//! (HTM thread contexts and epoch slots are not transferable between OS
+//! threads). The acceptor hands new connections to workers round-robin
+//! through a mailbox + waker; from then on the connection never changes
+//! threads, so replies on a pipelined connection come back in request
+//! order.
 //!
-//! Queues are **bounded**: when a worker falls behind, new requests on
-//! its connections get an immediate `Busy` reply instead of piling up.
-//! Under the RW-LE quiescence barrier a writer may stall for a full
-//! grace period, and an unbounded queue would convert that transient
-//! stall into unbounded memory growth and multi-second tail latency;
-//! shedding keeps the tail bounded and pushes backpressure to the
-//! client. See DESIGN.md §8.
+//! ## The batch pipeline
 //!
-//! All cross-thread coordination flows through `Mutex`/`Condvar` queues
-//! and the sockets themselves; the few atomics here are monotonic
-//! counters and advisory flags (see `docs/orderings.toml`).
+//! One loop iteration runs five phases:
+//!
+//! 1. **Wait** for readiness (or a zero timeout if deferred work is
+//!    carried from the previous iteration).
+//! 2. **Read** ready sockets into per-connection [`FrameReader`]s.
+//! 3. **Decode** buffered frames into one *batch* of admitted requests,
+//!    bounded by `queue_depth` per iteration. Per connection, admission
+//!    follows the reads-then-mutations phase rule (see below).
+//! 4. **Execute** the batch: reads first, then every decoded mutation
+//!    in **one** `apply_batch` store pass — one flip per touched shard,
+//!    **one** quiescence barrier for the whole batch (the paper's
+//!    amortization argument turned into served-traffic throughput).
+//! 5. **Flush** replies with vectored writes — one `writev` drains all
+//!    of a connection's pending replies — only after the batch's
+//!    barrier has completed, so no client ever observes an acked but
+//!    unquiesced write.
+//!
+//! ## Per-connection ordering
+//!
+//! Executing a batch as reads-then-mutations must not reorder one
+//! connection's pipelined requests: a GET pipelined *after* a PUT has
+//! to see it. Admission therefore stops at a connection's first
+//! read-after-mutation boundary — within one batch a connection
+//! contributes a prefix of the form `reads*, mutations*`, which the
+//! reads-first execution order preserves exactly; the deferred request
+//! is carried into the next iteration (which starts with a fresh phase,
+//! after the previous batch's mutations are applied and quiesced).
+//! Closed-loop clients (one outstanding request) never defer.
+//!
+//! ## Backpressure
+//!
+//! `queue_depth` bounds the *batch*, not a queue: frames beyond the
+//! budget stay buffered in their connection (which also stops being
+//! read), so a worker that falls behind pushes backpressure into TCP
+//! instead of growing memory — the bounded-queue reasoning of the old
+//! thread-per-core design (DESIGN.md §8) without the `Busy` shed on
+//! the request path. `Busy` remains the connection-limit shed reply.
+//!
+//! All cross-thread coordination flows through the mailboxes, wakers
+//! and the sockets themselves; the atomics here are monotonic counters
+//! and advisory flags (see `docs/orderings.toml`).
 
-use std::collections::VecDeque;
-use std::io::{self, Read, Write};
+use std::io::{self, IoSlice, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use stats::{StatsSummary, ThreadStats};
-use workloads::backend::SimBackend;
-use workloads::native::NativeBackend;
-use workloads::{BackendKind, SchemeKind, StoreBackend, StoreSession};
+use workloads::backend::{MutOp, MutReply, SimBackend};
+use workloads::native::{NativeBackend, SglBackend};
+use workloads::{BackendKind, SchemeKind, StoreBackend};
 
-use crate::proto::{FrameReader, Request, Response, ServerStats};
+use crate::poll::{Interest, Poller, Waker};
+use crate::proto::{FrameReader, Outbox, Request, Response, ServerStats};
+
+/// What happens to a connection past `max_conns`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShedMode {
+    /// Reply `Busy`, then close (default; tells the client to back off).
+    Busy,
+    /// Close immediately without a reply (cheapest under SYN floods).
+    Drop,
+}
+
+impl ShedMode {
+    /// Command-line name.
+    pub fn name(self) -> &'static str {
+        match self {
+            ShedMode::Busy => "busy",
+            ShedMode::Drop => "drop",
+        }
+    }
+
+    /// Parses a command-line name.
+    pub fn parse(s: &str) -> Option<ShedMode> {
+        match s {
+            "busy" => Some(ShedMode::Busy),
+            "drop" => Some(ShedMode::Drop),
+            _ => None,
+        }
+    }
+}
 
 /// Server configuration. `Default` gives the smoke-test setup: four
 /// workers, RW-LE optimistic, 16 shards, ephemeral port.
@@ -40,10 +101,12 @@ use crate::proto::{FrameReader, Request, Response, ServerStats};
 pub struct ServerConfig {
     /// TCP port on 127.0.0.1 (0 = ephemeral).
     pub port: u16,
-    /// Worker threads (each owns one backend session).
+    /// Worker threads (each owns one backend session and event loop).
     pub threads: usize,
-    /// Synchronization scheme guarding every shard (simulated backend;
-    /// the native backend always runs RW-LE-style publication).
+    /// Synchronization scheme guarding every shard. On the simulated
+    /// backend any scheme runs; on the native backend `SGL` selects the
+    /// plain-mutex canary and everything else the RW-LE publication
+    /// protocol.
     pub scheme: SchemeKind,
     /// Execution backend: simulated HTM or plain memory.
     pub backend: BackendKind,
@@ -57,12 +120,22 @@ pub struct ServerConfig {
     /// are leaked until exit — deferred reclamation — so this bounds the
     /// total number of PUTs that allocate).
     pub extra_capacity: u64,
-    /// Per-worker queue bound; beyond it requests are shed with `Busy`.
+    /// Per-worker, per-iteration batch budget: at most this many
+    /// requests are decoded and executed per event-loop iteration;
+    /// frames beyond it stay in their connection's buffer (TCP
+    /// backpressure).
     pub queue_depth: usize,
-    /// Connection limit; beyond it new connections get `Busy` + close.
+    /// Connection limit; beyond it new connections are shed per
+    /// [`ServerConfig::shed`].
     pub max_conns: usize,
+    /// Shed behavior at the connection limit.
+    pub shed: ShedMode,
     /// A connection silent for this long is dropped.
     pub idle_timeout: Duration,
+    /// How often each worker sweeps its connections for idle-timeout
+    /// reaping (also the event-loop wait tick). Clamped to
+    /// `[1ms, idle_timeout]`.
+    pub reap_interval: Duration,
     /// Seed for the simulated-HTM engine.
     pub seed: u64,
 }
@@ -80,7 +153,9 @@ impl Default for ServerConfig {
             extra_capacity: 400_000,
             queue_depth: 1024,
             max_conns: 1024,
+            shed: ShedMode::Busy,
             idle_timeout: Duration::from_secs(10),
+            reap_interval: Duration::from_millis(100),
             seed: 1,
         }
     }
@@ -89,12 +164,12 @@ impl Default for ServerConfig {
 /// Final accounting returned by [`Server::run`] after a clean drain.
 #[derive(Debug, Clone, Default)]
 pub struct DrainReport {
-    /// Requests accepted into worker queues.
+    /// Requests admitted into a batch.
     pub enqueued: u64,
-    /// Replies written by workers. Equal to [`DrainReport::enqueued`]
-    /// after a clean drain: every accepted request was answered.
+    /// Replies queued by workers. Equal to [`DrainReport::enqueued`]
+    /// after a clean drain: every admitted request was answered.
     pub replied: u64,
-    /// Busy replies (queue full or connection limit).
+    /// Connections shed at the connection limit.
     pub shed: u64,
     /// Malformed frames answered with `BadRequest`.
     pub malformed: u64,
@@ -102,12 +177,22 @@ pub struct DrainReport {
     pub timeouts: u64,
     /// Connections accepted.
     pub conns: u64,
+    /// Batches executed (event-loop iterations with ≥1 request).
+    pub batches: u64,
+    /// Requests executed across all batches.
+    pub batch_ops: u64,
+    /// Full quiescence barriers paid by batched store passes.
+    pub barriers: u64,
+    /// Barriers satisfied by an already-shared grace period.
+    pub barriers_shared: u64,
+    /// Vectored reply writes issued.
+    pub writev_calls: u64,
     /// Merged worker-side protocol statistics (commit/abort mix).
     pub summary: StatsSummary,
 }
 
 impl DrainReport {
-    /// True when every request accepted into a queue was replied to.
+    /// True when every admitted request was replied to.
     pub fn drained(&self) -> bool {
         self.enqueued == self.replied
     }
@@ -131,10 +216,16 @@ impl Server {
                 "threads, shards, queue depth and connection limit must all be at least 1",
             ));
         }
-        let backend: Box<dyn StoreBackend> = match cfg.backend {
-            BackendKind::Sim => Box::new(
+        if cfg.reap_interval.is_zero() {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "reap interval must be at least 1ms (it is the event-loop tick)",
+            ));
+        }
+        let backend: Box<dyn StoreBackend> = match (cfg.backend, cfg.scheme) {
+            (BackendKind::Sim, scheme) => Box::new(
                 SimBackend::create(
-                    cfg.scheme,
+                    scheme,
                     cfg.shards,
                     cfg.buckets_per_shard,
                     cfg.prefill,
@@ -144,13 +235,25 @@ impl Server {
                 )
                 .map_err(|e| io::Error::new(io::ErrorKind::InvalidInput, e))?,
             ),
+            // The native SGL canary: one mutex, no elision machinery —
+            // the baseline CI normalizes the batching gate against.
+            (BackendKind::Native, SchemeKind::Sgl) => Box::new(SglBackend::create(cfg.prefill)),
             // Plain memory needs no sizing: capacity is the process
             // heap, so extra_capacity and seed have nothing to govern.
-            BackendKind::Native => {
+            (BackendKind::Native, _) => {
                 Box::new(NativeBackend::create(cfg.shards, cfg.threads, cfg.prefill))
             }
         };
         let listener = TcpListener::bind(("127.0.0.1", cfg.port))?;
+        // std hardwires a backlog of 128; a load generator opening
+        // thousands of connections back to back overflows that and eats
+        // ~1 s SYN-retransmit stalls. Size the backlog to the connection
+        // budget instead (best-effort; see poll::widen_backlog).
+        #[cfg(unix)]
+        {
+            use std::os::fd::AsRawFd;
+            crate::poll::widen_backlog(listener.as_raw_fd(), cfg.max_conns.max(128));
+        }
         Ok(Server {
             cfg,
             listener,
@@ -164,36 +267,44 @@ impl Server {
     }
 
     /// Serves until a SHUTDOWN request arrives, then drains: stop
-    /// accepting, join readers, close queues, join workers (answering
-    /// everything already accepted), and finally ack the SHUTDOWN.
+    /// accepting, let every worker flush its pending replies, join the
+    /// workers, and finally ack the SHUTDOWN.
     pub fn run(self) -> io::Result<DrainReport> {
         let Server {
             cfg,
             listener,
             backend,
         } = self;
-        let addr = listener.local_addr()?;
+        // Pollers and wakers are created up front so the waker handles
+        // can live in `Shared` (any thread wakes any worker) while each
+        // poller moves into its owning worker.
+        let mut pollers = Vec::with_capacity(cfg.threads);
+        let mut wakers = Vec::with_capacity(cfg.threads);
+        for _ in 0..cfg.threads {
+            let poller = Poller::new()?;
+            wakers.push(Waker::new(&poller, WAKE_TOKEN)?);
+            pollers.push(poller);
+        }
         let shared = Arc::new(Shared {
             counters: Counters::default(),
             shutdown: AtomicBool::new(false),
             active_conns: AtomicUsize::new(0),
-            queues: (0..cfg.threads)
-                .map(|_| WorkQueue::new(cfg.queue_depth))
-                .collect(),
+            mailboxes: (0..cfg.threads).map(|_| Mutex::new(Vec::new())).collect(),
+            wakers,
             shutdown_reply: Mutex::new(None),
             scheme_label: cfg.scheme.label(),
             backend_label: backend.label(),
             idle_timeout: cfg.idle_timeout,
         });
         let backend = &*backend;
+        let cfg_ref = &cfg;
         let mut worker_stats: Vec<ThreadStats> = Vec::new();
         std::thread::scope(|s| {
             let mut workers = Vec::with_capacity(cfg.threads);
-            for w in 0..cfg.threads {
+            for (w, poller) in pollers.into_iter().enumerate() {
                 let shared = Arc::clone(&shared);
-                workers.push(s.spawn(move || worker_loop(w, backend, &shared)));
+                workers.push(s.spawn(move || worker_loop(w, poller, backend, cfg_ref, &shared)));
             }
-            let mut readers = Vec::new();
             let mut next_conn = 0usize;
             for conn in listener.incoming() {
                 if shared.shutting_down() {
@@ -204,38 +315,49 @@ impl Server {
                     Err(_) => continue,
                 };
                 Counters::inc(&shared.counters.conns);
-                // The slot guard releases on every exit path — early
-                // reader returns and reader panics included (a leaked
-                // slot would silently shrink max_conns forever).
-                let Some(slot) = ConnGuard::enter(&shared, cfg.max_conns) else {
-                    // Over the connection limit: best-effort Busy, close.
-                    let mut stream = stream;
-                    let _ = stream.write_all(&Response::Busy.to_frame());
+                // The slot guard releases on every exit path — worker
+                // slab drops and worker panics included (a leaked slot
+                // would silently shrink max_conns forever).
+                let Some(guard) = ConnGuard::enter(&shared, cfg.max_conns) else {
+                    match cfg.shed {
+                        ShedMode::Busy => {
+                            // Best-effort Busy, then close.
+                            let mut stream = stream;
+                            let _ = stream.write_all(&Response::Busy.to_frame());
+                        }
+                        ShedMode::Drop => {}
+                    }
                     Counters::inc(&shared.counters.shed);
                     continue;
                 };
-                let queue_idx = next_conn % cfg.threads;
+                let w = next_conn % cfg.threads;
                 next_conn += 1;
-                let shared = Arc::clone(&shared);
-                readers.push(s.spawn(move || {
-                    let _slot = slot;
-                    reader_loop(stream, queue_idx, &shared, addr);
-                }));
+                shared.mailboxes[w]
+                    .lock()
+                    .unwrap()
+                    .push(NewConn { stream, guard });
+                shared.wakers[w].wake();
             }
-            // Drain: readers first (they stop enqueueing within one
-            // timeout tick), then the queues, then the workers.
-            for r in readers {
-                let _ = r.join();
-            }
-            for q in &shared.queues {
-                q.close();
+            // The SHUTDOWN worker set the flag and self-connected to
+            // unblock the accept above; wake everyone so the drain
+            // starts immediately.
+            for waker in &shared.wakers {
+                waker.wake();
             }
             for w in workers {
                 worker_stats.push(w.join().expect("worker panicked"));
             }
-            // Everything accepted is now answered: ack the SHUTDOWN.
-            if let Some(out) = shared.shutdown_reply.lock().unwrap().take() {
-                let _ = out.lock().unwrap().write_all(&Response::Ok.to_frame());
+            // Everything admitted is now answered and flushed: ack the
+            // SHUTDOWN on the connection that requested it.
+            if let Some(mut out) = shared.shutdown_reply.lock().unwrap().take() {
+                let _ = out.set_nonblocking(false);
+                let _ = out.write_all(&Response::Ok.to_frame());
+            }
+            // Connections still parked in mailboxes were never served;
+            // dropping them closes the sockets and releases their slots
+            // (and breaks the guard→Shared Arc cycle).
+            for mb in &shared.mailboxes {
+                mb.lock().unwrap().clear();
             }
         });
         let c = &shared.counters;
@@ -246,18 +368,34 @@ impl Server {
             malformed: Counters::get(&c.malformed),
             timeouts: Counters::get(&c.timeouts),
             conns: Counters::get(&c.conns),
+            batches: Counters::get(&c.batches),
+            batch_ops: Counters::get(&c.batch_ops),
+            barriers: Counters::get(&c.barriers),
+            barriers_shared: Counters::get(&c.barriers_shared),
+            writev_calls: Counters::get(&c.writev_calls),
             summary: StatsSummary::from_threads(&worker_stats),
         })
     }
 }
 
-/// Write handle for a connection, shared by its reader and its worker.
-type WriteHalf = Arc<Mutex<TcpStream>>;
+/// Poller token reserved for the worker's waker eventfd.
+const WAKE_TOKEN: u64 = u64::MAX;
 
-/// One decoded request bound for a worker.
-struct Job {
-    req: Request,
-    out: WriteHalf,
+/// Per-connection socket read cap per iteration; frames beyond it stay
+/// in the kernel buffer (level-triggered epoll re-reports them).
+const READ_CHUNK: usize = 16 * 1024;
+
+/// Max `IoSlice`s per vectored write (well under any IOV_MAX).
+const MAX_IOVS: usize = 64;
+
+/// How long the drain waits for backpressured reply bytes before
+/// force-closing the stragglers.
+const DRAIN_GRACE: Duration = Duration::from_secs(1);
+
+/// A connection handed from the acceptor to a worker.
+struct NewConn {
+    stream: TcpStream,
+    guard: ConnGuard,
 }
 
 /// Monotonic counters, all `Relaxed`: each is an independent tally read
@@ -275,6 +413,12 @@ struct Counters {
     dels: AtomicU64,
     scans: AtomicU64,
     conns: AtomicU64,
+    batches: AtomicU64,
+    batch_ops: AtomicU64,
+    barriers: AtomicU64,
+    barriers_shared: AtomicU64,
+    writev_calls: AtomicU64,
+    batch_hist: [AtomicU64; 8],
 }
 
 impl Counters {
@@ -283,31 +427,38 @@ impl Counters {
         c.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Bulk add for per-iteration tallies (one RMW per batch, not per op).
+    #[inline]
+    fn add(c: &AtomicU64, n: u64) {
+        c.fetch_add(n, Ordering::Relaxed);
+    }
+
     #[inline]
     fn get(c: &AtomicU64) -> u64 {
         c.load(Ordering::Relaxed)
     }
 }
 
-/// State shared between the acceptor, readers and workers.
+/// State shared between the acceptor and the workers.
 struct Shared {
     counters: Counters,
     shutdown: AtomicBool,
     active_conns: AtomicUsize,
-    queues: Vec<WorkQueue>,
-    /// Write half of the connection that requested SHUTDOWN; acked after
-    /// the drain completes.
-    shutdown_reply: Mutex<Option<WriteHalf>>,
+    /// Accepted connections awaiting pickup, one box per worker.
+    mailboxes: Vec<Mutex<Vec<NewConn>>>,
+    /// One waker per worker; any thread may ring any of them.
+    wakers: Vec<Waker>,
+    /// Connection that requested SHUTDOWN; acked after the drain.
+    shutdown_reply: Mutex<Option<TcpStream>>,
     scheme_label: &'static str,
     backend_label: &'static str,
     idle_timeout: Duration,
 }
 
 /// RAII ticket for one claimed connection slot: dropping it releases
-/// the slot. The accept loop moves it into the reader thread, so every
-/// reader exit path — EOF, timeout, framing error, even a panic —
-/// gives the slot back; before this guard, a reader panic leaked the
-/// slot forever (reader joins swallow panics).
+/// the slot. It travels with the connection into the worker's slab, so
+/// every retirement path — EOF, timeout, framing error, worker panic —
+/// gives the slot back.
 struct ConnGuard {
     shared: Arc<Shared>,
 }
@@ -358,6 +509,10 @@ impl Shared {
 
     fn snapshot(&self) -> ServerStats {
         let c = &self.counters;
+        let mut batch_hist = [0u64; 8];
+        for (out, bucket) in batch_hist.iter_mut().zip(&c.batch_hist) {
+            *out = Counters::get(bucket);
+        }
         ServerStats {
             enqueued: Counters::get(&c.enqueued),
             replied: Counters::get(&c.replied),
@@ -369,234 +524,507 @@ impl Shared {
             dels: Counters::get(&c.dels),
             scans: Counters::get(&c.scans),
             conns: Counters::get(&c.conns),
+            batches: Counters::get(&c.batches),
+            batch_ops: Counters::get(&c.batch_ops),
+            barriers: Counters::get(&c.barriers),
+            barriers_shared: Counters::get(&c.barriers_shared),
+            writev_calls: Counters::get(&c.writev_calls),
+            batch_hist,
             scheme: self.scheme_label.to_string(),
             backend: self.backend_label.to_string(),
         }
     }
 }
 
-/// Outcome of a non-blocking queue push.
-enum Push {
-    Ok,
-    Full,
-    Closed,
+/// One nonblocking connection state machine.
+struct Conn {
+    stream: TcpStream,
+    fr: FrameReader,
+    outbox: Outbox,
+    /// A decoded request deferred to the next batch (read-after-write
+    /// phase boundary or batch budget).
+    carry: Option<Request>,
+    last_activity: Instant,
+    /// Peer sent FIN (or the socket errored): no more reads, but
+    /// buffered requests are still served and flushed (half-close).
+    read_closed: bool,
+    /// Flush the outbox, then retire (framing error or post-EOF drain).
+    closing: bool,
+    /// Socket is dead: retire without flushing.
+    dead: bool,
+    /// EPOLLOUT armed (a previous flush hit WouldBlock).
+    wants_write: bool,
+    /// This connection sent SHUTDOWN; its stream is handed back for the
+    /// post-drain ack instead of being closed.
+    is_shutdown_conn: bool,
+    /// Iteration stamp deduplicating membership in the pump list (a
+    /// slot can surface from both the carry list and an epoll event).
+    pump_gen: u64,
+    /// Slot ticket; dropping the Conn releases it.
+    _guard: ConnGuard,
 }
 
-struct QueueState {
-    jobs: VecDeque<Job>,
-    closed: bool,
+/// One admitted batch entry.
+enum WorkItem {
+    /// A well-formed request (counts toward enqueued/replied).
+    Req(Request),
+    /// A malformed body: answered `BadRequest` in FIFO position, not
+    /// counted as enqueued.
+    Malformed,
 }
 
-/// Bounded MPSC queue: readers push (non-blocking, shedding when full),
-/// one worker pops (blocking on the condvar until closed and empty).
-struct WorkQueue {
-    state: Mutex<QueueState>,
-    ready: Condvar,
-    depth: usize,
+fn is_mutation(req: &Request) -> bool {
+    matches!(req, Request::Put { .. } | Request::Del { .. })
 }
 
-impl WorkQueue {
-    fn new(depth: usize) -> WorkQueue {
-        WorkQueue {
-            state: Mutex::new(QueueState {
-                jobs: VecDeque::new(),
-                closed: false,
-            }),
-            ready: Condvar::new(),
-            depth,
-        }
-    }
-
-    fn push(&self, job: Job) -> Push {
-        let mut st = self.state.lock().unwrap();
-        if st.closed {
-            return Push::Closed;
-        }
-        if st.jobs.len() >= self.depth {
-            return Push::Full;
-        }
-        st.jobs.push_back(job);
-        self.ready.notify_one();
-        Push::Ok
-    }
-
-    fn pop(&self) -> Option<Job> {
-        let mut st = self.state.lock().unwrap();
-        loop {
-            if let Some(job) = st.jobs.pop_front() {
-                return Some(job);
-            }
-            if st.closed {
-                return None;
-            }
-            st = self.ready.wait(st).unwrap();
-        }
-    }
-
-    fn close(&self) {
-        self.state.lock().unwrap().closed = true;
-        self.ready.notify_all();
-    }
-}
-
-/// Worker: owns one backend session (its HTM thread context or epoch
-/// slot), drains its queue until closed.
-fn worker_loop(idx: usize, backend: &dyn StoreBackend, shared: &Shared) -> ThreadStats {
+/// The per-worker event loop. See the module docs for the phase
+/// structure; returns the session's merged stats after the drain.
+fn worker_loop(
+    idx: usize,
+    mut poller: Poller,
+    backend: &dyn StoreBackend,
+    cfg: &ServerConfig,
+    shared: &Arc<Shared>,
+) -> ThreadStats {
     let mut sess = backend.session();
+    let mut conns: Vec<Option<Conn>> = Vec::new();
+    let mut free: Vec<usize> = Vec::new();
+    let mut events: Vec<crate::poll::Event> = Vec::new();
+    let mut buf = [0u8; READ_CHUNK];
+    // Batch scratch, reused across iterations.
+    let mut work: Vec<(usize, WorkItem)> = Vec::new();
+    let mut replies: Vec<Option<Response>> = Vec::new();
+    let mut mut_ops: Vec<MutOp> = Vec::new();
+    let mut mut_at: Vec<usize> = Vec::new();
+    let mut mut_replies: Vec<MutReply> = Vec::new();
     let mut scratch: Vec<(u64, u64)> = Vec::new();
-    let queue = &shared.queues[idx];
-    while let Some(job) = queue.pop() {
-        let resp = execute(&mut *sess, &mut scratch, shared, &job.req);
-        let frame = resp.to_frame();
-        // A write failure means the client left; the request still
-        // counts as replied — the drain invariant tracks server work,
-        // not client liveness.
-        let _ = job.out.lock().unwrap().write_all(&frame);
-        Counters::inc(&shared.counters.replied);
+    // Slots with deferred decodable input, carried across iterations.
+    let mut carry: Vec<usize> = Vec::new();
+    let mut retire: Vec<usize> = Vec::new();
+    let mut gen: u64 = 0;
+    let tick = cfg
+        .reap_interval
+        .min(cfg.idle_timeout)
+        .max(Duration::from_millis(1));
+    let mut last_reap = Instant::now();
+    let mut drain_deadline: Option<Instant> = None;
+
+    loop {
+        // Phase 1: wait. Deferred work or an active drain keeps the
+        // loop hot; otherwise sleep one reap tick.
+        let timeout = if !carry.is_empty() {
+            Duration::ZERO
+        } else if drain_deadline.is_some() {
+            Duration::from_millis(5)
+        } else {
+            tick
+        };
+        events.clear();
+        if poller.wait(&mut events, Some(timeout)).is_err() {
+            break;
+        }
+
+        // Phase 2: pick up new connections and read ready sockets.
+        gen += 1;
+        let mut pump = std::mem::take(&mut carry);
+        for &slot in &pump {
+            if let Some(conn) = conns.get_mut(slot).and_then(|c| c.as_mut()) {
+                conn.pump_gen = gen;
+            }
+        }
+        for ev in &events {
+            if ev.token == WAKE_TOKEN {
+                shared.wakers[idx].drain();
+                if !shared.shutting_down() {
+                    let mut mb = shared.mailboxes[idx].lock().unwrap();
+                    for nc in mb.drain(..) {
+                        if let Some(slot) = admit_conn(&mut conns, &mut free, &poller, nc) {
+                            // A connection can arrive with data already
+                            // in flight; treat it as readable once.
+                            conns[slot].as_mut().expect("just admitted").pump_gen = gen;
+                            pump.push(slot);
+                        }
+                    }
+                }
+                continue;
+            }
+            let slot = ev.token as usize;
+            let Some(conn) = conns.get_mut(slot).and_then(|c| c.as_mut()) else {
+                continue;
+            };
+            if ev.readable || ev.hangup {
+                read_socket(conn, &mut buf);
+            }
+            if (ev.readable || ev.hangup || ev.writable) && conn.pump_gen != gen {
+                conn.pump_gen = gen;
+                pump.push(slot);
+            }
+        }
+
+        // Phase 3: decode one batch. Skipped during the drain — frames
+        // never admitted are never counted, so the drain invariant
+        // (enqueued == replied) is unaffected.
+        work.clear();
+        if drain_deadline.is_none() {
+            let mut admitted = 0usize;
+            'conns: for &slot in &pump {
+                let Some(conn) = conns.get_mut(slot).and_then(|c| c.as_mut()) else {
+                    continue;
+                };
+                if conn.closing || conn.dead {
+                    continue;
+                }
+                // Reads-then-mutations phase rule (module docs).
+                let mut saw_mutation = false;
+                loop {
+                    if admitted == cfg.queue_depth {
+                        break 'conns;
+                    }
+                    let req = match conn.carry.take() {
+                        Some(req) => req,
+                        None => match conn.fr.next_frame() {
+                            Ok(Some(body)) => match Request::decode(&body) {
+                                Ok(req) => req,
+                                Err(_) => {
+                                    // Bad body behind a valid header:
+                                    // reject in FIFO position, keep the
+                                    // connection.
+                                    Counters::inc(&shared.counters.malformed);
+                                    work.push((slot, WorkItem::Malformed));
+                                    admitted += 1;
+                                    continue;
+                                }
+                            },
+                            Ok(None) => break,
+                            Err(_) => {
+                                // Framing error: reject and close once
+                                // the reply drains.
+                                Counters::inc(&shared.counters.malformed);
+                                work.push((slot, WorkItem::Malformed));
+                                admitted += 1;
+                                conn.closing = true;
+                                break;
+                            }
+                        },
+                    };
+                    if matches!(req, Request::Shutdown) {
+                        conn.is_shutdown_conn = true;
+                        shared.request_shutdown();
+                        for waker in &shared.wakers {
+                            waker.wake();
+                        }
+                        // Unblock the acceptor so it observes the flag.
+                        if let Ok(addr) = conn.stream.local_addr() {
+                            let _ = TcpStream::connect(addr);
+                        }
+                        break;
+                    }
+                    if is_mutation(&req) {
+                        saw_mutation = true;
+                    } else if saw_mutation {
+                        // Read after mutation: next batch.
+                        conn.carry = Some(req);
+                        break;
+                    }
+                    Counters::inc(&shared.counters.enqueued);
+                    work.push((slot, WorkItem::Req(req)));
+                    admitted += 1;
+                }
+            }
+        }
+
+        // Phase 4: execute the batch — reads first (each sees its
+        // connection's pre-batch prefix state), then every mutation in
+        // one amortized store pass.
+        if !work.is_empty() {
+            replies.clear();
+            replies.resize(work.len(), None);
+            mut_ops.clear();
+            mut_at.clear();
+            for (i, (_slot, item)) in work.iter().enumerate() {
+                match item {
+                    WorkItem::Malformed => replies[i] = Some(Response::BadRequest),
+                    WorkItem::Req(req) => match *req {
+                        Request::Get { key } => {
+                            Counters::inc(&shared.counters.gets);
+                            replies[i] = Some(match sess.get(key) {
+                                Some(v) => Response::Value(v),
+                                None => Response::NotFound,
+                            });
+                        }
+                        Request::Scan { start, count } => {
+                            Counters::inc(&shared.counters.scans);
+                            scratch.clear();
+                            sess.scan(start, count, &mut scratch);
+                            replies[i] = Some(Response::Pairs(scratch.clone()));
+                        }
+                        Request::Stats => {
+                            replies[i] = Some(Response::Stats(Box::new(shared.snapshot())));
+                        }
+                        Request::Put { key, value } => {
+                            Counters::inc(&shared.counters.puts);
+                            mut_ops.push(MutOp::Put { key, value });
+                            mut_at.push(i);
+                        }
+                        Request::Del { key } => {
+                            Counters::inc(&shared.counters.dels);
+                            mut_ops.push(MutOp::Del { key });
+                            mut_at.push(i);
+                        }
+                        // A SHUTDOWN that raced into a batch just acks
+                        // (interception above makes this unreachable,
+                        // but the arm keeps decode changes safe).
+                        Request::Shutdown => replies[i] = Some(Response::Ok),
+                    },
+                }
+            }
+            let outcome = sess.apply_batch(&mut_ops, &mut mut_replies);
+            for (&i, reply) in mut_at.iter().zip(&mut_replies) {
+                replies[i] = Some(match *reply {
+                    MutReply::Put(Ok(_)) => Response::Ok,
+                    // Capacity exhausted (extra_capacity spent): shed
+                    // the write rather than crash the store.
+                    MutReply::Put(Err(_)) => Response::ServerFull,
+                    MutReply::Del(true) => Response::Ok,
+                    MutReply::Del(false) => Response::NotFound,
+                });
+            }
+            let c = &shared.counters;
+            Counters::inc(&c.batches);
+            Counters::add(&c.batch_ops, work.len() as u64);
+            Counters::add(&c.barriers, outcome.barriers);
+            Counters::add(&c.barriers_shared, outcome.shared);
+            let bucket = (work.len().max(1).ilog2() as usize).min(7);
+            Counters::inc(&c.batch_hist[bucket]);
+
+            // Queue replies in admitted (per-connection FIFO) order.
+            // The batch's covering barrier completed inside
+            // `apply_batch` above, so nothing queued here can reach a
+            // client before its mutation is quiesced.
+            let mut queued = 0u64;
+            for ((slot, item), resp) in work.iter().zip(replies.drain(..)) {
+                let Some(conn) = conns.get_mut(*slot).and_then(|c| c.as_mut()) else {
+                    continue;
+                };
+                let resp = resp.expect("every work item got a reply");
+                conn.outbox.push(resp.to_frame());
+                if matches!(item, WorkItem::Req(_)) {
+                    queued += 1;
+                }
+            }
+            Counters::add(&c.replied, queued);
+        }
+
+        // Phase 5: flush. One writev drains all of a connection's
+        // pending replies; WouldBlock arms EPOLLOUT for resumption.
+        retire.clear();
+        for &slot in &pump {
+            let Some(conn) = conns.get_mut(slot).and_then(|c| c.as_mut()) else {
+                continue;
+            };
+            if !conn.dead && !conn.outbox.is_empty() {
+                flush_conn(conn, slot, &poller, shared);
+            }
+            let idle_input =
+                conn.carry.is_none() && !conn.fr.has_complete_frame() && conn.outbox.is_empty();
+            if conn.dead
+                || (conn.closing && conn.outbox.is_empty())
+                || (conn.read_closed && idle_input)
+            {
+                retire.push(slot);
+            } else if conn.carry.is_some() || conn.fr.has_complete_frame() {
+                carry.push(slot);
+            }
+        }
+        for &slot in &retire {
+            retire_conn(&mut conns, &mut free, &poller, shared, slot);
+        }
+
+        // Idle reaping, at most once per tick.
+        if last_reap.elapsed() >= tick {
+            last_reap = Instant::now();
+            for slot in 0..conns.len() {
+                let reap = conns[slot].as_ref().is_some_and(|c| {
+                    !c.is_shutdown_conn && c.last_activity.elapsed() >= shared.idle_timeout
+                });
+                if reap {
+                    Counters::inc(&shared.counters.timeouts);
+                    retire_conn(&mut conns, &mut free, &poller, shared, slot);
+                    carry.retain(|&s| s != slot);
+                }
+            }
+        }
+
+        // Drain: after shutdown, keep iterating only to flush pending
+        // reply bytes, with a grace bound against stuck clients.
+        if shared.shutting_down() {
+            let deadline = *drain_deadline.get_or_insert_with(|| Instant::now() + DRAIN_GRACE);
+            carry.clear();
+            let mut pending = false;
+            for (slot, conn) in conns.iter_mut().enumerate() {
+                let Some(conn) = conn.as_mut() else {
+                    continue;
+                };
+                if conn.dead || conn.outbox.is_empty() || Instant::now() >= deadline {
+                    continue;
+                }
+                flush_conn(conn, slot, &poller, shared);
+                if !conn.outbox.is_empty() && !conn.dead {
+                    pending = true;
+                }
+            }
+            if !pending || Instant::now() >= deadline {
+                break;
+            }
+        }
+    }
+
+    // Hand the SHUTDOWN connection's stream back for the post-drain ack.
+    for conn in conns.into_iter().flatten() {
+        if conn.is_shutdown_conn {
+            let _ = poller.remove_stream(&conn.stream);
+            *shared.shutdown_reply.lock().unwrap() = Some(conn.stream);
+        }
     }
     sess.take_stats()
 }
 
-/// Executes one request against the store.
-fn execute(
-    sess: &mut dyn StoreSession,
-    scratch: &mut Vec<(u64, u64)>,
+/// Registers a newly accepted connection in the slab; returns its slot.
+fn admit_conn(
+    conns: &mut Vec<Option<Conn>>,
+    free: &mut Vec<usize>,
+    poller: &Poller,
+    nc: NewConn,
+) -> Option<usize> {
+    let NewConn { stream, guard } = nc;
+    if stream.set_nonblocking(true).is_err() {
+        return None;
+    }
+    let _ = stream.set_nodelay(true);
+    let slot = free.pop().unwrap_or_else(|| {
+        conns.push(None);
+        conns.len() - 1
+    });
+    if poller
+        .add(stream_fd(&stream), slot as u64, Interest::READ)
+        .is_err()
+    {
+        free.push(slot);
+        return None;
+    }
+    conns[slot] = Some(Conn {
+        stream,
+        fr: FrameReader::new(),
+        outbox: Outbox::new(),
+        carry: None,
+        last_activity: Instant::now(),
+        read_closed: false,
+        closing: false,
+        dead: false,
+        wants_write: false,
+        is_shutdown_conn: false,
+        pump_gen: 0,
+        _guard: guard,
+    });
+    Some(slot)
+}
+
+/// Drops a connection and recycles its slot.
+fn retire_conn(
+    conns: &mut [Option<Conn>],
+    free: &mut Vec<usize>,
+    poller: &Poller,
     shared: &Shared,
-    req: &Request,
-) -> Response {
-    match *req {
-        Request::Get { key } => {
-            Counters::inc(&shared.counters.gets);
-            match sess.get(key) {
-                Some(v) => Response::Value(v),
-                None => Response::NotFound,
-            }
+    slot: usize,
+) {
+    if let Some(conn) = conns[slot].take() {
+        if conn.is_shutdown_conn {
+            // Never close the ack path; hand the stream back instead.
+            let _ = poller.remove_stream(&conn.stream);
+            *shared.shutdown_reply.lock().unwrap() = Some(conn.stream);
+        } else {
+            let _ = poller.remove_stream(&conn.stream);
         }
-        Request::Put { key, value } => {
-            Counters::inc(&shared.counters.puts);
-            match sess.put(key, value) {
-                Ok(_) => Response::Ok,
-                // Capacity exhausted (extra_capacity spent): shed the
-                // write rather than crash the store.
-                Err(_) => Response::ServerFull,
-            }
-        }
-        Request::Del { key } => {
-            Counters::inc(&shared.counters.dels);
-            if sess.del(key) {
-                Response::Ok
-            } else {
-                Response::NotFound
-            }
-        }
-        Request::Scan { start, count } => {
-            Counters::inc(&shared.counters.scans);
-            scratch.clear();
-            sess.scan(start, count, scratch);
-            Response::Pairs(scratch.clone())
-        }
-        Request::Stats => Response::Stats(shared.snapshot()),
-        // Readers intercept SHUTDOWN; one that raced into a queue just
-        // gets an ack (the drain is already underway).
-        Request::Shutdown => Response::Ok,
+        free.push(slot);
     }
 }
 
-fn reply(out: &WriteHalf, resp: &Response) {
-    let frame = resp.to_frame();
-    let _ = out.lock().unwrap().write_all(&frame);
-}
-
-/// Reader: accumulates bytes into frames, decodes, enqueues. Ticks the
-/// read timeout so it can observe shutdown and the idle deadline.
-fn reader_loop(mut stream: TcpStream, queue_idx: usize, shared: &Shared, addr: SocketAddr) {
-    let _ = stream.set_nodelay(true);
-    let tick = shared
-        .idle_timeout
-        .min(Duration::from_millis(100))
-        .max(Duration::from_millis(1));
-    if stream.set_read_timeout(Some(tick)).is_err() {
+/// Reads up to one chunk into the connection's frame buffer. Reading
+/// stops while decodable input is already buffered — that throttles a
+/// pipelining blaster to the decode budget (TCP backpressure) instead
+/// of growing the buffer; level-triggered epoll re-reports the socket.
+fn read_socket(conn: &mut Conn, buf: &mut [u8; READ_CHUNK]) {
+    if conn.read_closed || conn.carry.is_some() || conn.fr.has_complete_frame() {
         return;
     }
-    let out: WriteHalf = match stream.try_clone() {
-        Ok(w) => Arc::new(Mutex::new(w)),
-        Err(_) => return,
-    };
-    let queue = &shared.queues[queue_idx];
-    let mut fr = FrameReader::new();
-    let mut buf = [0u8; 16 * 1024];
-    let mut last_activity = Instant::now();
-    loop {
-        if shared.shutting_down() {
-            return;
+    match conn.stream.read(buf) {
+        Ok(0) => conn.read_closed = true,
+        Ok(n) => {
+            conn.last_activity = Instant::now();
+            conn.fr.extend(&buf[..n]);
         }
-        let n = match stream.read(&mut buf) {
-            Ok(0) => return, // EOF
-            Ok(n) => n,
-            Err(e)
-                if matches!(
-                    e.kind(),
-                    io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
-                ) =>
-            {
-                if last_activity.elapsed() >= shared.idle_timeout {
-                    Counters::inc(&shared.counters.timeouts);
-                    return;
-                }
-                continue;
-            }
-            Err(_) => return,
+        Err(e) if e.kind() == io::ErrorKind::WouldBlock => {}
+        Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+        Err(_) => conn.dead = true,
+    }
+}
+
+/// Drains the outbox with vectored writes until empty or WouldBlock,
+/// arming/disarming EPOLLOUT as needed.
+fn flush_conn(conn: &mut Conn, slot: usize, poller: &Poller, shared: &Shared) {
+    while !conn.outbox.is_empty() {
+        // The gathered-slice borrow of the outbox must end before
+        // `advance` mutates it, so each round gathers afresh.
+        let res = {
+            let mut iovs: Vec<IoSlice<'_>> = Vec::with_capacity(8);
+            conn.outbox.chunks(&mut iovs, MAX_IOVS);
+            conn.stream.write_vectored(&iovs)
         };
-        last_activity = Instant::now();
-        fr.extend(&buf[..n]);
-        loop {
-            match fr.next_frame() {
-                Ok(Some(body)) => match Request::decode(&body) {
-                    Ok(Request::Shutdown) => {
-                        *shared.shutdown_reply.lock().unwrap() = Some(Arc::clone(&out));
-                        shared.request_shutdown();
-                        // Wake the acceptor so it observes the flag.
-                        let _ = TcpStream::connect(addr);
-                        return;
-                    }
-                    Ok(req) => {
-                        if shared.shutting_down() {
-                            Counters::inc(&shared.counters.shed);
-                            reply(&out, &Response::ShuttingDown);
-                            continue;
-                        }
-                        match queue.push(Job {
-                            req,
-                            out: Arc::clone(&out),
-                        }) {
-                            Push::Ok => Counters::inc(&shared.counters.enqueued),
-                            Push::Full => {
-                                Counters::inc(&shared.counters.shed);
-                                reply(&out, &Response::Busy);
-                            }
-                            Push::Closed => {
-                                Counters::inc(&shared.counters.shed);
-                                reply(&out, &Response::ShuttingDown);
-                            }
-                        }
-                    }
-                    // Bad body behind a valid length header: reject the
-                    // request, keep the connection.
-                    Err(_) => {
-                        Counters::inc(&shared.counters.malformed);
-                        reply(&out, &Response::BadRequest);
-                    }
-                },
-                Ok(None) => break,
-                // Framing error: no recoverable boundary — reject and
-                // close.
-                Err(_) => {
-                    Counters::inc(&shared.counters.malformed);
-                    reply(&out, &Response::BadRequest);
-                    return;
+        match res {
+            Ok(0) => {
+                conn.dead = true;
+                break;
+            }
+            Ok(n) => {
+                Counters::inc(&shared.counters.writev_calls);
+                conn.outbox.advance(n);
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                if !conn.wants_write {
+                    conn.wants_write = true;
+                    let _ = poller.modify(stream_fd(&conn.stream), slot as u64, Interest::BOTH);
                 }
+                return;
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(_) => {
+                conn.dead = true;
+                break;
             }
         }
+    }
+    if conn.wants_write && conn.outbox.is_empty() {
+        conn.wants_write = false;
+        let _ = poller.modify(stream_fd(&conn.stream), slot as u64, Interest::READ);
+    }
+}
+
+#[cfg(unix)]
+fn stream_fd(stream: &TcpStream) -> std::os::fd::RawFd {
+    use std::os::fd::AsRawFd;
+    stream.as_raw_fd()
+}
+
+#[cfg(not(unix))]
+fn stream_fd(_stream: &TcpStream) -> i32 {
+    // The portable poll fallback ignores descriptors entirely.
+    0
+}
+
+impl Poller {
+    /// Convenience: deregister a stream by descriptor.
+    fn remove_stream(&self, stream: &TcpStream) -> io::Result<()> {
+        self.remove(stream_fd(stream))
     }
 }
 
@@ -604,60 +1032,13 @@ fn reader_loop(mut stream: TcpStream, queue_idx: usize, shared: &Shared, addr: S
 mod tests {
     use super::*;
 
-    fn job(key: u64) -> Job {
-        // The write half is irrelevant for queue tests; use a loopback
-        // socket pair via a throwaway listener.
-        let l = TcpListener::bind("127.0.0.1:0").unwrap();
-        let s = TcpStream::connect(l.local_addr().unwrap()).unwrap();
-        Job {
-            req: Request::Get { key },
-            out: Arc::new(Mutex::new(s)),
-        }
-    }
-
-    #[test]
-    fn queue_sheds_beyond_depth() {
-        let q = WorkQueue::new(2);
-        assert!(matches!(q.push(job(1)), Push::Ok));
-        assert!(matches!(q.push(job(2)), Push::Ok));
-        assert!(matches!(q.push(job(3)), Push::Full));
-        assert!(matches!(
-            q.pop(),
-            Some(Job {
-                req: Request::Get { key: 1 },
-                ..
-            })
-        ));
-        assert!(matches!(q.push(job(3)), Push::Ok));
-    }
-
-    #[test]
-    fn closed_queue_drains_then_ends() {
-        let q = WorkQueue::new(4);
-        q.push(job(1));
-        q.push(job(2));
-        q.close();
-        assert!(matches!(q.push(job(3)), Push::Closed));
-        assert!(q.pop().is_some());
-        assert!(q.pop().is_some());
-        assert!(q.pop().is_none());
-    }
-
-    #[test]
-    fn pop_blocks_until_push() {
-        let q = Arc::new(WorkQueue::new(4));
-        let q2 = Arc::clone(&q);
-        let h = std::thread::spawn(move || q2.pop().map(|j| j.req));
-        q.push(job(9));
-        assert_eq!(h.join().unwrap(), Some(Request::Get { key: 9 }));
-    }
-
     fn test_shared() -> Arc<Shared> {
         Arc::new(Shared {
             counters: Counters::default(),
             shutdown: AtomicBool::new(false),
             active_conns: AtomicUsize::new(0),
-            queues: Vec::new(),
+            mailboxes: Vec::new(),
+            wakers: Vec::new(),
             shutdown_reply: Mutex::new(None),
             scheme_label: "TEST",
             backend_label: "test",
@@ -708,5 +1089,13 @@ mod tests {
         // (the join above orders the worker's drop before this load).
         // xlint: allow(a1) -- test assertion on the slot counter.
         assert_eq!(shared.active_conns.load(Ordering::Relaxed), 0);
+    }
+
+    #[test]
+    fn shed_mode_parse_roundtrip() {
+        for m in [ShedMode::Busy, ShedMode::Drop] {
+            assert_eq!(ShedMode::parse(m.name()), Some(m));
+        }
+        assert_eq!(ShedMode::parse("bogus"), None);
     }
 }

@@ -278,6 +278,8 @@ fn loadgen_closed_loop_end_to_end() {
         key_range: 10_000,
         zipf_theta: 0.0,
         open_rate: 0,
+        total_rate: 0,
+        pipeline: 1,
         seed: 7,
         shutdown: false,
     };
@@ -309,6 +311,8 @@ fn loadgen_open_loop_receives_everything_sent() {
         key_range: 2_000,
         zipf_theta: 0.9,
         open_rate: 2_000,
+        total_rate: 0,
+        pipeline: 1,
         seed: 9,
         shutdown: false,
     };
@@ -381,6 +385,8 @@ fn native_backend_serves_the_same_wire_protocol() {
         key_range: 2_000,
         zipf_theta: 0.0,
         open_rate: 0,
+        total_rate: 0,
+        pipeline: 1,
         seed: 11,
         shutdown: false,
     };
@@ -389,6 +395,197 @@ fn native_backend_serves_the_same_wire_protocol() {
     assert_eq!(res.received, res.sent, "native backend lost replies");
     assert_eq!(res.errors, 0, "protocol errors on native backend");
     shutdown(&addr, handle);
+}
+
+#[test]
+fn loadgen_pipelined_closed_loop_receives_everything_sent() {
+    let (addr, handle) = start(small_cfg());
+    let cfg = svc::loadgen::LoadgenConfig {
+        addr: addr.clone(),
+        conns: 3,
+        write_pct: 30,
+        scan_pct: 2,
+        scan_count: 16,
+        secs: 10.0,
+        ops_per_conn: 300,
+        key_range: 2_000,
+        zipf_theta: 0.9,
+        open_rate: 0,
+        total_rate: 0,
+        pipeline: 8,
+        seed: 13,
+        shutdown: false,
+    };
+    let res = svc::loadgen::run(&cfg).expect("loadgen run");
+    assert_eq!(res.sent, 3 * 300);
+    assert_eq!(res.received, res.sent, "pipelined loop lost replies");
+    assert_eq!(res.errors, 0);
+    let report = shutdown(&addr, handle);
+    // Pipelined connections are what the decode phase batches: the run
+    // must have produced batches, and replies must balance exactly.
+    assert!(report.batches > 0);
+    assert_eq!(report.enqueued, report.replied);
+}
+
+#[test]
+fn loadgen_shared_pacing_receives_everything_sent() {
+    let (addr, handle) = start(small_cfg());
+    let cfg = svc::loadgen::LoadgenConfig {
+        addr: addr.clone(),
+        conns: 32,
+        write_pct: 20,
+        scan_pct: 0,
+        scan_count: 16,
+        secs: 10.0,
+        ops_per_conn: 10, // 320 sends total, round-robined
+        key_range: 2_000,
+        zipf_theta: 0.9,
+        open_rate: 0,
+        total_rate: 4_000,
+        pipeline: 1,
+        seed: 17,
+        shutdown: false,
+    };
+    let res = svc::loadgen::run(&cfg).expect("loadgen run");
+    assert_eq!(res.sent, 320, "shared pacing must honor the global op cap");
+    assert_eq!(res.received, res.sent, "shared pacing lost replies");
+    assert_eq!(res.errors, 0);
+    shutdown(&addr, handle);
+}
+
+/// A request wire image trickled one byte per `write` syscall: framing
+/// must reassemble across arbitrary kernel-delivery splits and the
+/// replies must come back in request order.
+#[test]
+fn one_byte_trickled_pipeline_stays_in_order() {
+    let (addr, handle) = start(small_cfg());
+    let mut c = connect(&addr);
+    let mut wire = Vec::new();
+    for key in 0..20u64 {
+        wire.extend_from_slice(&Request::Get { key }.to_frame());
+    }
+    for byte in &wire {
+        c.write_all(std::slice::from_ref(byte)).unwrap();
+    }
+    for key in 0..20u64 {
+        let body = read_frame(&mut c).expect("reply");
+        assert_eq!(Response::decode(&body).unwrap(), Response::Value(key));
+    }
+    shutdown(&addr, handle);
+}
+
+/// The batch-semantics invariant, observed from outside: a mutation's
+/// reply may only be flushed after the quiescence barrier covering its
+/// batch, so once the writer has the reply in hand, a read on a
+/// *different* connection must see the write — there is no window where
+/// an acknowledged write is invisible. Runs against both execution
+/// backends; concurrent background load keeps the decode phase actually
+/// forming multi-op batches rather than degenerate singletons.
+#[test]
+fn acknowledged_writes_are_visible_across_connections_on_both_backends() {
+    for backend in [BackendKind::Sim, BackendKind::Native] {
+        let (addr, handle) = start(ServerConfig {
+            backend,
+            ..small_cfg()
+        });
+
+        let noise_addr = addr.clone();
+        let noise = std::thread::spawn(move || {
+            let cfg = svc::loadgen::LoadgenConfig {
+                addr: noise_addr,
+                conns: 4,
+                write_pct: 50,
+                scan_pct: 5,
+                scan_count: 16,
+                secs: 30.0,
+                ops_per_conn: 400,
+                key_range: 500,
+                zipf_theta: 0.9,
+                open_rate: 0,
+                total_rate: 0,
+                pipeline: 4,
+                seed: 23,
+                shutdown: false,
+            };
+            svc::loadgen::run(&cfg).expect("noise loadgen")
+        });
+
+        let mut writer = connect(&addr);
+        let mut reader = connect(&addr);
+        // Disjoint from the noise key range so only this writer mutates
+        // these keys.
+        for round in 0..100u64 {
+            let key = 10_000 + (round % 7);
+            assert_eq!(
+                request(&mut writer, &Request::Put { key, value: round }),
+                Response::Ok
+            );
+            // The PUT is acknowledged; its barrier must already have
+            // retired every pre-flip reader, so a fresh read anywhere
+            // sees it.
+            assert_eq!(
+                request(&mut reader, &Request::Get { key }),
+                Response::Value(round),
+                "acknowledged write invisible on {} backend (round {round})",
+                backend.name(),
+            );
+        }
+
+        let noise_res = noise.join().expect("noise thread");
+        assert_eq!(noise_res.errors, 0);
+        assert_eq!(noise_res.received, noise_res.sent);
+        drop(writer);
+        drop(reader);
+        let report = shutdown(&addr, handle);
+        // Amortization bookkeeping must balance: batched ops account for
+        // every enqueued request, and on the native backend every batch
+        // is covered by at most one full barrier. (The sim backend uses
+        // the default unamortized `apply_batch` — one barrier per
+        // mutation — so the per-batch bound only applies to native.)
+        assert!(report.batches > 0);
+        if matches!(backend, BackendKind::Native) {
+            assert!(
+                report.barriers <= report.batches,
+                "{} full barriers for {} batches — more than one per batch",
+                report.barriers,
+                report.batches
+            );
+        }
+        assert_eq!(report.batch_ops, report.enqueued);
+    }
+}
+
+/// Same-connection FIFO under a pipelined write-then-read dependency:
+/// the read behind a write in one submitted burst must observe that
+/// write (the decode phase defers a read behind a mutation to the next
+/// batch rather than reordering it ahead).
+#[test]
+fn pipelined_write_then_read_sees_the_write() {
+    for backend in [BackendKind::Sim, BackendKind::Native] {
+        let (addr, handle) = start(ServerConfig {
+            backend,
+            ..small_cfg()
+        });
+        let mut c = connect(&addr);
+        for round in 0..50u64 {
+            let key = 20_000 + (round % 5);
+            let mut wire = Vec::new();
+            wire.extend_from_slice(&Request::Put { key, value: round }.to_frame());
+            wire.extend_from_slice(&Request::Get { key }.to_frame());
+            c.write_all(&wire).unwrap();
+            let body = read_frame(&mut c).expect("put reply");
+            assert_eq!(Response::decode(&body).unwrap(), Response::Ok);
+            let body = read_frame(&mut c).expect("get reply");
+            assert_eq!(
+                Response::decode(&body).unwrap(),
+                Response::Value(round),
+                "pipelined read overtook its write on {} backend",
+                backend.name(),
+            );
+        }
+        drop(c);
+        shutdown(&addr, handle);
+    }
 }
 
 #[test]

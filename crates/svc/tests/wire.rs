@@ -30,7 +30,7 @@ fn all_responses() -> Vec<Response> {
         Response::Value(u64::MAX),
         Response::Pairs(vec![]),
         Response::Pairs((0..10).map(|i| (i, i * 2)).collect()),
-        Response::Stats(ServerStats {
+        Response::Stats(Box::new(ServerStats {
             enqueued: 1,
             replied: 2,
             shed: 3,
@@ -41,9 +41,15 @@ fn all_responses() -> Vec<Response> {
             dels: 8,
             scans: 9,
             conns: 10,
+            batches: 11,
+            batch_ops: 12,
+            barriers: 13,
+            barriers_shared: 14,
+            writev_calls: 15,
+            batch_hist: [16, 17, 18, 19, 20, 21, 22, 23],
             scheme: "RW-LE_OPT".to_string(),
             backend: "native".to_string(),
-        }),
+        })),
         Response::NotFound,
         Response::BadRequest,
         Response::Busy,
@@ -231,5 +237,87 @@ proptest! {
                 let _ = Request::decode(&body);
             }
         }
+    }
+
+    /// Pipelined FIFO framing survives any read-split schedule: a random
+    /// request sequence delivered in arbitrary chunk sizes (down to one
+    /// byte at a time) decodes to exactly the same sequence, in order,
+    /// with no partial left over.
+    #[test]
+    fn frame_reader_is_fifo_under_arbitrary_splits(
+        picks in prop::collection::vec(0usize..8, 1..40),
+        splits in prop::collection::vec(1usize..9, 1..64),
+    ) {
+        let menu = all_requests();
+        let reqs: Vec<Request> = picks.iter().map(|&i| menu[i].clone()).collect();
+        let mut wire = Vec::new();
+        for r in &reqs {
+            wire.extend_from_slice(&r.to_frame());
+        }
+        let mut fr = FrameReader::new();
+        let mut decoded = Vec::new();
+        let mut pos = 0;
+        let mut turn = 0;
+        while pos < wire.len() {
+            let take = splits[turn % splits.len()].min(wire.len() - pos);
+            turn += 1;
+            fr.extend(&wire[pos..pos + take]);
+            pos += take;
+            while let Some(body) = fr.next_frame().unwrap() {
+                decoded.push(Request::decode(&body).unwrap());
+            }
+        }
+        prop_assert_eq!(decoded, reqs);
+        prop_assert!(!fr.has_partial());
+    }
+
+    /// Outbox partial-write resumption: any schedule of short vectored
+    /// writes (down to one byte per call, with any slice cap) drains the
+    /// queued reply frames as the exact concatenated byte stream — no
+    /// reorder, no skip, no duplicate — and never panics.
+    #[test]
+    fn outbox_survives_any_partial_write_schedule(
+        picks in prop::collection::vec(0usize..10, 1..20),
+        steps in prop::collection::vec(1usize..40, 1..64),
+        max_slices in 1usize..6,
+    ) {
+        let menu = all_responses();
+        let mut outbox = svc::proto::Outbox::new();
+        let mut expected = Vec::new();
+        for &i in &picks {
+            let f = menu[i].to_frame();
+            expected.extend_from_slice(&f);
+            outbox.push(f);
+        }
+        prop_assert_eq!(outbox.pending_bytes(), expected.len());
+        let mut written = Vec::new();
+        let mut turn = 0;
+        while !outbox.is_empty() {
+            let mut slices = Vec::new();
+            let n = outbox.chunks(&mut slices, max_slices);
+            prop_assert!(n > 0, "pending bytes but no slices");
+            prop_assert_eq!(n, slices.len());
+            // Simulate a short write: the kernel takes `step` bytes from
+            // the front of the vectored view — capped at the bytes the
+            // view actually exposes (writev never consumes beyond the
+            // slices it was handed).
+            let visible: usize = slices.iter().map(|s| s.len()).sum();
+            let step = steps[turn % steps.len()];
+            turn += 1;
+            let mut left = step.min(visible);
+            let took = left;
+            for s in &slices {
+                let take = left.min(s.len());
+                written.extend_from_slice(&s[..take]);
+                left -= take;
+                if left == 0 {
+                    break;
+                }
+            }
+            drop(slices);
+            outbox.advance(took);
+        }
+        prop_assert_eq!(written, expected);
+        prop_assert_eq!(outbox.pending_bytes(), 0);
     }
 }

@@ -59,6 +59,51 @@ impl BackendKind {
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct StoreFull;
 
+/// One mutation in a batch handed to [`StoreSession::apply_batch`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MutOp {
+    /// Insert or update `key`.
+    Put {
+        /// Key to write.
+        key: u64,
+        /// Value to store.
+        value: u64,
+    },
+    /// Remove `key`.
+    Del {
+        /// Key to remove.
+        key: u64,
+    },
+}
+
+impl MutOp {
+    /// The key the mutation targets (shard routing).
+    pub fn key(&self) -> u64 {
+        match *self {
+            MutOp::Put { key, .. } | MutOp::Del { key } => key,
+        }
+    }
+}
+
+/// Per-mutation result of a batch, index-aligned with the input ops.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MutReply {
+    /// Result of a [`MutOp::Put`].
+    Put(Result<PutOutcome, StoreFull>),
+    /// Result of a [`MutOp::Del`]: whether the key was present.
+    Del(bool),
+}
+
+/// Quiescence accounting for one [`StoreSession::apply_batch`] call.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BatchOutcome {
+    /// Full grace periods this batch paid for itself.
+    pub barriers: u64,
+    /// Barriers satisfied by a grace period another writer already
+    /// completed (`GraceSeq` sharing).
+    pub shared: u64,
+}
+
 /// A store plus the substrate it executes on. Shared across worker
 /// threads; each thread gets its own [`StoreSession`].
 pub trait StoreBackend: Send + Sync {
@@ -85,6 +130,33 @@ pub trait StoreSession {
     /// Appends all present pairs with keys in `[start, start + count)`
     /// to `out`, sorted by key.
     fn scan(&mut self, start: u64, count: u32, out: &mut Vec<(u64, u64)>);
+
+    /// Applies a batch of mutations, filling `replies` index-aligned
+    /// with `ops`, and reports how many quiescence barriers the batch
+    /// actually paid.
+    ///
+    /// Semantics: per key, mutations apply in `ops` order, and every
+    /// mutation is durable-to-readers (quiesced) when the call returns —
+    /// a caller may acknowledge all of them afterwards. Backends are
+    /// free to amortize: the native backend groups the batch per shard,
+    /// publishes one flip per touched shard, and pays **one** barrier
+    /// for the entire batch (`BatchOutcome::barriers <= 1`). The default
+    /// implementation is the unamortized per-op loop, paying one barrier
+    /// per mutation like individual [`StoreSession::put`]/
+    /// [`StoreSession::del`] calls.
+    fn apply_batch(&mut self, ops: &[MutOp], replies: &mut Vec<MutReply>) -> BatchOutcome {
+        replies.clear();
+        for op in ops {
+            replies.push(match *op {
+                MutOp::Put { key, value } => MutReply::Put(self.put(key, value)),
+                MutOp::Del { key } => MutReply::Del(self.del(key)),
+            });
+        }
+        BatchOutcome {
+            barriers: ops.len() as u64,
+            shared: 0,
+        }
+    }
 
     /// Drains the accumulated per-thread statistics.
     fn take_stats(&mut self) -> ThreadStats;
@@ -238,6 +310,58 @@ mod tests {
     #[test]
     fn native_backend_roundtrips() {
         roundtrip(&native());
+    }
+
+    #[test]
+    fn sgl_backend_roundtrips() {
+        roundtrip(&crate::native::SglBackend::create(200));
+    }
+
+    /// `apply_batch` must agree with sequential put/del semantics on
+    /// every backend, amortized or not.
+    fn batched_mutations(backend: &dyn StoreBackend) {
+        let mut s = backend.session();
+        let ops = [
+            MutOp::Put {
+                key: 1000,
+                value: 5,
+            },
+            MutOp::Del { key: 1 },
+            MutOp::Put {
+                key: 1000,
+                value: 6,
+            },
+            MutOp::Del { key: 4000 },
+        ];
+        let mut replies = Vec::new();
+        let out = s.apply_batch(&ops, &mut replies);
+        assert_eq!(
+            replies,
+            vec![
+                MutReply::Put(Ok(PutOutcome::Inserted)),
+                MutReply::Del(true),
+                MutReply::Put(Ok(PutOutcome::Updated)),
+                MutReply::Del(false),
+            ]
+        );
+        assert!(out.barriers + out.shared >= 1);
+        assert_eq!(s.get(1000), Some(6));
+        assert_eq!(s.get(1), None);
+    }
+
+    #[test]
+    fn sim_backend_batches() {
+        batched_mutations(&sim());
+    }
+
+    #[test]
+    fn native_backend_batches() {
+        batched_mutations(&native());
+    }
+
+    #[test]
+    fn sgl_backend_batches() {
+        batched_mutations(&crate::native::SglBackend::create(200));
     }
 
     /// The torn-read invariant of the sharded-store test, parameterized

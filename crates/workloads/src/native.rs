@@ -42,7 +42,7 @@ use std::sync::Mutex;
 use epoch::EpochSet;
 use stats::{CommitKind, ThreadStats};
 
-use crate::backend::{StoreBackend, StoreFull, StoreSession};
+use crate::backend::{BatchOutcome, MutOp, MutReply, StoreBackend, StoreFull, StoreSession};
 use crate::sharded::PutOutcome;
 
 /// Fibonacci multiplier for the shard spreader (same as [`crate::sharded`]).
@@ -224,6 +224,7 @@ impl StoreBackend for NativeBackend {
             tid: self.register(),
             st: ThreadStats::new(),
             snap: Vec::new(),
+            groups: Vec::new(),
         })
     }
 
@@ -233,12 +234,25 @@ impl StoreBackend for NativeBackend {
 }
 
 /// Per-thread session over [`NativeBackend`]: an epoch slot plus the
-/// reusable barrier snapshot buffer.
+/// reusable barrier snapshot buffer and the per-shard grouping scratch
+/// the batched apply path reuses across calls.
 struct NativeSession<'a> {
     backend: &'a NativeBackend,
     tid: usize,
     st: ThreadStats,
     snap: Vec<u64>,
+    groups: Vec<Vec<usize>>,
+}
+
+/// Applies one mutation to one map copy.
+fn apply_one(map: &mut BTreeMap<u64, u64>, op: &MutOp) -> MutReply {
+    match *op {
+        MutOp::Put { key, value } => MutReply::Put(Ok(match map.insert(key, value) {
+            None => PutOutcome::Inserted,
+            Some(_) => PutOutcome::Updated,
+        })),
+        MutOp::Del { key } => MutReply::Del(map.remove(&key).is_some()),
+    }
 }
 
 impl StoreSession for NativeSession<'_> {
@@ -298,6 +312,170 @@ impl StoreSession for NativeSession<'_> {
         out.sort_unstable();
     }
 
+    /// The amortized batch path: group per shard, one flip per touched
+    /// shard, **one** quiescence barrier for the whole batch.
+    ///
+    /// Within one batch epoch a shard may flip only once — a second flip
+    /// before the replay would hand readers a copy missing the earlier
+    /// group's mutations — so each shard's whole group is applied to its
+    /// inactive copy before the single publication. Shard writer locks
+    /// are taken in ascending shard order, the one lock order every
+    /// batching session shares, so concurrent batches cannot deadlock
+    /// (single-op `put`/`del` holds at most one shard lock and cannot
+    /// participate in a cycle). The grace snapshot is taken by
+    /// [`EpochSet::batch_barrier`] *after the last flip*, which is what
+    /// makes one barrier cover every retired copy; see the module docs
+    /// for why an earlier snapshot would be unsound.
+    fn apply_batch(&mut self, ops: &[MutOp], replies: &mut Vec<MutReply>) -> BatchOutcome {
+        replies.clear();
+        if ops.is_empty() {
+            return BatchOutcome::default();
+        }
+        let n_shards = self.backend.shards.len();
+        if self.groups.len() < n_shards {
+            self.groups.resize(n_shards, Vec::new());
+        }
+        for group in &mut self.groups {
+            group.clear();
+        }
+        for (i, op) in ops.iter().enumerate() {
+            self.groups[shard_index(op.key(), n_shards)].push(i);
+        }
+        replies.resize(ops.len(), MutReply::Del(false));
+
+        // Phase 1: apply each shard's group to its inactive copy and
+        // publish — ascending shard order, locks held until the replay.
+        let mut locked = Vec::with_capacity(n_shards.min(ops.len()));
+        for (s, group) in self.groups.iter().enumerate().take(n_shards) {
+            if group.is_empty() {
+                continue;
+            }
+            let shard = &self.backend.shards[s];
+            let guard = shard.writer.lock().unwrap();
+            let active = shard.writer_active_idx();
+            // SAFETY: the inactive copy is private to the mutex-holding
+            // writer, exactly as in `NativeShard::write`.
+            let map = unsafe { &mut *shard.slots[1 - active].get() };
+            for &i in group {
+                replies[i] = apply_one(map, &ops[i]);
+            }
+            shard.publish(1 - active);
+            locked.push((s, guard, active));
+        }
+
+        // Phase 2: one barrier retires every copy the batch just
+        // flipped away from (snapshot taken after the final flip).
+        let barrier = self
+            .backend
+            .epochs
+            .batch_barrier(Some(self.tid), &mut self.snap);
+        self.st.barrier_stalls += barrier.stalls;
+        self.st.barriers_shared += barrier.shared as u64;
+
+        // Phase 3: replay each group into the retired copy to restore
+        // the identical-copies invariant, then release the shard locks.
+        for (s, _guard, old_active) in &locked {
+            let shard = &self.backend.shards[*s];
+            // SAFETY: the grace period above drained every reader that
+            // could have held `old_active` as its index; the copy is now
+            // writer-private (we still hold the shard's writer lock).
+            let map = unsafe { &mut *shard.slots[*old_active].get() };
+            for &i in &self.groups[*s] {
+                apply_one(map, &ops[i]);
+            }
+        }
+        drop(locked);
+
+        // Same per-mutation accounting as the unbatched path: each
+        // mutation is one ROT-emulated publication.
+        for _ in ops {
+            self.st.commit(CommitKind::Rot);
+        }
+        BatchOutcome {
+            barriers: (!barrier.shared) as u64,
+            shared: barrier.shared as u64,
+        }
+    }
+
+    fn take_stats(&mut self) -> ThreadStats {
+        std::mem::take(&mut self.st)
+    }
+}
+
+/// Single-global-lock canary over plain process memory: one mutex around
+/// one `BTreeMap`, none of the elision machinery. This is the
+/// `--scheme SGL --backend native` baseline the CI batching gate
+/// normalizes against — it reports the `"native"` backend label so
+/// `regress --relative-to SGL` can match it to the RW-LE native rows at
+/// the same configuration (the drift key includes the backend tag).
+pub struct SglBackend {
+    map: Mutex<BTreeMap<u64, u64>>,
+}
+
+impl SglBackend {
+    /// Builds the locked map with keys `0..prefill` pre-loaded as
+    /// `value = key`.
+    pub fn create(prefill: u64) -> SglBackend {
+        SglBackend {
+            map: Mutex::new((0..prefill).map(|k| (k, k)).collect()),
+        }
+    }
+}
+
+impl StoreBackend for SglBackend {
+    fn session(&self) -> Box<dyn StoreSession + '_> {
+        Box::new(SglSession {
+            backend: self,
+            st: ThreadStats::new(),
+        })
+    }
+
+    fn label(&self) -> &'static str {
+        "native"
+    }
+}
+
+/// Per-thread session over [`SglBackend`]: every operation takes the
+/// global lock. `apply_batch` deliberately keeps the default per-op
+/// loop — the canary must not benefit from the batching machinery it
+/// exists to baseline.
+struct SglSession<'a> {
+    backend: &'a SglBackend,
+    st: ThreadStats,
+}
+
+impl StoreSession for SglSession<'_> {
+    fn get(&mut self, key: u64) -> Option<u64> {
+        let out = self.backend.map.lock().unwrap().get(&key).copied();
+        self.st.commit(CommitKind::Sgl);
+        out
+    }
+
+    fn put(&mut self, key: u64, value: u64) -> Result<PutOutcome, StoreFull> {
+        let prev = self.backend.map.lock().unwrap().insert(key, value);
+        self.st.commit(CommitKind::Sgl);
+        Ok(match prev {
+            None => PutOutcome::Inserted,
+            Some(_) => PutOutcome::Updated,
+        })
+    }
+
+    fn del(&mut self, key: u64) -> bool {
+        let removed = self.backend.map.lock().unwrap().remove(&key).is_some();
+        self.st.commit(CommitKind::Sgl);
+        removed
+    }
+
+    fn scan(&mut self, start: u64, count: u32, out: &mut Vec<(u64, u64)>) {
+        let end = start.saturating_add(count as u64);
+        let map = self.backend.map.lock().unwrap();
+        for (&k, &v) in map.range(start..end) {
+            out.push((k, v));
+        }
+        drop(map);
+        self.st.commit(CommitKind::Sgl);
+    }
+
     fn take_stats(&mut self) -> ThreadStats {
         std::mem::take(&mut self.st)
     }
@@ -344,5 +522,71 @@ mod tests {
         let backend = NativeBackend::create(1, 1, 0);
         let _a = backend.session();
         let _b = backend.session();
+    }
+
+    #[test]
+    fn batched_apply_matches_sequential_semantics() {
+        let backend = NativeBackend::create(4, 2, 10);
+        let mut s = backend.session();
+        let ops = [
+            MutOp::Put { key: 100, value: 1 },
+            MutOp::Del { key: 3 },
+            // Same key twice in one batch: ops order must hold.
+            MutOp::Put { key: 100, value: 2 },
+            MutOp::Del { key: 100 },
+            MutOp::Put { key: 7, value: 9 },
+        ];
+        let mut replies = Vec::new();
+        let out = s.apply_batch(&ops, &mut replies);
+        // The whole batch pays exactly one grace period (own or shared).
+        assert_eq!(out.barriers + out.shared, 1);
+        assert_eq!(
+            replies,
+            vec![
+                MutReply::Put(Ok(PutOutcome::Inserted)),
+                MutReply::Del(true),
+                MutReply::Put(Ok(PutOutcome::Updated)),
+                MutReply::Del(true),
+                // Key 7 was prefilled.
+                MutReply::Put(Ok(PutOutcome::Updated)),
+            ]
+        );
+        assert_eq!(s.get(100), None);
+        assert_eq!(s.get(7), Some(9));
+        let st = s.take_stats();
+        assert_eq!(st.commits(CommitKind::Rot), 5);
+        drop(s);
+        for shard in &backend.shards {
+            // SAFETY: the session is dropped and no other thread exists;
+            // both copies are quiescent and safe to inspect.
+            let a = unsafe { &*shard.slots[0].get() };
+            // SAFETY: as above.
+            let b = unsafe { &*shard.slots[1].get() };
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn empty_batch_pays_no_barrier() {
+        let backend = NativeBackend::create(2, 1, 0);
+        let mut s = backend.session();
+        let mut replies = vec![MutReply::Del(true)];
+        let out = s.apply_batch(&[], &mut replies);
+        assert_eq!(out, BatchOutcome::default());
+        assert!(replies.is_empty());
+    }
+
+    #[test]
+    fn sgl_canary_reports_native_label_and_sgl_commits() {
+        let backend = SglBackend::create(20);
+        assert_eq!(backend.label(), "native");
+        let mut s = backend.session();
+        assert_eq!(s.get(7), Some(7));
+        assert_eq!(s.put(100, 1), Ok(PutOutcome::Inserted));
+        assert!(s.del(100));
+        let mut out = Vec::new();
+        s.scan(0, 5, &mut out);
+        assert_eq!(out.len(), 5);
+        assert_eq!(s.take_stats().commits(CommitKind::Sgl), 4);
     }
 }
