@@ -205,6 +205,10 @@ impl EpochSet {
     /// off to another OS thread *between* operations (with external
     /// synchronization), but two updates of the same slot must never
     /// overlap; debug builds assert this with a per-slot update token.
+    ///
+    /// Litmus: the SeqCst clock store + lock load are `wmm::proto`'s
+    /// `epoch_enter_dekker` suite — forbidden outcome unreachable at
+    /// these strengths, every one-notch weakening killed with a seed.
     #[inline]
     pub fn enter(&self, tid: usize) {
         sched::step();
@@ -249,6 +253,8 @@ impl EpochSet {
     /// Release store: a writer that observes the even clock (Acquire)
     /// synchronizes with every load this critical section performed —
     /// exit needs no total-order fence, unlike [`EpochSet::enter`].
+    /// Litmus: the `epoch_exit_grace` suite in `wmm::proto` pins this
+    /// release/acquire pair as a message-passing test.
     #[inline]
     pub fn exit(&self, tid: usize) {
         sched::step();
@@ -404,7 +410,10 @@ impl EpochSet {
     /// Clock loads are Acquire: observing a clock move past the snapshot
     /// synchronizes with that reader's critical-section loads (its exit
     /// is a Release store). The summary loads are SeqCst — the scan side
-    /// of the enter-vs-scan dichotomy (docs/PROTOCOL.md §5).
+    /// of the enter-vs-scan dichotomy (docs/PROTOCOL.md §5). Both halves
+    /// are machine-checked: `wmm::proto`'s `epoch_exit_grace` models the
+    /// acquire against `exit`'s release, `summary_enter_vs_scan` the
+    /// SeqCst scan.
     pub fn synchronize_from(
         &self,
         skip: Option<usize>,

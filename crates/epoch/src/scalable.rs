@@ -67,7 +67,8 @@ impl Summary {
     /// of the reader's `enter`, so both SeqCst stores precede the clock
     /// in the total order: any barrier scan that could have observed the
     /// odd clock observes the summary bits (the enter-vs-scan dichotomy,
-    /// same discipline as the HTM engine's claim filter).
+    /// same discipline as the HTM engine's claim filter). Machine-checked
+    /// by `wmm::proto`'s `summary_enter_vs_scan` litmus.
     #[inline]
     pub(crate) fn mark_enter(&self, tid: usize) {
         let bit = 1u64 << (tid % GROUP);
@@ -100,7 +101,8 @@ impl Summary {
     ///
     /// The root and leaf loads are SeqCst so they order after the
     /// caller's commit-point RMW and see the bits of every reader whose
-    /// enter precedes that point (see `docs/PROTOCOL.md` §5).
+    /// enter precedes that point (see `docs/PROTOCOL.md` §5; litmus:
+    /// `summary_enter_vs_scan` in `wmm::proto`).
     #[inline]
     pub(crate) fn scan(&self, mut visit: impl FnMut(usize)) {
         let mut root = self.root.0.load(Ordering::SeqCst);

@@ -506,6 +506,9 @@ impl HtmRuntime {
     }
 
     /// Dooms every tracked HTM reader of `line` except `me`.
+    ///
+    /// Litmus: writer side of the `r1_commit_quartet` suite in
+    /// `wmm::proto` (the scan load after `claim_line`'s CAS).
     pub(crate) fn doom_readers(&self, line: usize, me: usize, cause: AbortCause) {
         let meta = self.line(line);
         // SeqCst (load-bearing): writer side of the store-buffering race
@@ -538,6 +541,9 @@ impl HtmRuntime {
     /// plain load of memory is sound. Non-transactional claims are ignored:
     /// their single store is word-atomic, so a load sees either the old or
     /// the new value.
+    ///
+    /// Litmus: reader side of `wmm::proto`'s `r1_commit_quartet`
+    /// (writer-word load after `add_reader`'s publication).
     pub(crate) fn resolve_writer(&self, line: usize, me: usize, cause: AbortCause) {
         let meta = self.line(line);
         loop {
@@ -655,6 +661,12 @@ impl HtmRuntime {
 
     /// Claims `line` for the transaction `(me, my_seq)`, dooming any
     /// conflicting writer and every foreign tracked reader.
+    ///
+    /// Litmus: the claim CAS anchors the writer side of *two* `wmm::proto`
+    /// suites — `r1_commit_quartet` (against HTM readers) and
+    /// `claim_filter_accounting` (the filter increment against
+    /// `read_epoch_as`'s filter load); `xlint mutate` kills every
+    /// one-notch weakening of either.
     pub(crate) fn claim_line(&self, line: usize, me: usize, my_seq: u64, cause: AbortCause) {
         let meta = self.line(line);
         let mine = pack_writer(me, my_seq);
@@ -748,6 +760,9 @@ impl HtmRuntime {
     /// SeqCst (load-bearing): reader side of race R1 — publish the bit,
     /// then load the writer word in `resolve_writer`; paired with the
     /// writer's SeqCst claim CAS + reader scan (see `doom_readers`).
+    /// Machine-checked by `wmm::proto`'s `r1_commit_quartet` litmus:
+    /// the forbidden both-miss outcome is unreachable at these
+    /// strengths, and every one-notch weakening is killed with a seed.
     pub(crate) fn add_reader(&self, line: usize, me: usize) {
         let meta = self.line(line);
         let bit = 1u64 << (me % 64);

@@ -618,7 +618,10 @@ impl ReaderIndicator for BravoIndicator {
         sched::step();
         // The load-bearing re-check (enter-vs-scan dichotomy on the bias
         // word): seeing the bias set here orders this publication before
-        // any collector's scan.
+        // any collector's scan. Machine-checked by `wmm::proto`'s
+        // `rind_bias_revocation` litmus: the certified-but-unseen outcome
+        // is unreachable at these strengths, and every one-notch
+        // weakening is killed with a seed.
         if self.state.load(Ordering::SeqCst) & BIAS != 0 {
             return Publish::Certified(slot as u32);
         }
@@ -692,7 +695,8 @@ impl ReaderIndicator for BravoIndicator {
         sched::step();
         // The revocation proper, as in `begin_collect`: a reader whose
         // certify re-check (SeqCst) precedes this clear is certified, and
-        // the caller's scan after this clear must see its slot.
+        // the caller's scan after this clear must see its slot (writer
+        // side of the `rind_bias_revocation` litmus in `wmm::proto`).
         self.state.fetch_and(!BIAS, Ordering::SeqCst);
         Revocation {
             revoked: true,
@@ -715,6 +719,9 @@ impl ReaderIndicator for BravoIndicator {
         sched::step();
         // Only this instance's region can hold its publications (`slot_of`
         // masks into it), so the scan is O(region), not O(TABLE_SLOTS).
+        // The slot loads are SeqCst so a publication whose certify
+        // re-check saw the bias is visible here — the scan side of the
+        // `rind_bias_revocation` litmus in `wmm::proto`.
         for (i, slot) in TABLE.iter().enumerate().skip(self.base).take(self.mask + 1) {
             let v = slot.0.load(Ordering::SeqCst);
             if v != 0 && v >> 32 == self.id {

@@ -146,6 +146,16 @@ pub struct RwLeConfig {
     /// via the epoch clocks alone and would never see an
     /// indicator-published reader (see [`RwLe::new`]).
     pub indicator: IndicatorKind,
+    /// **Deliberately unsound** litmus knob: skip the commit-time ROT-lock
+    /// subscription entirely, so an HTM writer can commit in the middle of
+    /// a ROT writer's critical section — the unsafe end of the lazy-
+    /// subscription spectrum analyzed by Dice et al. (arXiv 1407.6968).
+    /// Exists only so `crates/wmm/tests/lazy_sub.rs` can machine-check
+    /// that the documented commit-time placement is load-bearing: with
+    /// this set, seed exploration finds a lost update. Never enable it
+    /// outside that harness.
+    #[doc(hidden)]
+    pub skip_rot_subscription: bool,
 }
 
 impl RwLeConfig {
@@ -159,6 +169,7 @@ impl RwLeConfig {
             single_pass_quiesce: true,
             fast_read_entry: true,
             indicator: IndicatorKind::Central,
+            skip_rot_subscription: false,
         }
     }
 
@@ -562,6 +573,43 @@ impl RwLe {
         }
     }
 
+    // ------------------------------------------------------------------
+    // Litmus entry points (wmm harness)
+    // ------------------------------------------------------------------
+
+    /// Drives `body` through exactly one HTM write attempt — no retry
+    /// policy, no fallback. Exists so the wmm litmus harness
+    /// (`crates/wmm/tests/lazy_sub.rs`) can pit a bare HTM writer against
+    /// a bare ROT writer and machine-check the lazy ROT-subscription
+    /// placement. Not part of the protocol surface.
+    #[doc(hidden)]
+    pub fn litmus_write_htm<R>(
+        &self,
+        ctx: &mut ThreadCtx,
+        stats: &mut ThreadStats,
+        body: &mut dyn FnMut(&mut dyn MemAccess) -> Result<R, AbortCause>,
+    ) -> Result<R, AbortCause> {
+        let mut snap = ctx.take_scratch();
+        let r = self.write_htm(ctx, stats, body, &mut snap);
+        ctx.restore_scratch(snap);
+        r
+    }
+
+    /// Single ROT write attempt, litmus counterpart of
+    /// [`RwLe::litmus_write_htm`].
+    #[doc(hidden)]
+    pub fn litmus_write_rot<R>(
+        &self,
+        ctx: &mut ThreadCtx,
+        stats: &mut ThreadStats,
+        body: &mut dyn FnMut(&mut dyn MemAccess) -> Result<R, AbortCause>,
+    ) -> Result<R, AbortCause> {
+        let mut snap = ctx.take_scratch();
+        let r = self.write_rot(ctx, stats, body, &mut snap);
+        ctx.restore_scratch(snap);
+        r
+    }
+
     /// HTM write path: concurrent writers via eager lock subscription
     /// (Algorithm 2 lines 41–46), suspend/quiesce/resume commit
     /// (lines 68–72).
@@ -586,9 +634,14 @@ impl RwLe {
             return Err(AbortCause::Explicit(ABORT_LOCK_BUSY));
         }
         let r = body(&mut tx)?;
-        if self.cfg.split_locks {
+        if self.cfg.split_locks && !self.cfg.skip_rot_subscription {
             // Lazy ROT-lock subscription (§3.3): only at commit must no
             // ROT writer be active — their bodies may overlap with ours.
+            // Subscribing here (not earlier) is safe because a ROT holder
+            // that appears *after* this read dooms us through the read-set
+            // conflict on the lock word; skipping it (the
+            // `skip_rot_subscription` litmus knob) lets us commit inside a
+            // ROT critical section — see `wmm`'s lazy-subscription litmus.
             if state(tx.read(self.rot_lock)?) != ST_FREE {
                 drop(tx);
                 return Err(AbortCause::Explicit(ABORT_LOCK_BUSY));

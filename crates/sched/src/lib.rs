@@ -164,6 +164,16 @@ impl Shared {
         }
     }
 
+    /// Draws one value in `0..n` from the schedule's seeded RNG on behalf
+    /// of the running worker. Not a scheduling point: the baton does not
+    /// move, the draw just consumes RNG state in execution order — which
+    /// is itself a pure function of the seed, so one seed still names one
+    /// execution even when workers ask for extra nondeterminism.
+    fn choice_from(&self, n: usize) -> usize {
+        let mut st = self.state.lock().expect("scheduler poisoned");
+        st.rng.gen_range(0..n)
+    }
+
     /// Marks `id` finished and passes the baton on; records `panic` if it
     /// is the first failure.
     fn finish(&self, id: usize, panic: Option<Box<dyn std::any::Any + Send>>) {
@@ -238,10 +248,14 @@ impl Scheduler {
     /// interleaving, then re-raises the first panic (if any) — its message
     /// already carries the seed when it came from the step-budget check;
     /// test harnesses add the seed for assertion failures via [`explore`].
-    pub fn run(self) {
+    ///
+    /// Returns the number of scheduling steps the run consumed, so tests
+    /// can pin hook-count contracts (e.g. [`Backoff::snooze`] is exactly
+    /// one [`yield_point`] under exploration).
+    pub fn run(self) -> u64 {
         let Scheduler { shared, bodies } = self;
         if bodies.is_empty() {
-            return;
+            return 0;
         }
         let handles: Vec<_> = bodies
             .into_iter()
@@ -286,6 +300,7 @@ impl Scheduler {
             drop(st);
             resume_unwind(p);
         }
+        st.steps
     }
 }
 
@@ -353,6 +368,45 @@ pub fn step_via_tls() -> bool {
     })
 }
 
+/// Deterministic nondeterminism for exploration layers: one draw in
+/// `0..n` from the schedule's seeded RNG.
+///
+/// This is the reorder hook the weak-memory litmus harness (`crates/wmm`)
+/// builds on: beyond *interleavings* (which the baton already explores),
+/// a memory-model simulator needs to choose *reorderings* — when a store
+/// buffer flushes, how stale a relaxed load may read. Routing those
+/// choices through the schedule RNG keeps the whole execution a pure
+/// function of the seed: the baton handoffs and the reorder choices are
+/// consumed from one RNG in one deterministic order.
+///
+/// Like [`step`], the production cost is one relaxed load and a branch:
+/// outside a scheduler worker the draw degrades to `0` (the
+/// deterministic, strongest-memory-model answer), so gating model code
+/// on `choice` is free when exploration is off.
+///
+/// # Panics
+///
+/// Panics if `n == 0` (there is no value to draw).
+#[inline]
+pub fn choice(n: usize) -> usize {
+    assert!(n > 0, "sched::choice(0): empty choice set");
+    if EXPLORATION_ACTIVE.load(Ordering::Relaxed) == 0 {
+        return 0;
+    }
+    choice_slow(n)
+}
+
+#[cold]
+fn choice_slow(n: usize) -> usize {
+    CURRENT_WORKER.with(|w| {
+        if let Some((shared, _)) = w.borrow().as_ref() {
+            shared.choice_from(n)
+        } else {
+            0
+        }
+    })
+}
+
 /// Returns `true` when called from inside a [`Scheduler`] logical thread.
 pub fn is_scheduled() -> bool {
     EXPLORATION_ACTIVE.load(Ordering::Relaxed) != 0 && CURRENT_WORKER.with(|w| w.borrow().is_some())
@@ -414,8 +468,15 @@ impl Backoff {
 /// The printed line has the shape
 /// `schedule exploration '<name>' FAILED at seed <seed>` so a CI log
 /// always names the one-seed local repro.
+///
+/// Setting `SCHED_SEEDS=N` caps every suite at its first `N` seeds, so a
+/// local edit-test loop can shrink the 3k+ seed CI sweeps without
+/// touching the pinned ranges (`SCHED_SEEDS=25 cargo test -p rwle`).
+/// The cap keeps the range's *start*: seed `k` explores the same
+/// interleaving whether or not the suite was truncated, so a reproducing
+/// seed from CI stays valid under the override.
 pub fn explore(name: &str, seeds: std::ops::Range<u64>, body: impl Fn(u64)) {
-    for seed in seeds {
+    for seed in capped_range(seeds, seed_cap()) {
         if let Err(p) = catch_unwind(AssertUnwindSafe(|| body(seed))) {
             eprintln!(
                 "schedule exploration '{name}' FAILED at seed {seed} — \
@@ -425,6 +486,33 @@ pub fn explore(name: &str, seeds: std::ops::Range<u64>, body: impl Fn(u64)) {
             resume_unwind(p);
         }
     }
+}
+
+/// Truncates a suite's pinned seed range to its first `cap` seeds,
+/// keeping the start so CI-reported seeds stay valid under the override.
+fn capped_range(seeds: std::ops::Range<u64>, cap: Option<u64>) -> std::ops::Range<u64> {
+    match cap {
+        Some(cap) => seeds.start..seeds.end.min(seeds.start.saturating_add(cap)),
+        None => seeds,
+    }
+}
+
+/// Parses the `SCHED_SEEDS` override once per process. `0`, negative, or
+/// unparsable values are ignored (the full pinned ranges run) — a typo'd
+/// override must never silently skip a suite.
+fn seed_cap() -> Option<u64> {
+    use std::sync::OnceLock;
+    static CAP: OnceLock<Option<u64>> = OnceLock::new();
+    *CAP.get_or_init(|| {
+        let raw = std::env::var("SCHED_SEEDS").ok()?;
+        match raw.trim().parse::<u64>() {
+            Ok(n) if n > 0 => Some(n),
+            _ => {
+                eprintln!("sched: ignoring SCHED_SEEDS={raw:?} (expected a positive integer)");
+                None
+            }
+        }
+    })
 }
 
 #[cfg(test)]
@@ -563,6 +651,99 @@ mod tests {
         });
         let p = result.expect_err("panic must propagate");
         assert_eq!(p.downcast_ref::<&str>(), Some(&"boom"));
+    }
+
+    #[test]
+    fn sched_seeds_cap_keeps_the_range_start() {
+        assert_eq!(capped_range(0..3000, Some(25)), 0..25);
+        assert_eq!(capped_range(100..200, Some(25)), 100..125);
+        // A cap wider than the suite changes nothing, as does no cap.
+        assert_eq!(capped_range(100..110, Some(25)), 100..110);
+        assert_eq!(capped_range(0..3000, None), 0..3000);
+        assert_eq!(
+            capped_range(u64::MAX - 1..u64::MAX, Some(25)),
+            u64::MAX - 1..u64::MAX
+        );
+    }
+
+    #[test]
+    fn choice_is_seed_deterministic_and_degrades_outside() {
+        // Outside any scheduler the hook is the strongest-model constant.
+        assert_eq!(choice(1), 0);
+        assert_eq!(choice(17), 0);
+        // Inside: draws are a pure function of the seed, interleaved with
+        // the baton handoffs in execution order.
+        let draws_of = |seed| {
+            let out = Arc::new(Mutex::new(Vec::new()));
+            let mut s = Scheduler::new(seed);
+            for _ in 0..2 {
+                let out = Arc::clone(&out);
+                s.spawn(move || {
+                    for _ in 0..8 {
+                        step();
+                        out.lock().unwrap().push(choice(10));
+                    }
+                });
+            }
+            s.run();
+            Arc::try_unwrap(out).unwrap().into_inner().unwrap()
+        };
+        assert_eq!(draws_of(11), draws_of(11));
+        assert_ne!(draws_of(11), draws_of(12));
+        assert!(draws_of(11).iter().all(|&d| d < 10));
+    }
+
+    #[test]
+    fn backoff_snooze_is_exactly_one_yield_point_under_exploration() {
+        // The A3 contract: under exploration, every snooze takes exactly
+        // one scheduling step — no spin phase, no yield storm, no real
+        // sleeps — so `run()`'s step count equals the snooze count, and a
+        // snooze-based wait loop replays the same interleaving as a
+        // yield_point-based one.
+        let steps = {
+            let mut s = Scheduler::new(9);
+            s.spawn(|| {
+                let mut bo = Backoff::new();
+                for _ in 0..25 {
+                    bo.snooze();
+                }
+            });
+            s.run()
+        };
+        assert_eq!(steps, 25, "snooze must cost exactly one step each");
+
+        // Two-thread wait loop: snooze and yield_point produce identical
+        // traces for the same seed.
+        let trace_with = |snooze: bool, seed: u64| {
+            let trace = Arc::new(Mutex::new(Vec::new()));
+            let flag = Arc::new(AtomicU64::new(0));
+            let mut s = Scheduler::new(seed);
+            let (t1, f1) = (Arc::clone(&trace), Arc::clone(&flag));
+            s.spawn(move || {
+                let mut bo = Backoff::new();
+                while f1.load(Ordering::SeqCst) == 0 {
+                    t1.lock().unwrap().push(0u64);
+                    if snooze {
+                        bo.snooze();
+                    } else {
+                        yield_point();
+                    }
+                }
+            });
+            let (t2, f2) = (Arc::clone(&trace), Arc::clone(&flag));
+            s.spawn(move || {
+                for _ in 0..30 {
+                    t2.lock().unwrap().push(1u64);
+                    step();
+                }
+                f2.store(1, Ordering::SeqCst);
+            });
+            let steps = s.run();
+            (steps, Arc::try_unwrap(trace).unwrap().into_inner().unwrap())
+        };
+        for seed in 0..10 {
+            assert_eq!(trace_with(true, seed), trace_with(false, seed));
+        }
     }
 
     #[test]

@@ -1,0 +1,114 @@
+//! Command-line driver for the protocol litmus suites. The CI `litmus`
+//! job runs `check` + `mutate`; `xlint mutate` drives the same suites
+//! in-process.
+//!
+//! Usage:
+//!   litmus list                 table of suites, groups and sites
+//!   litmus check [NAME|GROUP]   run suites at documented strength
+//!   litmus mutate [NAME|GROUP]  weaken each site one notch; every
+//!                               mutant must be killed with a seed
+//!
+//! Exit codes: 0 clean, 1 litmus/mutation failure, 2 usage error.
+
+use std::process::ExitCode;
+use wmm::proto::SUITES;
+use wmm::Suite;
+
+fn selected(filter: Option<&str>) -> Vec<&'static Suite> {
+    match filter {
+        None => SUITES.iter().collect(),
+        Some(f) => SUITES
+            .iter()
+            .filter(|s| s.name == f || s.group == f)
+            .collect(),
+    }
+}
+
+fn list() {
+    for s in SUITES {
+        println!("{}  [{}]", s.name, s.group);
+        println!("    {}", s.about);
+        println!("    forbidden: {}", s.forbidden);
+        for site in s.sites {
+            println!(
+                "    site: {} `{}` {} ({})",
+                site.file, site.symbol, site.strength, site.label
+            );
+        }
+    }
+}
+
+fn check(suites: &[&Suite]) -> bool {
+    let mut ok = true;
+    for s in suites {
+        match s.check() {
+            Ok(()) => println!("ok    {} ({} seeds)", s.name, s.seeds),
+            Err(e) => {
+                println!("FAIL  {e}");
+                ok = false;
+            }
+        }
+    }
+    ok
+}
+
+fn mutate(suites: &[&Suite]) -> bool {
+    let mut ok = true;
+    for s in suites {
+        for m in s.mutate() {
+            let site = &s.sites[m.mutant.site];
+            match m.killed {
+                Some((seed, out)) => println!(
+                    "killed    {}: {} `{}` {}\u{2192}{} seed {} ({})",
+                    s.name, site.symbol, site.label, m.mutant.from, m.mutant.to, seed, out
+                ),
+                None => {
+                    println!(
+                        "SURVIVED  {}: {} `{}` {}\u{2192}{} after {} seeds — the documented \
+                         strength is not load-bearing in this litmus",
+                        s.name, site.symbol, site.label, m.mutant.from, m.mutant.to, s.seeds
+                    );
+                    ok = false;
+                }
+            }
+        }
+    }
+    ok
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (cmd, filter) = match args.len() {
+        1 => (args[0].as_str(), None),
+        2 => (args[0].as_str(), Some(args[1].as_str())),
+        _ => ("", None),
+    };
+    if let Some(f) = filter {
+        if selected(Some(f)).is_empty() {
+            eprintln!("litmus: no suite or group named `{f}`");
+            return ExitCode::from(2);
+        }
+    }
+    let suites = selected(filter);
+    let ok = match cmd {
+        "list" => {
+            list();
+            true
+        }
+        "check" => check(&suites),
+        "mutate" => mutate(&suites),
+        _ => {
+            eprintln!(
+                "usage: litmus <list|check|mutate> [SUITE|GROUP]\n\
+                 suites: {}",
+                SUITES.iter().map(|s| s.name).collect::<Vec<_>>().join(", ")
+            );
+            return ExitCode::from(2);
+        }
+    };
+    if ok {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    }
+}

@@ -1,0 +1,74 @@
+//! The classic litmus shapes, parameterized by memory order, used as
+//! model self-tests. `tests/classic.rs` pins each to the x86-TSO
+//! allowed/forbidden table from Chong/Sorensen/Wickerson (arXiv
+//! 1710.04839) under the standard x86 mapping (plain store = release,
+//! plain load = acquire, fenced/locked = SeqCst), plus the documented
+//! C11-style divergences (see DESIGN.md §12).
+
+use crate::dsl::{ld, st, Litmus};
+use crate::model::MemOrder;
+
+const X: usize = 0;
+const Y: usize = 1;
+
+/// Store buffering (Dekker core). x86: allowed for plain accesses,
+/// forbidden with MFENCE.
+///
+/// ```text
+/// T0: x = 1;  r0 = y        T1: y = 1;  r1 = x
+/// ```
+/// Interesting outcome: `r0 == 0 && r1 == 0`.
+pub fn sb(store: MemOrder, load: MemOrder) -> Litmus {
+    Litmus::new(format!("SB[st={store},ld={load}]"), &["x", "y"])
+        .thread(vec![st(X, 1, store), ld(Y, 0, load)])
+        .thread(vec![st(Y, 1, store), ld(X, 0, load)])
+}
+
+/// Message passing. x86: forbidden.
+///
+/// ```text
+/// T0: data = 1; flag = 1     T1: r0 = flag;  r1 = data
+/// ```
+/// Interesting outcome: `r0 == 1 && r1 == 0`.
+pub fn mp(w_data: MemOrder, w_flag: MemOrder, r_flag: MemOrder, r_data: MemOrder) -> Litmus {
+    const DATA: usize = 0;
+    const FLAG: usize = 1;
+    Litmus::new(
+        format!("MP[wd={w_data},wf={w_flag},rf={r_flag},rd={r_data}]"),
+        &["data", "flag"],
+    )
+    .thread(vec![st(DATA, 1, w_data), st(FLAG, 1, w_flag)])
+    .thread(vec![ld(FLAG, 0, r_flag), ld(DATA, 1, r_data)])
+}
+
+/// Load buffering. x86: forbidden (loads are not reordered with later
+/// stores); this model executes each thread's ops in program order and
+/// never speculates loads, so LB stays forbidden at every strength.
+///
+/// ```text
+/// T0: r0 = x;  y = 1         T1: r1 = y;  x = 1
+/// ```
+/// Interesting outcome: `r0 == 1 && r1 == 1`.
+pub fn lb(load: MemOrder, store: MemOrder) -> Litmus {
+    Litmus::new(format!("LB[ld={load},st={store}]"), &["x", "y"])
+        .thread(vec![ld(X, 0, load), st(Y, 1, store)])
+        .thread(vec![ld(Y, 0, load), st(X, 1, store)])
+}
+
+/// Independent reads of independent writes. x86: forbidden (stores
+/// become visible to all observers in a single total order). This
+/// model keeps that guarantee only at `SeqCst`; with plain
+/// acquire/release the C11-style per-location visibility lets the two
+/// readers disagree — a documented divergence (DESIGN.md §12).
+///
+/// ```text
+/// T0: x = 1    T1: y = 1    T2: r0 = x; r1 = y    T3: r2 = y; r3 = x
+/// ```
+/// Interesting outcome: `r0 == 1 && r1 == 0 && r2 == 1 && r3 == 0`.
+pub fn iriw(store: MemOrder, load: MemOrder) -> Litmus {
+    Litmus::new(format!("IRIW[st={store},ld={load}]"), &["x", "y"])
+        .thread(vec![st(X, 1, store)])
+        .thread(vec![st(Y, 1, store)])
+        .thread(vec![ld(X, 0, load), ld(Y, 1, load)])
+        .thread(vec![ld(Y, 0, load), ld(X, 1, load)])
+}

@@ -1,0 +1,404 @@
+//! Litmus DSL + seeded runner.
+//!
+//! A [`Litmus`] is a fixed set of named locations plus per-thread
+//! straight-line op lists. [`Litmus::explore`] runs it once per seed
+//! under [`sched::Scheduler`] — every memory op is a scheduling point
+//! and every nondeterministic pick (interleaving, flush moment, stale
+//! read) is drawn from the schedule's seeded RNG, so a seed names one
+//! execution and any assertion failure prints a reproducing seed.
+//!
+//! [`Suite`] packages a protocol-shaped litmus with the documented
+//! `docs/orderings.toml` sites it models: `check` proves the forbidden
+//! outcome unreachable at documented strength (and a sanity outcome
+//! reachable, so the test has teeth), `mutate` weakens each site one
+//! notch and demands the forbidden outcome become reachable — a
+//! surviving mutant means the documented strength is not actually
+//! load-bearing in the modeled dichotomy.
+
+use crate::model::{Mem, MemOrder, OpKind};
+use std::collections::BTreeMap;
+use std::ops::Range;
+use std::sync::{Arc, Mutex};
+
+/// One straight-line memory operation. `reg` indexes the executing
+/// thread's register file, which becomes the observed [`Outcome`].
+#[derive(Clone, Copy, Debug)]
+pub enum Op {
+    Store {
+        loc: usize,
+        val: u64,
+        ord: MemOrder,
+    },
+    Load {
+        loc: usize,
+        reg: usize,
+        ord: MemOrder,
+    },
+    FetchOr {
+        loc: usize,
+        val: u64,
+        reg: usize,
+        ord: MemOrder,
+    },
+    FetchAdd {
+        loc: usize,
+        val: u64,
+        reg: usize,
+        ord: MemOrder,
+    },
+    /// Compare-and-swap; `reg` receives the old value (success iff it
+    /// equals `expect`). A failed CAS degrades to a load.
+    Cas {
+        loc: usize,
+        expect: u64,
+        new: u64,
+        reg: usize,
+        ord: MemOrder,
+    },
+}
+
+pub fn st(loc: usize, val: u64, ord: MemOrder) -> Op {
+    Op::Store { loc, val, ord }
+}
+
+pub fn ld(loc: usize, reg: usize, ord: MemOrder) -> Op {
+    Op::Load { loc, reg, ord }
+}
+
+pub fn fetch_or(loc: usize, val: u64, reg: usize, ord: MemOrder) -> Op {
+    Op::FetchOr { loc, val, reg, ord }
+}
+
+pub fn fetch_add(loc: usize, val: u64, reg: usize, ord: MemOrder) -> Op {
+    Op::FetchAdd { loc, val, reg, ord }
+}
+
+pub fn cas(loc: usize, expect: u64, new: u64, reg: usize, ord: MemOrder) -> Op {
+    Op::Cas {
+        loc,
+        expect,
+        new,
+        reg,
+        ord,
+    }
+}
+
+/// Register values per thread after one execution.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Debug)]
+pub struct Outcome(pub Vec<Vec<u64>>);
+
+impl Outcome {
+    /// Register `reg` of thread `tid`.
+    pub fn r(&self, tid: usize, reg: usize) -> u64 {
+        self.0[tid][reg]
+    }
+}
+
+impl std::fmt::Display for Outcome {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let mut first = true;
+        for (tid, regs) in self.0.iter().enumerate() {
+            for (i, v) in regs.iter().enumerate() {
+                if !first {
+                    write!(f, " ")?;
+                }
+                first = false;
+                write!(f, "{tid}:r{i}={v}")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// A named litmus shape: locations + per-thread op lists.
+#[derive(Clone)]
+pub struct Litmus {
+    pub name: String,
+    pub locs: Vec<&'static str>,
+    pub inits: Vec<u64>,
+    pub threads: Vec<Vec<Op>>,
+}
+
+impl Litmus {
+    pub fn new(name: impl Into<String>, locs: &[&'static str]) -> Litmus {
+        Litmus {
+            name: name.into(),
+            locs: locs.to_vec(),
+            inits: vec![0; locs.len()],
+            threads: Vec::new(),
+        }
+    }
+
+    /// Overrides a location's initial value (default 0).
+    pub fn init(mut self, loc: usize, val: u64) -> Litmus {
+        self.inits[loc] = val;
+        self
+    }
+
+    pub fn thread(mut self, ops: Vec<Op>) -> Litmus {
+        for op in &ops {
+            let loc = match op {
+                Op::Store { loc, .. }
+                | Op::Load { loc, .. }
+                | Op::FetchOr { loc, .. }
+                | Op::FetchAdd { loc, .. }
+                | Op::Cas { loc, .. } => *loc,
+            };
+            assert!(
+                loc < self.locs.len(),
+                "{}: op names unknown location {loc}",
+                self.name
+            );
+        }
+        self.threads.push(ops);
+        self
+    }
+
+    fn n_regs(ops: &[Op]) -> usize {
+        ops.iter()
+            .map(|op| match op {
+                Op::Store { .. } => 0,
+                Op::Load { reg, .. }
+                | Op::FetchOr { reg, .. }
+                | Op::FetchAdd { reg, .. }
+                | Op::Cas { reg, .. } => reg + 1,
+            })
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Runs one seeded execution and returns the register outcome.
+    pub fn run_seed(&self, seed: u64) -> Outcome {
+        let mem = Arc::new(Mem::new(self.locs.len(), self.threads.len(), &self.inits));
+        let results: Arc<Mutex<Vec<Vec<u64>>>> = Arc::new(Mutex::new(
+            self.threads
+                .iter()
+                .map(|ops| vec![0; Self::n_regs(ops)])
+                .collect(),
+        ));
+        let mut s = sched::Scheduler::new(seed);
+        for (tid, ops) in self.threads.iter().enumerate() {
+            let ops = ops.clone();
+            let mem = Arc::clone(&mem);
+            let results = Arc::clone(&results);
+            s.spawn(move || {
+                let mut regs = vec![0u64; Self::n_regs(&ops)];
+                for op in ops {
+                    match op {
+                        Op::Store { loc, val, ord } => mem.store(tid, loc, val, ord),
+                        Op::Load { loc, reg, ord } => regs[reg] = mem.load(tid, loc, ord),
+                        Op::FetchOr { loc, val, reg, ord } => {
+                            regs[reg] = mem.rmw(tid, loc, ord, |v| Some(v | val));
+                        }
+                        Op::FetchAdd { loc, val, reg, ord } => {
+                            regs[reg] = mem.rmw(tid, loc, ord, |v| Some(v.wrapping_add(val)));
+                        }
+                        Op::Cas {
+                            loc,
+                            expect,
+                            new,
+                            reg,
+                            ord,
+                        } => {
+                            regs[reg] = mem.rmw(tid, loc, ord, |v| (v == expect).then_some(new));
+                        }
+                    }
+                }
+                mem.flush_all(tid);
+                results.lock().expect("litmus results poisoned")[tid] = regs;
+            });
+        }
+        s.run();
+        let results = results.lock().expect("litmus results poisoned");
+        Outcome(results.clone())
+    }
+
+    /// Runs one execution per seed and collects the set of distinct
+    /// outcomes, each tagged with the first seed that produced it.
+    pub fn explore(&self, seeds: Range<u64>) -> Exploration {
+        let mut seen: BTreeMap<Outcome, u64> = BTreeMap::new();
+        for seed in seeds {
+            let out = self.run_seed(seed);
+            seen.entry(out).or_insert(seed);
+        }
+        Exploration {
+            litmus: self.name.clone(),
+            seen,
+        }
+    }
+}
+
+/// The outcome set of an exploration, for reachable/forbidden claims.
+pub struct Exploration {
+    pub litmus: String,
+    /// Distinct outcomes → first seed that produced each.
+    pub seen: BTreeMap<Outcome, u64>,
+}
+
+impl Exploration {
+    /// First seed whose outcome satisfies `pred`, if any.
+    pub fn witness(&self, pred: impl Fn(&Outcome) -> bool) -> Option<(u64, &Outcome)> {
+        self.seen
+            .iter()
+            .filter(|(o, _)| pred(o))
+            .min_by_key(|(_, seed)| **seed)
+            .map(|(o, seed)| (*seed, o))
+    }
+
+    /// Panics (with the reproducing seed) if `pred` was observed.
+    pub fn assert_forbidden(&self, what: &str, pred: impl Fn(&Outcome) -> bool) {
+        if let Some((seed, out)) = self.witness(pred) {
+            panic!(
+                "{}: forbidden outcome `{what}` reached at seed {seed} ({out})",
+                self.litmus
+            );
+        }
+    }
+
+    /// Panics if `pred` was never observed; returns the witness seed.
+    /// Use for both allowed-outcome table entries and sanity claims —
+    /// a litmus that can't reach its interesting outcomes proves
+    /// nothing when it also never reaches the forbidden one.
+    pub fn assert_reachable(&self, what: &str, pred: impl Fn(&Outcome) -> bool) -> u64 {
+        match self.witness(pred) {
+            Some((seed, _)) => seed,
+            None => panic!(
+                "{}: expected-reachable outcome `{what}` never seen in {} distinct outcomes",
+                self.litmus,
+                self.seen.len()
+            ),
+        }
+    }
+}
+
+/// One documented ordering site a protocol suite models, named exactly
+/// as `docs/orderings.toml` names it so xlint's A6 can cross-check the
+/// two and `xlint mutate` can report sites in manifest terms.
+pub struct SiteSpec {
+    /// Manifest `file` (workspace-relative source path).
+    pub file: &'static str,
+    /// Manifest `symbol` (the function containing the site).
+    pub symbol: &'static str,
+    /// Role of the site inside the litmus shape, for human output.
+    pub label: &'static str,
+    /// Documented strength, as the manifest spells it (e.g. "SeqCst").
+    pub strength: &'static str,
+    pub kind: OpKind,
+}
+
+/// A mutation candidate: weaken `site` from `from` to `to`.
+#[derive(Clone, Copy, Debug)]
+pub struct Mutant {
+    pub site: usize,
+    pub from: MemOrder,
+    pub to: MemOrder,
+}
+
+/// Result of running one mutant against the suite.
+pub struct MutantOutcome {
+    pub mutant: Mutant,
+    /// Seed + outcome string that reached the forbidden outcome, i.e.
+    /// the litmus *killed* the weakened protocol. `None` = survived.
+    pub killed: Option<(u64, String)>,
+}
+
+/// A protocol litmus suite tied to one `docs/orderings.toml` dichotomy
+/// group.
+pub struct Suite {
+    pub name: &'static str,
+    /// Manifest `group` this suite validates.
+    pub group: &'static str,
+    pub about: &'static str,
+    pub sites: &'static [SiteSpec],
+    /// Seeds explored per configuration: `0..seeds`.
+    pub seeds: u64,
+    /// Builds the litmus with the given per-site orders
+    /// (`orders.len() == sites.len()`).
+    pub build: fn(&[MemOrder]) -> Litmus,
+    pub forbidden: &'static str,
+    pub is_forbidden: fn(&Outcome) -> bool,
+    /// A racy-but-allowed outcome that must stay reachable at
+    /// documented strength — evidence the suite actually explores the
+    /// contended window rather than serializing every execution.
+    pub sane: &'static str,
+    pub is_sane: fn(&Outcome) -> bool,
+}
+
+impl Suite {
+    /// The documented per-site strengths, parsed.
+    pub fn documented(&self) -> Vec<MemOrder> {
+        self.sites
+            .iter()
+            .map(|s| {
+                MemOrder::parse(s.strength).unwrap_or_else(|| {
+                    panic!(
+                        "{}: site `{}` has unknown strength {}",
+                        self.name, s.symbol, s.strength
+                    )
+                })
+            })
+            .collect()
+    }
+
+    fn explore_with(&self, orders: &[MemOrder], seeds: u64) -> Exploration {
+        (self.build)(orders).explore(0..seeds)
+    }
+
+    /// Verifies the suite at documented strength: forbidden outcome
+    /// unreachable, sanity outcome reachable.
+    pub fn check(&self) -> Result<(), String> {
+        let e = self.explore_with(&self.documented(), self.seeds);
+        if let Some((seed, out)) = e.witness(self.is_forbidden) {
+            return Err(format!(
+                "{}: forbidden outcome `{}` reached at documented strength, seed {seed} ({out})",
+                self.name, self.forbidden
+            ));
+        }
+        if e.witness(self.is_sane).is_none() {
+            return Err(format!(
+                "{}: sanity outcome `{}` unreachable in {} seeds — the suite is not exercising \
+                 the contended window",
+                self.name, self.seeds, self.sane
+            ));
+        }
+        Ok(())
+    }
+
+    /// All one-notch weakenings of documented sites.
+    pub fn mutants(&self) -> Vec<Mutant> {
+        let documented = self.documented();
+        self.sites
+            .iter()
+            .enumerate()
+            .filter_map(|(i, s)| {
+                documented[i].weaken(s.kind).map(|to| Mutant {
+                    site: i,
+                    from: documented[i],
+                    to,
+                })
+            })
+            .collect()
+    }
+
+    /// Runs one mutant: weakens its site, explores, and reports the
+    /// first seed reaching the forbidden outcome (the kill).
+    pub fn run_mutant(&self, m: Mutant) -> MutantOutcome {
+        let mut orders = self.documented();
+        orders[m.site] = m.to;
+        let e = self.explore_with(&orders, self.seeds);
+        MutantOutcome {
+            mutant: m,
+            killed: e
+                .witness(self.is_forbidden)
+                .map(|(seed, out)| (seed, out.to_string())),
+        }
+    }
+
+    /// Runs every mutant of the suite.
+    pub fn mutate(&self) -> Vec<MutantOutcome> {
+        self.mutants()
+            .into_iter()
+            .map(|m| self.run_mutant(m))
+            .collect()
+    }
+}

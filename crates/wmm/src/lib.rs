@@ -1,0 +1,37 @@
+//! wmm — weak-memory litmus harness over the deterministic scheduler.
+//!
+//! xlint (A1) proves every `Ordering::*` site in the protocol crates
+//! matches a hand-written justification in `docs/orderings.toml`;
+//! nothing there checks the *justifications*. This crate closes the
+//! loop: it simulates the documented dichotomies under weak-memory
+//! reorderings — per-thread store buffers, stale reads, release/acquire
+//! message passing, an SC total order — driven by [`sched`]'s seeded
+//! RNG, so one seed is one reproducible execution and every
+//! counterexample prints the seed that replays it.
+//!
+//! Layers:
+//!
+//! - [`model`]: the operational view-based memory model (TSO store
+//!   buffers + C11-style visibility rules; divergences documented in
+//!   DESIGN.md §12).
+//! - [`dsl`]: litmus construction, seeded outcome exploration,
+//!   reachable/forbidden assertions, and [`dsl::Suite`] — a protocol
+//!   litmus tied to a `docs/orderings.toml` dichotomy group, with a
+//!   one-notch-weakening mutation runner.
+//! - [`classic`]: SB / MP / LB / IRIW self-tests pinning the model to
+//!   the x86-TSO allowed/forbidden table (arXiv 1710.04839).
+//! - [`proto`]: the protocol suites — one per documented dichotomy
+//!   group — that `xlint mutate` and the CI `litmus` job run.
+//!
+//! The `litmus` binary (`cargo run -p wmm --bin litmus`) lists, runs,
+//! and mutates the protocol suites from the command line; `xlint
+//! mutate` drives the same suites in-process and lint A6 cross-checks
+//! suite sites against the manifest.
+
+pub mod classic;
+pub mod dsl;
+pub mod model;
+pub mod proto;
+
+pub use dsl::{Exploration, Litmus, Mutant, MutantOutcome, Op, Outcome, SiteSpec, Suite};
+pub use model::{Mem, MemOrder, OpKind};

@@ -1,0 +1,383 @@
+//! The operational weak-memory model.
+//!
+//! This is a small view-based simulator in the style of the x86-TSO /
+//! promising-semantics models named by Chong, Sorensen & Wickerson
+//! (arXiv 1710.04839): every location carries an append-only history of
+//! timestamped writes, every thread carries a FIFO store buffer and a
+//! *view* (per-location minimum timestamp it may still read), and a
+//! global SC view threads the total order over `SeqCst` accesses.
+//!
+//! Rules, in brief:
+//!
+//! - A **store** executes by appending a write stamped with the next
+//!   global timestamp. Non-SC stores sit *pending* in the executing
+//!   thread's FIFO buffer — invisible to other threads (the owner
+//!   store-forwards from them) — until a later nondeterministic flush
+//!   point drains them, oldest first. This is the TSO store→load
+//!   relaxation: the owner can run ahead of its own unflushed stores.
+//! - A **release** store records the thread's view as the write's
+//!   *message*; a relaxed store records an empty message.
+//! - A **load** may read any write to the location whose timestamp is
+//!   at or above the thread's view and which is visible (flushed, or
+//!   pending-but-own). Which candidate it reads is drawn from the
+//!   schedule's seeded RNG, so one seed is one reproducible execution.
+//!   An **acquire** load joins the message of the write it read into
+//!   the thread's view — that is what makes release/acquire pairs
+//!   transfer visibility (MP); a relaxed load learns nothing.
+//! - **SeqCst** writes drain the owner's buffer, become visible
+//!   immediately, and *publish* the writer's view into the global SC
+//!   view; **SeqCst** loads *absorb* the SC view into the reader's
+//!   view before reading. Publish-then-absorb on both sides of a
+//!   Dekker race means the second absorber always sees the first
+//!   publisher — the SB guarantee every dichotomy in
+//!   `docs/orderings.toml` leans on — while keeping the halves
+//!   separable, so weakening either one is observable.
+//! - An **RMW** behaves like a locked instruction: it drains the
+//!   executing thread's buffer (and, if the newest write to the
+//!   location is another thread's unflushed store, that thread's too —
+//!   an always-legal drain transition), reads the newest write, and
+//!   publishes its own write immediately. Ordering still controls the
+//!   view joins, so a weakened RMW is observably weaker even though it
+//!   never reads stale data.
+//!
+//! Known, deliberate divergences from real x86-TSO are documented in
+//! DESIGN.md §12: non-SC accesses here follow C11-style per-location
+//! visibility, which is weaker than x86's multi-copy-atomic plain
+//! accesses (IRIW with acquire loads is reachable here, not on x86).
+//! Weaker-than-hardware is the useful direction for a mutation gate:
+//! every single-notch weakening of a documented site has an observable
+//! outcome, so mutants die instead of hiding behind TSO's strength.
+
+use std::collections::VecDeque;
+use std::sync::Mutex;
+
+/// Memory-order lattice for litmus ops. Deliberately *not* named
+/// `Ordering` so the model never sheds tokens that look like real
+/// atomic call sites to xlint's A1 scanner.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash)]
+pub enum MemOrder {
+    Relaxed,
+    Acquire,
+    Release,
+    AcqRel,
+    SeqCst,
+}
+
+/// What shape of access a documented site is — decides the one-notch
+/// weakening ladder (`SeqCst` loads weaken to `Acquire`, stores to
+/// `Release`, RMWs to `AcqRel`).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum OpKind {
+    Load,
+    Store,
+    Rmw,
+}
+
+impl MemOrder {
+    pub fn as_str(self) -> &'static str {
+        match self {
+            MemOrder::Relaxed => "Relaxed",
+            MemOrder::Acquire => "Acquire",
+            MemOrder::Release => "Release",
+            MemOrder::AcqRel => "AcqRel",
+            MemOrder::SeqCst => "SeqCst",
+        }
+    }
+
+    pub fn parse(s: &str) -> Option<MemOrder> {
+        Some(match s {
+            "Relaxed" => MemOrder::Relaxed,
+            "Acquire" => MemOrder::Acquire,
+            "Release" => MemOrder::Release,
+            "AcqRel" => MemOrder::AcqRel,
+            "SeqCst" => MemOrder::SeqCst,
+            _ => return None,
+        })
+    }
+
+    /// One notch down the ladder for an access of `kind`, or `None` if
+    /// the site is already `Relaxed` (nothing left to weaken).
+    pub fn weaken(self, kind: OpKind) -> Option<MemOrder> {
+        Some(match (self, kind) {
+            (MemOrder::SeqCst, OpKind::Load) => MemOrder::Acquire,
+            (MemOrder::SeqCst, OpKind::Store) => MemOrder::Release,
+            (MemOrder::SeqCst, OpKind::Rmw) => MemOrder::AcqRel,
+            (MemOrder::AcqRel, _) => MemOrder::Relaxed,
+            (MemOrder::Acquire, _) => MemOrder::Relaxed,
+            (MemOrder::Release, _) => MemOrder::Relaxed,
+            (MemOrder::Relaxed, _) => return None,
+        })
+    }
+
+    fn acquires(self) -> bool {
+        matches!(
+            self,
+            MemOrder::Acquire | MemOrder::AcqRel | MemOrder::SeqCst
+        )
+    }
+
+    fn releases(self) -> bool {
+        matches!(
+            self,
+            MemOrder::Release | MemOrder::AcqRel | MemOrder::SeqCst
+        )
+    }
+
+    fn is_sc(self) -> bool {
+        matches!(self, MemOrder::SeqCst)
+    }
+}
+
+impl std::fmt::Display for MemOrder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// Per-location minimum-readable-timestamp map, indexed by location.
+type View = Vec<u64>;
+
+fn join(dst: &mut View, src: &View) {
+    for (d, s) in dst.iter_mut().zip(src) {
+        *d = (*d).max(*s);
+    }
+}
+
+struct Write {
+    val: u64,
+    ts: u64,
+    tid: usize,
+    /// Still sitting in `tid`'s store buffer: invisible to every other
+    /// thread, store-forwarded to its owner.
+    pending: bool,
+    /// The writer's view at execution time for release-or-stronger
+    /// stores; empty for relaxed. Joined into an acquire loader's view.
+    msg: View,
+}
+
+struct MemState {
+    n_locs: usize,
+    next_ts: u64,
+    /// Per-location write history in timestamp (= coherence) order.
+    hist: Vec<Vec<Write>>,
+    /// Per-thread views.
+    views: Vec<View>,
+    /// Global SC view: every `SeqCst` access joins it both ways.
+    sc_view: View,
+    /// Per-thread FIFO store buffers of (loc, index into `hist[loc]`).
+    bufs: Vec<VecDeque<(usize, usize)>>,
+}
+
+impl MemState {
+    /// Drains a seeded-RNG-chosen prefix of *every* thread's store
+    /// buffer. Called at every memory op: on real TSO hardware buffers
+    /// drain asynchronously at arbitrary global instants, so the model
+    /// offers a drain opportunity at each op boundary regardless of
+    /// which thread is acting — the flush moments are part of the
+    /// explored schedule.
+    fn random_flush(&mut self) {
+        for tid in 0..self.bufs.len() {
+            let len = self.bufs[tid].len();
+            if len > 0 {
+                let k = sched::choice(len + 1);
+                self.flush(tid, k);
+            }
+        }
+    }
+
+    fn flush(&mut self, tid: usize, k: usize) {
+        for _ in 0..k {
+            let (loc, idx) = self.bufs[tid].pop_front().expect("flush past buffer end");
+            self.hist[loc][idx].pending = false;
+        }
+    }
+
+    fn flush_all(&mut self, tid: usize) {
+        let k = self.bufs[tid].len();
+        self.flush(tid, k);
+    }
+}
+
+/// Shared litmus memory: a fixed set of `u64` locations, all starting
+/// at 0 (the init write, timestamp 0). Every op is a scheduling point,
+/// so the scheduler explores both interleavings *and* reorderings under
+/// one seed.
+pub struct Mem {
+    st: Mutex<MemState>,
+}
+
+impl Mem {
+    /// `inits[loc]` seeds each location's timestamp-0 init write (so
+    /// protocol shapes can start mid-state, e.g. "one claim counted").
+    pub fn new(n_locs: usize, n_threads: usize, inits: &[u64]) -> Mem {
+        let hist = (0..n_locs)
+            .map(|loc| {
+                vec![Write {
+                    val: inits.get(loc).copied().unwrap_or(0),
+                    ts: 0,
+                    tid: usize::MAX,
+                    pending: false,
+                    msg: vec![0; n_locs],
+                }]
+            })
+            .collect();
+        Mem {
+            st: Mutex::new(MemState {
+                n_locs,
+                next_ts: 1,
+                hist,
+                views: vec![vec![0; n_locs]; n_threads],
+                sc_view: vec![0; n_locs],
+                bufs: vec![VecDeque::new(); n_threads],
+            }),
+        }
+    }
+
+    pub fn load(&self, tid: usize, loc: usize, ord: MemOrder) -> u64 {
+        sched::step();
+        let mut st = self.st.lock().expect("wmm memory poisoned");
+        st.random_flush();
+        if ord.is_sc() {
+            // An SC load never reads behind the SC frontier published by
+            // SC writes. It joins the SC view read-only: advancing the
+            // frontier is the writes' job — an SC load must not make the
+            // loader's own earlier non-SC stores globally required
+            // reading (C11 allows SB through relaxed stores even when
+            // the racing loads are SeqCst).
+            let sc = st.sc_view.clone();
+            join(&mut st.views[tid], &sc);
+        }
+        let floor = st.views[tid][loc];
+        let cands: Vec<usize> = st.hist[loc]
+            .iter()
+            .enumerate()
+            .filter(|(_, w)| w.ts >= floor && (!w.pending || w.tid == tid))
+            .map(|(i, _)| i)
+            .collect();
+        let pick = cands[sched::choice(cands.len())];
+        let w = &st.hist[loc][pick];
+        let (val, ts) = (w.val, w.ts);
+        let msg = if ord.acquires() {
+            Some(w.msg.clone())
+        } else {
+            None
+        };
+        st.views[tid][loc] = st.views[tid][loc].max(ts);
+        if let Some(msg) = msg {
+            join(&mut st.views[tid], &msg);
+        }
+        val
+    }
+
+    pub fn store(&self, tid: usize, loc: usize, val: u64, ord: MemOrder) {
+        sched::step();
+        let mut st = self.st.lock().expect("wmm memory poisoned");
+        st.random_flush();
+        if ord.is_sc() {
+            // MFENCE half of an SC store: drain the owner's buffer so the
+            // write (appended non-pending below) can't jump its own
+            // queue. Publishing to the SC frontier happens after the
+            // append; an SC *write* never absorbs the frontier — that
+            // acquire-like half belongs to SC loads only, or SB through
+            // an SC store would be over-forbidden and weakened-load
+            // mutants could hide behind their own publish op.
+            st.flush_all(tid);
+        }
+        let ts = st.next_ts;
+        st.next_ts += 1;
+        st.views[tid][loc] = ts;
+        let msg = if ord.releases() {
+            st.views[tid].clone()
+        } else {
+            vec![0; st.n_locs]
+        };
+        let pending = !ord.is_sc();
+        st.hist[loc].push(Write {
+            val,
+            ts,
+            tid,
+            pending,
+            msg,
+        });
+        if pending {
+            let idx = st.hist[loc].len() - 1;
+            st.bufs[tid].push_back((loc, idx));
+        } else {
+            let v = st.views[tid].clone();
+            join(&mut st.sc_view, &v);
+        }
+    }
+
+    /// Read-modify-write with locked-instruction visibility: drains the
+    /// owner's buffer, reads the newest write to `loc`, and — when `f`
+    /// returns `Some(new)` — publishes `new` immediately (a failed CAS
+    /// returns `None` and degrades to a load). Returns the old value.
+    ///
+    /// A locked RMW must extend the coherence order atomically, so if
+    /// the newest write is another thread's unflushed store the model
+    /// drains that buffer first — an always-legal TSO transition (the
+    /// drain could have happened the instant before the bus lock).
+    ///
+    /// Ordering controls only the view joins: even a relaxed RMW reads
+    /// the newest value, but learns (acquire) and teaches (release)
+    /// nothing, and only a SeqCst RMW moves the SC frontier.
+    pub fn rmw(
+        &self,
+        tid: usize,
+        loc: usize,
+        ord: MemOrder,
+        f: impl Fn(u64) -> Option<u64>,
+    ) -> u64 {
+        sched::step();
+        let mut st = self.st.lock().expect("wmm memory poisoned");
+        st.random_flush();
+        st.flush_all(tid);
+        let owner = {
+            let last = st.hist[loc].last().expect("history never empty");
+            last.pending.then_some(last.tid)
+        };
+        if let Some(owner) = owner {
+            st.flush_all(owner);
+        }
+        let w = st.hist[loc].last().expect("history never empty");
+        let (old, wts) = (w.val, w.ts);
+        let msg = if ord.acquires() {
+            Some(w.msg.clone())
+        } else {
+            None
+        };
+        st.views[tid][loc] = st.views[tid][loc].max(wts);
+        if let Some(msg) = msg {
+            join(&mut st.views[tid], &msg);
+        }
+        if let Some(new) = f(old) {
+            let ts = st.next_ts;
+            st.next_ts += 1;
+            st.views[tid][loc] = ts;
+            let msg = if ord.releases() {
+                st.views[tid].clone()
+            } else {
+                vec![0; st.n_locs]
+            };
+            st.hist[loc].push(Write {
+                val: new,
+                ts,
+                tid,
+                pending: false,
+                msg,
+            });
+        }
+        if ord.is_sc() {
+            let v = st.views[tid].clone();
+            join(&mut st.sc_view, &v);
+        }
+        old
+    }
+
+    /// Drains every buffered store `tid` still owns. The litmus runner
+    /// calls this at thread end so no write stays invisible forever.
+    pub fn flush_all(&self, tid: usize) {
+        let mut st = self.st.lock().expect("wmm memory poisoned");
+        st.flush_all(tid);
+    }
+}

@@ -1,0 +1,74 @@
+//! Protocol suite gate: every documented dichotomy group is covered,
+//! every suite holds at documented strength, and every one-notch
+//! weakening of every modeled site is killed with a reproducing seed.
+//! This is the same check `xlint mutate` and the CI `litmus` job run.
+
+use wmm::proto::{for_group, DICHOTOMY_GROUPS, SUITES};
+
+#[test]
+fn every_dichotomy_group_has_a_suite() {
+    for group in DICHOTOMY_GROUPS {
+        assert!(
+            !for_group(group).is_empty(),
+            "dichotomy group `{group}` has no litmus suite"
+        );
+    }
+    for suite in SUITES {
+        assert!(
+            DICHOTOMY_GROUPS.contains(&suite.group),
+            "suite `{}` names unknown group `{}`",
+            suite.name,
+            suite.group
+        );
+    }
+}
+
+#[test]
+fn suites_hold_at_documented_strength() {
+    for suite in SUITES {
+        suite.check().unwrap_or_else(|e| panic!("{e}"));
+    }
+}
+
+#[test]
+fn every_single_notch_weakening_is_killed() {
+    let mut failures = Vec::new();
+    for suite in SUITES {
+        for m in suite.mutate() {
+            let site = &suite.sites[m.mutant.site];
+            match m.killed {
+                Some((seed, ref out)) => {
+                    // Killed: the forbidden outcome reappears with a seed.
+                    let _ = (seed, out);
+                }
+                None => failures.push(format!(
+                    "{}: weakening `{}` ({}) {}→{} survived {} seeds",
+                    suite.name, site.label, site.symbol, m.mutant.from, m.mutant.to, suite.seeds
+                )),
+            }
+        }
+    }
+    assert!(
+        failures.is_empty(),
+        "surviving mutants:\n{}",
+        failures.join("\n")
+    );
+}
+
+#[test]
+fn mutation_reports_are_seed_reproducible() {
+    // The kill seed a mutation run reports must actually reproduce the
+    // forbidden outcome when replayed on the weakened litmus.
+    let suite = wmm::proto::find("r1_commit_quartet").expect("suite exists");
+    for m in suite.mutate() {
+        let (seed, _) = m.killed.expect("r1 mutants all die");
+        let mut orders = suite.documented();
+        orders[m.mutant.site] = m.mutant.to;
+        let out = (suite.build)(&orders).run_seed(seed);
+        assert!(
+            (suite.is_forbidden)(&out),
+            "reported kill seed {seed} does not reproduce for site {}",
+            m.mutant.site
+        );
+    }
+}

@@ -85,7 +85,9 @@ impl NativeShard {
 
     /// The active index as a reader loads it. SeqCst: races the writer's
     /// flip-then-scan in the store-buffering shape (see module docs);
-    /// anything weaker lets both sides miss each other.
+    /// anything weaker lets both sides miss each other. Reader side of
+    /// `wmm::proto`'s `native_flip_dekker` litmus, which kills every
+    /// one-notch weakening with a reproducing seed.
     #[inline]
     fn reader_active_idx(&self) -> usize {
         self.active.load(Ordering::SeqCst)
@@ -103,6 +105,7 @@ impl NativeShard {
     /// Flips readers onto `idx` — the commit point. SeqCst so the flip
     /// is ordered before the barrier's clock scan in the single total
     /// order (module docs; the paper's R1 commit-point discipline).
+    /// Writer side of `wmm::proto`'s `native_flip_dekker` litmus.
     #[inline]
     fn publish(&self, idx: usize) {
         self.active.store(idx, Ordering::SeqCst);

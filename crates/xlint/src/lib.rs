@@ -3,8 +3,11 @@
 //! Machine-checks what PROTOCOL.md promises about the RW-LE
 //! implementation: the atomics audit (A1, against `docs/orderings.toml`),
 //! unsafe hygiene (A2), scheduler spin discipline (A3), suspend-closure
-//! purity (A4), and the test-sleep ban (A5). Dependency-free by design —
-//! it must build in the offline container before anything else does.
+//! purity (A4), the test-sleep ban (A5), and litmus coverage of the
+//! ordering dichotomies (A6, against the `wmm` suites). Free of external
+//! dependencies by design — it must build in the offline container
+//! before anything else does; its only workspace dependency is `wmm`,
+//! which backs A6 and the `mutate` subcommand.
 
 pub mod lexer;
 pub mod lints;
@@ -38,9 +41,11 @@ pub const LINT_CRATES: [&str; 10] = [
 
 /// Crates outside the protocol core that still get the hygiene lints
 /// (A2–A5) but whose `Ordering::*` sites the manifest does not track —
-/// simulated memory is sequentially consistent by construction and the
-/// bench/stats layers publish nothing through atomics.
-pub const HYGIENE_CRATES: [&str; 3] = ["simmem", "stats", "bench"];
+/// simulated memory is sequentially consistent by construction, the
+/// bench/stats layers publish nothing through atomics, and `wmm`'s
+/// memory model speaks its own `MemOrder` vocabulary (its exploration
+/// state lives under a mutex precisely so no real atomics are needed).
+pub const HYGIENE_CRATES: [&str; 4] = ["simmem", "stats", "bench", "wmm"];
 
 /// Workspace-relative path of the orderings manifest.
 pub const MANIFEST_PATH: &str = "docs/orderings.toml";
@@ -155,12 +160,13 @@ pub fn scan_workspace(root: &Path) -> Result<(Vec<Finding>, Vec<SiteGroup>), Str
     Ok((findings, groups))
 }
 
-/// Runs the full check (A1–A5) over the workspace; findings are sorted
+/// Runs the full check (A1–A6) over the workspace; findings are sorted
 /// by (file, line, lint).
 pub fn check_workspace(root: &Path) -> Result<Vec<Finding>, String> {
     let manifest = load_manifest(root)?;
     let (mut findings, groups) = scan_workspace(root)?;
     findings.extend(lints::check_manifest(&manifest, &groups, MANIFEST_PATH));
+    findings.extend(lints::check_litmus(&manifest, MANIFEST_PATH));
     findings
         .sort_by(|a, b| (a.file.as_str(), a.line, a.lint).cmp(&(b.file.as_str(), b.line, b.lint)));
     Ok(findings)

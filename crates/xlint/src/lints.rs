@@ -1,4 +1,4 @@
-//! The five protocol-conformance lints (A1–A5) and the allow-comment
+//! The six protocol-conformance lints (A1–A6) and the allow-comment
 //! escape hatch.
 //!
 //! Each lint has a stable ID, a one-line summary, and a long `--explain`
@@ -49,7 +49,7 @@ pub struct LintInfo {
 }
 
 /// All lints, in ID order.
-pub const LINTS: [LintInfo; 5] = [
+pub const LINTS: [LintInfo; 6] = [
     LintInfo {
         id: "A1",
         name: "ordering-manifest",
@@ -126,6 +126,25 @@ delays. Sleeps are allowed only in functions whose name contains
 kept as a reality check on the cooperative explorer) or under an
 explicit allow comment justifying why the window cannot be expressed as
 a schedule.",
+    },
+    LintInfo {
+        id: "A6",
+        name: "litmus-coverage",
+        summary: "every ordering dichotomy group needs a wmm litmus suite with manifest-true sites",
+        explain: "\
+A1 checks that every `Ordering::*` site matches docs/orderings.toml; it
+cannot check that the manifest's `why` lines are *true*. For the groups
+where the justification is a dichotomy — the documented strength is
+claimed to be exactly load-bearing, neither too weak nor gratuitous —
+the `wmm` litmus harness machine-checks the claim: the forbidden
+reordering is unreachable at the documented strength across seeded
+exploration, and `xlint mutate` shows every one-notch weakening is
+killed with a reproducing seed. A6 wires the two together: every
+dichotomy group (`wmm::proto::DICHOTOMY_GROUPS`) must have manifest
+entries and at least one litmus suite, and every site a suite models
+must resolve to a manifest entry at the modeled strength — so a renamed
+symbol, a regrouped entry, or a re-audited ordering cannot silently
+detach the justification from the machine check.",
     },
 ];
 
@@ -551,10 +570,12 @@ pub fn check_manifest(
                     line: g.line,
                     lint: "A1",
                     message: format!(
-                        "ordering drift in `{}`: code uses [{}] but the manifest documents \
-                         [{}]{} — fix the code or re-justify the manifest entry",
+                        "ordering drift in `{}`: code uses [{}] but {manifest_file}:{} documents \
+                         [{}]{} — fix the code, or re-justify the entry (`xlint scaffold` drafts \
+                         the replacement)",
                         g.symbol,
                         g.orderings.join(", "),
+                        e.line,
                         e.orderings.join(", "),
                         drift
                     ),
@@ -575,6 +596,122 @@ pub fn check_manifest(
                 ),
             });
         }
+    }
+    out
+}
+
+/// A6: the litmus-coverage lint. Purely a cross-check between two
+/// in-repo artifacts — the manifest and the `wmm` suite table — so it
+/// needs no source scanning and has no allow-comment escape hatch: a
+/// dichotomy that stops being machine-checked should be loud.
+pub fn check_litmus(manifest: &Manifest, manifest_file: &str) -> Vec<Finding> {
+    let mut out = Vec::new();
+    let by_key: BTreeMap<(&str, &str), &Entry> = manifest
+        .entries
+        .iter()
+        .map(|e| ((e.file.as_str(), e.symbol.as_str()), e))
+        .collect();
+    for group in wmm::proto::DICHOTOMY_GROUPS {
+        if !manifest.entries.iter().any(|e| e.group == *group) {
+            out.push(Finding {
+                file: manifest_file.to_string(),
+                line: 1,
+                lint: "A6",
+                message: format!(
+                    "dichotomy group `{group}` (wmm::proto::DICHOTOMY_GROUPS) has no [[site]] \
+                     entries in the manifest — regroup the entries or retire the group"
+                ),
+            });
+        }
+        if wmm::proto::for_group(group).is_empty() {
+            out.push(Finding {
+                file: "crates/wmm/src/proto.rs".to_string(),
+                line: 1,
+                lint: "A6",
+                message: format!(
+                    "dichotomy group `{group}` has no wmm litmus suite: the manifest's \
+                     justification for it is not machine-checked"
+                ),
+            });
+        }
+    }
+    for suite in wmm::proto::SUITES {
+        for site in suite.sites {
+            match by_key.get(&(site.file, site.symbol)) {
+                None => out.push(Finding {
+                    file: "crates/wmm/src/proto.rs".to_string(),
+                    line: 1,
+                    lint: "A6",
+                    message: format!(
+                        "litmus suite `{}` models {} `{}`, which has no [[site]] entry in \
+                         {manifest_file} — the suite checks a site the audit does not document",
+                        suite.name, site.file, site.symbol
+                    ),
+                }),
+                Some(e) if !e.orderings.iter().any(|o| o == site.strength) => {
+                    out.push(Finding {
+                        file: manifest_file.to_string(),
+                        line: e.line,
+                        lint: "A6",
+                        message: format!(
+                            "litmus suite `{}` models `{}` ({}) at {} but the manifest documents \
+                             [{}] — the litmus no longer checks the documented strength",
+                            suite.name,
+                            site.symbol,
+                            site.label,
+                            site.strength,
+                            e.orderings.join(", ")
+                        ),
+                    });
+                }
+                Some(_) => {}
+            }
+        }
+    }
+    out
+}
+
+/// Renders findings as the stable JSON shape `check --json` prints:
+/// `{"count": N, "findings": [{"file", "line", "lint", "message"}]}`.
+/// Hand-rolled (the linter takes no external dependencies); the fixture
+/// test `check_json_shape_is_pinned` pins the exact output.
+pub fn findings_json(findings: &[Finding]) -> String {
+    fn esc(s: &str) -> String {
+        let mut out = String::with_capacity(s.len() + 2);
+        for c in s.chars() {
+            match c {
+                '"' => out.push_str("\\\""),
+                '\\' => out.push_str("\\\\"),
+                '\n' => out.push_str("\\n"),
+                '\t' => out.push_str("\\t"),
+                '\r' => out.push_str("\\r"),
+                c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+                c => out.push(c),
+            }
+        }
+        out
+    }
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{{\n  \"count\": {},\n  \"findings\": [",
+        findings.len()
+    ));
+    for (i, f) in findings.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\n    {{\"file\": \"{}\", \"line\": {}, \"lint\": \"{}\", \"message\": \"{}\"}}",
+            esc(&f.file),
+            f.line,
+            f.lint,
+            esc(&f.message)
+        ));
+    }
+    if findings.is_empty() {
+        out.push_str("]\n}\n");
+    } else {
+        out.push_str("\n  ]\n}\n");
     }
     out
 }

@@ -1,9 +1,10 @@
 //! CLI for the protocol-conformance linter.
 //!
 //! ```text
-//! xlint check                    # run A1–A5 over the workspace
+//! xlint check [--json]           # run A1–A6 over the workspace
 //! xlint emit-table [--check]     # splice docs/orderings.toml into PROTOCOL.md §5
-//! xlint scaffold                 # draft [[site]] entries for undocumented sites
+//! xlint scaffold                 # draft [[site]] entries for undocumented/drifted sites
+//! xlint mutate [SUITE|GROUP]     # weaken each litmus site one notch; all mutants must die
 //! xlint explain <id>             # long-form rationale for a lint
 //! ```
 //!
@@ -18,8 +19,10 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut command = None;
     let mut explain_id = None;
+    let mut mutate_filter = None;
     let mut root_arg = None;
     let mut check_flag = false;
+    let mut json_flag = false;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -33,7 +36,17 @@ fn main() -> ExitCode {
                     i += 1;
                 }
             }
+            "mutate" => {
+                command = Some("mutate".to_string());
+                if let Some(f) = args.get(i + 1) {
+                    if !f.starts_with('-') {
+                        mutate_filter = Some(f.clone());
+                        i += 1;
+                    }
+                }
+            }
             "--check" => check_flag = true,
+            "--json" => json_flag = true,
             "--root" => {
                 if let Some(r) = args.get(i + 1) {
                     root_arg = Some(r.clone());
@@ -59,6 +72,15 @@ fn main() -> ExitCode {
     if command == "explain" {
         return explain(explain_id.as_deref());
     }
+    if command == "mutate" {
+        return match run_mutate(mutate_filter.as_deref()) {
+            Ok(code) => code,
+            Err(e) => {
+                eprintln!("error: {e}");
+                ExitCode::from(2)
+            }
+        };
+    }
 
     let root = match xlint::find_root(root_arg.as_deref()) {
         Ok(r) => r,
@@ -69,7 +91,7 @@ fn main() -> ExitCode {
     };
 
     let result = match command.as_str() {
-        "check" => run_check(&root),
+        "check" => run_check(&root, json_flag),
         "emit-table" => run_emit_table(&root, check_flag),
         "scaffold" => run_scaffold(&root),
         _ => unreachable!("command was validated above"),
@@ -85,7 +107,8 @@ fn main() -> ExitCode {
 
 fn usage() {
     eprintln!(
-        "usage: xlint [--root <dir>] <check | emit-table [--check] | scaffold | explain <id>>"
+        "usage: xlint [--root <dir>] <check [--json] | emit-table [--check] | scaffold | \
+         mutate [SUITE|GROUP] | explain <id>>"
     );
     eprintln!("lints:");
     for l in &LINTS {
@@ -101,7 +124,7 @@ fn explain(id: Option<&str>) -> ExitCode {
                 ExitCode::SUCCESS
             }
             None => {
-                eprintln!("unknown lint `{id}` (known: A1..A5)");
+                eprintln!("unknown lint `{id}` (known: A1..A6)");
                 ExitCode::from(2)
             }
         },
@@ -114,8 +137,18 @@ fn explain(id: Option<&str>) -> ExitCode {
     }
 }
 
-fn run_check(root: &std::path::Path) -> Result<ExitCode, String> {
+fn run_check(root: &std::path::Path, json: bool) -> Result<ExitCode, String> {
     let findings = xlint::check_workspace(root)?;
+    if json {
+        // Machine-readable output for editors/CI annotators; the shape
+        // is pinned by the `check_json_shape_is_pinned` fixture test.
+        print!("{}", xlint::lints::findings_json(&findings));
+        return Ok(if findings.is_empty() {
+            ExitCode::SUCCESS
+        } else {
+            ExitCode::FAILURE
+        });
+    }
     if findings.is_empty() {
         println!("xlint: clean ({} manifest sites verified)", {
             xlint::load_manifest(root)?.entries.len()
@@ -131,6 +164,54 @@ fn run_check(root: &std::path::Path) -> Result<ExitCode, String> {
         findings.len()
     );
     Ok(ExitCode::FAILURE)
+}
+
+/// The ordering mutation gate, in-process over `wmm::proto::SUITES`:
+/// re-checks each selected suite at documented strength, then weakens
+/// every modeled site one notch and requires seeded exploration to kill
+/// the mutant. A surviving mutant means a documented strength is not
+/// load-bearing in its own litmus — either the manifest's `why`
+/// overclaims or the suite under-models the race.
+fn run_mutate(filter: Option<&str>) -> Result<ExitCode, String> {
+    let suites: Vec<&wmm::Suite> = wmm::proto::SUITES
+        .iter()
+        .filter(|s| filter.is_none_or(|f| s.name == f || s.group == f))
+        .collect();
+    if suites.is_empty() {
+        return Err(format!(
+            "no litmus suite or group named `{}` (see `cargo run -p wmm --bin litmus -- list`)",
+            filter.unwrap_or("")
+        ));
+    }
+    let mut ok = true;
+    for s in suites {
+        if let Err(e) = s.check() {
+            println!("FAIL      {e}");
+            ok = false;
+            continue;
+        }
+        for m in s.mutate() {
+            let site = &s.sites[m.mutant.site];
+            match m.killed {
+                Some((seed, _)) => println!(
+                    "killed    {}: `{}` {}\u{2192}{} (seed {seed})",
+                    s.name, site.label, m.mutant.from, m.mutant.to
+                ),
+                None => {
+                    println!(
+                        "SURVIVED  {}: `{}` {}\u{2192}{} after {} seeds",
+                        s.name, site.label, m.mutant.from, m.mutant.to, s.seeds
+                    );
+                    ok = false;
+                }
+            }
+        }
+    }
+    Ok(if ok {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    })
 }
 
 fn run_emit_table(root: &std::path::Path, check: bool) -> Result<ExitCode, String> {

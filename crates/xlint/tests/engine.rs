@@ -95,7 +95,75 @@ fn clean_fixture_is_clean() {
     assert!(findings.is_empty(), "{findings:?}");
 }
 
-/// The tier-1 hook: the real workspace must pass the full A1–A5 check.
+/// `check --json` machine output: the exact bytes for a known finding
+/// set are pinned so downstream consumers (editor annotations, CI
+/// summaries) can rely on the shape. Regenerate the golden file with
+/// `XLINT_UPDATE_FIXTURES=1 cargo test -p xlint --test engine`.
+#[test]
+fn check_json_shape_is_pinned() {
+    let mut findings = lint_fixture("a5_sleep_in_test.rs");
+    findings.extend(lint_fixture("a2_unsafe_missing_safety.rs"));
+    let json = xlint::lints::findings_json(&findings);
+    let path =
+        std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/findings.json");
+    if std::env::var_os("XLINT_UPDATE_FIXTURES").is_some() {
+        std::fs::write(&path, &json).unwrap();
+    }
+    assert_eq!(
+        json,
+        fixture("findings.json"),
+        "JSON shape drifted; regenerate with XLINT_UPDATE_FIXTURES=1 if intentional"
+    );
+    // An empty run is still valid JSON with the same top-level keys.
+    assert_eq!(
+        xlint::lints::findings_json(&[]),
+        "{\n  \"count\": 0,\n  \"findings\": []\n}\n"
+    );
+}
+
+/// A6 cross-checks: a manifest whose dichotomy groups lack entries, or
+/// whose entries disagree with the strengths the wmm suites model, must
+/// be flagged; the suites' own sites against a faithful manifest are
+/// clean (the live half of that is `live_workspace_is_violation_free`).
+#[test]
+fn a6_flags_detached_litmus_coverage() {
+    use xlint::lints::check_litmus;
+    // Empty manifest: every dichotomy group lacks entries, and every
+    // suite site is unresolved.
+    let empty = Manifest::parse("").unwrap();
+    let findings = check_litmus(&empty, "docs/orderings.toml");
+    assert!(findings.iter().all(|f| f.lint == "A6"));
+    for group in wmm::proto::DICHOTOMY_GROUPS {
+        assert!(
+            findings
+                .iter()
+                .any(|f| f.message.contains(group) && f.message.contains("no [[site]]")),
+            "missing-entries finding for `{group}`"
+        );
+    }
+    // A manifest entry at the wrong strength detaches the litmus from
+    // the audit: the finding points at the manifest line.
+    let suite = wmm::proto::find("native_flip_dekker").expect("suite exists");
+    let site = &suite.sites[0];
+    let toml = format!(
+        "[[site]]\nfile = \"{}\"\nsymbol = \"{}\"\norderings = [\"Relaxed\"]\n\
+         why = \"w\"\ngroup = \"{}\"\n",
+        site.file, site.symbol, suite.group
+    );
+    let wrong = Manifest::parse(&toml).unwrap();
+    assert!(
+        check_litmus(&wrong, "docs/orderings.toml")
+            .iter()
+            .any(|f| f.lint == "A6"
+                && f.file == "docs/orderings.toml"
+                && f.line == 1
+                && f.message
+                    .contains("no longer checks the documented strength")),
+        "strength mismatch must be flagged at the manifest entry"
+    );
+}
+
+/// The tier-1 hook: the real workspace must pass the full A1–A6 check.
 /// If this fails, run `cargo run -p xlint -- check` for the findings
 /// plus remediation hints.
 #[test]
