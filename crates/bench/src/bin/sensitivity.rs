@@ -8,14 +8,27 @@
 //! ```text
 //! cargo run --release -p bench --bin sensitivity -- --scenario hc-hc
 //! cargo run --release -p bench --bin sensitivity -- --full --runs 3
+//! cargo run --release -p bench --bin sensitivity -- --backend native
 //! ```
+//!
+//! `--backend sim` (default) drives the simulated-HTM store directly
+//! through the scheme + hashmap harness; `--backend native` routes the
+//! same op mix through `StoreBackend` sessions over the plain-memory
+//! publication store (SMT grouping and page-fault injection are
+//! sim-only knobs and are ignored there).
 
 use bench::{average, Args, Output};
-use workloads::driver::{run_sensitivity, Scenario, SensitivityParams};
-use workloads::SchemeKind;
+use workloads::driver::{run_sensitivity, run_sensitivity_backend, Scenario, SensitivityParams};
+use workloads::{BackendKind, SchemeKind};
 
 fn main() {
     let args = Args::parse();
+    let backend_name = args.get("backend").unwrap_or("sim").to_string();
+    let Some(backend) = BackendKind::parse(&backend_name) else {
+        eprintln!("unknown backend {backend_name:?}");
+        eprintln!("hint: try --backend sim or --backend native");
+        std::process::exit(2);
+    };
     let scenarios: Vec<Scenario> = match args.get("scenario") {
         Some(name) => vec![Scenario::parse(name).unwrap_or_else(|| {
             eprintln!("unknown scenario {name:?} (hc-hc, hc-lc, lc-hc, lc-lc)");
@@ -63,7 +76,7 @@ fn main() {
                 for &scheme in &schemes {
                     let results: Vec<_> = (0..runs)
                         .map(|r| {
-                            run_sensitivity(&SensitivityParams {
+                            let p = SensitivityParams {
                                 scheme,
                                 scenario,
                                 write_pct: w,
@@ -71,11 +84,15 @@ fn main() {
                                 ops_per_thread: ops,
                                 seed: seed + r as u64,
                                 smt_group_size: smt,
-                            })
+                            };
+                            match backend {
+                                BackendKind::Sim => run_sensitivity(&p),
+                                BackendKind::Native => run_sensitivity_backend(&p, backend),
+                            }
                         })
                         .collect();
                     let (secs, tput, summary) = average(&results);
-                    out.row(scheme, t, w, secs, tput, &summary);
+                    out.row_labeled(scheme.label(), backend.name(), t, w, secs, tput, &summary);
                 }
             }
             out.gap();

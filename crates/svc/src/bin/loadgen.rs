@@ -6,6 +6,7 @@
 //!         [--keys N] [--theta F] [--rate OPS_PER_CONN_PER_S]
 //!         [--total-rate OPS_PER_S] [--pipeline D]
 //!         [--seed N] [--json] [--shutdown]
+//!         [--journal PATH] [--verify PATH]
 //! ```
 //!
 //! Closed loop by default (`--pipeline D` keeps D requests outstanding
@@ -14,8 +15,15 @@
 //! sender, one epoll receiver, any number of connections — the SLO-gate
 //! mode). `--json` emits one JSON-lines row compatible with `summarize`
 //! (commit-mix keys are zero placeholders — the service measures
-//! latency, not the commit path; see DESIGN.md §8). Exit codes: 0
-//! clean, 1 errors or lost replies, 2 bad input or unreachable server.
+//! latency, not the commit path; see DESIGN.md §8).
+//!
+//! `--journal PATH` records every mutation this run sent with its ack
+//! status (see `svc::journal` for the format and soundness argument);
+//! `--verify PATH` skips load generation entirely and instead replays a
+//! previously written journal against the server, checking that every
+//! acked write is still readable — the crash-recovery gate. Exit codes:
+//! 0 clean, 1 errors, lost replies or lost acks, 2 bad input or
+//! unreachable server.
 
 use std::process::exit;
 
@@ -27,13 +35,17 @@ usage: loadgen [--addr HOST:PORT | --port P] [--conns N] [--writes PCT]
                [--scans PCT] [--scan-count N] [--secs S] [--ops N]
                [--keys N] [--theta F] [--rate R] [--total-rate R]
                [--pipeline D] [--seed N] [--json] [--shutdown]
+               [--journal PATH] [--verify PATH]
 
   Closed loop by default; --pipeline D keeps D requests outstanding per
   connection (default 1). --rate R injects R ops/s per connection (one
   sender thread each); --total-rate R paces R ops/s aggregate across
   all connections from a single sender with an epoll receiver — use it
   for thousands of connections. --shutdown drains the server at the
-  end.";
+  end. --journal PATH writes an ack journal of every mutation sent
+  (closed loop only); --verify PATH replays such a journal against the
+  server instead of generating load — exit 1 if any acked write is
+  missing.";
 
 /// Nanoseconds to microseconds for reporting.
 fn us(nanos: u64) -> f64 {
@@ -50,6 +62,32 @@ fn main() {
         Some(a) => a.to_string(),
         None => format!("127.0.0.1:{}", args.get_or("port", 7878u16)),
     };
+    if let Some(path) = args.get("verify") {
+        let entries = match svc::journal::load(std::path::Path::new(path)) {
+            Ok(e) => e,
+            Err(e) => {
+                eprintln!("loadgen: cannot load journal {path}: {e}");
+                exit(2);
+            }
+        };
+        let report = match svc::journal::verify_against(&addr, &entries) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("loadgen: verify against {addr} failed: {e}");
+                eprintln!("hint: is rwled running with the same --wal-dir and --prefill?");
+                exit(2);
+            }
+        };
+        println!(
+            "loadgen verify: {} keys checked, {} skipped (never acked), {} lost acks",
+            report.keys_checked, report.keys_skipped, report.lost_acks
+        );
+        for ex in &report.examples {
+            eprintln!("  lost: {ex}");
+        }
+        exit(if report.ok() { 0 } else { 1 });
+    }
+    let journal_path = args.get("journal").map(|p| p.to_string());
     let cfg = LoadgenConfig {
         addr,
         conns: args.get_or("conns", 8usize),
@@ -65,7 +103,13 @@ fn main() {
         pipeline: args.get_or("pipeline", 1usize),
         seed: args.get_or("seed", 1u64),
         shutdown: args.flag("shutdown"),
+        journal: journal_path.is_some(),
     };
+    if cfg.journal && (cfg.open_rate > 0 || cfg.total_rate > 0) {
+        eprintln!("loadgen: --journal requires the closed loop");
+        eprintln!("hint: the open-loop drain grace drops late replies, which would fake lost acks");
+        exit(2);
+    }
     if cfg.conns == 0 {
         eprintln!("loadgen: --conns must be at least 1");
         exit(2);
@@ -118,6 +162,12 @@ fn main() {
             exit(2);
         }
     };
+    if let Some(path) = &journal_path {
+        if let Err(e) = svc::journal::write(std::path::Path::new(path), &res.journal) {
+            eprintln!("loadgen: cannot write journal {path}: {e}");
+            exit(2);
+        }
+    }
 
     let scheme = res
         .server
@@ -147,7 +197,18 @@ fn main() {
             } else {
                 String::from("closed")
             };
-            format!("svc loopback {mode} conns={}", cfg.conns)
+            // Durable runs get their own section so regress compares
+            // durable against durable, never against volatile baselines.
+            let durable = res
+                .server
+                .as_ref()
+                .is_some_and(|s| !s.durability.is_empty() && s.durability != "volatile");
+            let kind = if durable {
+                "durable loopback"
+            } else {
+                "loopback"
+            };
+            format!("svc {kind} {mode} conns={}", cfg.conns)
         };
         let mut per_class = String::new();
         for (i, name) in CLASS_NAMES.iter().enumerate() {

@@ -5,6 +5,7 @@
 //!       [--shards N] [--buckets N] [--prefill N] [--capacity N]
 //!       [--queue-depth N] [--max-conns N] [--shed MODE] [--idle-ms MS]
 //!       [--reap-ms MS] [--seed N] [--port-file PATH]
+//!       [--wal-dir DIR] [--fsync batch|interval:<ms>|off]
 //! ```
 //!
 //! Prints the bound address on stdout, serves until a SHUTDOWN request,
@@ -24,6 +25,7 @@ usage: rwled [--port P] [--threads N] [--scheme NAME] [--backend NAME]
              [--shards N] [--buckets N] [--prefill N] [--capacity N]
              [--queue-depth N] [--max-conns N] [--shed MODE] [--idle-ms MS]
              [--reap-ms MS] [--seed N] [--port-file PATH]
+             [--wal-dir DIR] [--fsync batch|interval:<ms>|off]
 
   --port 0 binds an ephemeral port; --port-file writes the bound port
   there for scripts. Schemes: rw-le_opt (default), rw-le_pes, hle, sgl,
@@ -35,7 +37,13 @@ usage: rwled [--port P] [--threads N] [--scheme NAME] [--backend NAME]
   connections; --shed busy (default) answers Busy before closing,
   --shed drop closes silently. --idle-ms drops silent connections;
   --reap-ms sets how often workers sweep for them (also the event-loop
-  tick; default 100, clamped to at most --idle-ms).";
+  tick; default 100, clamped to at most --idle-ms).
+  --wal-dir makes acked mutations durable: the directory's redo log is
+  replayed at startup (a torn final record is truncated) and every
+  batch's write-set is logged inside its store pass. --fsync picks when
+  the ack may leave: batch (default, group commit — acked means
+  durable), interval:<ms> (cadence, bounded loss), off (page cache
+  only). Restarts must reuse the same --prefill.";
 
 fn main() {
     let args = Args::parse();
@@ -61,6 +69,15 @@ fn main() {
         eprintln!("hint: --shed busy replies Busy before closing; --shed drop closes silently");
         exit(2);
     };
+    let fsync = match wal::FsyncPolicy::parse(args.get("fsync").unwrap_or("batch")) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("rwled: {e}");
+            eprintln!("hint: --fsync batch (acked = durable), interval:<ms>, or off");
+            exit(2);
+        }
+    };
+    let wal_dir = args.get("wal-dir").map(std::path::PathBuf::from);
     let reap_ms = args.get_or("reap-ms", 100u64);
     if reap_ms == 0 {
         eprintln!("--reap-ms must be at least 1");
@@ -82,6 +99,12 @@ fn main() {
         idle_timeout: Duration::from_millis(args.get_or("idle-ms", 10_000u64)),
         reap_interval: Duration::from_millis(reap_ms),
         seed: args.get_or("seed", 1u64),
+        wal_dir,
+        fsync,
+    };
+    let durability = match cfg.wal_dir {
+        Some(_) => format!("durable fsync={}", cfg.fsync.label()),
+        None => "volatile".to_string(),
     };
     let threads = cfg.threads;
     let server = match Server::bind(cfg) {
@@ -108,9 +131,16 @@ fn main() {
             exit(2);
         }
     }
+    if let Some(r) = server.recovery() {
+        println!(
+            "rwled recovered: {} records ({} ops) from {} segments, \
+             {} torn bytes truncated, next lsn {}",
+            r.records, r.ops, r.segments, r.truncated_bytes, r.next_lsn
+        );
+    }
     println!(
         "rwled listening on {addr} ({threads} workers, scheme {scheme_name}, \
-         backend {backend_name})"
+         backend {backend_name}, {durability})"
     );
     match server.run() {
         Ok(report) => {
@@ -138,6 +168,15 @@ fn main() {
                 report.barriers_shared,
                 report.writev_calls
             );
+            if report.wal_appends > 0 {
+                println!(
+                    "  wal: {} appends, {} fsyncs ({:.2} appends/fsync), {} bytes",
+                    report.wal_appends,
+                    report.wal_fsyncs,
+                    report.wal_appends as f64 / report.wal_fsyncs.max(1) as f64,
+                    report.wal_bytes
+                );
+            }
             println!("  {}", report.summary);
             if !report.drained() {
                 eprintln!(

@@ -16,12 +16,16 @@
 //!   each iteration's mutations into a single quiescence barrier;
 //! * [`loadgen`] — the client: open- and closed-loop traffic with
 //!   configurable skew and write fraction, latency recorded per op class
-//!   in [`stats::LatencyHist`].
+//!   in [`stats::LatencyHist`];
+//! * [`journal`] — the ack journal loadgen writes in `--journal` runs
+//!   and the verifier the crash-recovery harness replays it with
+//!   (every acked write must be readable after recovery).
 //!
-//! See DESIGN.md §8 and §11 for the architecture rationale.
+//! See DESIGN.md §8, §11 and §13 for the architecture rationale.
 
 #![warn(missing_docs)]
 
+pub mod journal;
 pub mod loadgen;
 pub mod poll;
 pub mod proto;

@@ -45,6 +45,7 @@ use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use stats::LatencyHist;
 
+use crate::journal::{journal_value, partition_key, JStatus, JournalEntry, JournalOp};
 use crate::poll::{Interest, Poller};
 use crate::proto::{read_frame, FrameReader, Request, Response, ServerStats};
 
@@ -99,6 +100,12 @@ pub struct LoadgenConfig {
     pub seed: u64,
     /// Send SHUTDOWN after the run and wait for the drain ack.
     pub shutdown: bool,
+    /// Record every mutation (with its ack status) into
+    /// [`LoadResult::journal`]. Journal runs partition the key space
+    /// per connection and write journal-unique PUT values so the
+    /// crash-recovery verifier can reason about each key from one
+    /// connection's FIFO history alone. Closed loop only.
+    pub journal: bool,
 }
 
 impl Default for LoadgenConfig {
@@ -118,6 +125,7 @@ impl Default for LoadgenConfig {
             pipeline: 1,
             seed: 1,
             shutdown: false,
+            journal: false,
         }
     }
 }
@@ -143,6 +151,9 @@ pub struct LoadResult {
     pub not_found: u64,
     /// Server counters fetched over a fresh connection after the run.
     pub server: Option<ServerStats>,
+    /// Every journaled mutation (empty unless
+    /// [`LoadgenConfig::journal`] was set).
+    pub journal: Vec<JournalEntry>,
 }
 
 impl LoadResult {
@@ -248,6 +259,7 @@ struct ConnResult {
     errors: u64,
     shed: u64,
     not_found: u64,
+    journal: Vec<JournalEntry>,
 }
 
 impl ConnResult {
@@ -264,22 +276,36 @@ impl ConnResult {
             errors: 0,
             shed: 0,
             not_found: 0,
+            journal: Vec::new(),
         }
     }
 
-    /// Classifies one reply, recording latency for answered ops.
-    fn account(&mut self, body: &[u8], class: usize, nanos: u64) {
+    /// Classifies one reply, recording latency for answered ops and the
+    /// ack status for journaled mutations. NotFound counts as acked —
+    /// a DEL of an absent key executed; it just had nothing to remove.
+    fn account(&mut self, body: &[u8], class: usize, nanos: u64, jidx: Option<usize>) {
         self.received += 1;
-        match Response::decode(body) {
+        let status = match Response::decode(body) {
             Ok(Response::Ok | Response::Value(_) | Response::Pairs(_)) => {
                 self.hists[class].record(nanos);
+                JStatus::Acked
             }
             Ok(Response::NotFound) => {
                 self.not_found += 1;
                 self.hists[class].record(nanos);
+                JStatus::Acked
             }
-            Ok(Response::Busy | Response::ServerFull) => self.shed += 1,
-            Ok(_) | Err(_) => self.errors += 1,
+            Ok(Response::Busy | Response::ServerFull) => {
+                self.shed += 1;
+                JStatus::Failed
+            }
+            Ok(_) | Err(_) => {
+                self.errors += 1;
+                JStatus::Failed
+            }
+        };
+        if let Some(i) = jidx {
+            self.journal[i].status = status;
         }
     }
 }
@@ -288,15 +314,31 @@ impl ConnResult {
 /// outstanding, replies drained through a buffered frame reader (at
 /// depth 1 this is the classic one-outstanding loop, minus the separate
 /// header-read syscall).
-fn closed_loop(cfg: &LoadgenConfig, dist: &KeyDist, conn_id: usize) -> io::Result<ConnResult> {
-    let mut stream = TcpStream::connect(&cfg.addr)?;
-    stream.set_nodelay(true)?;
-    let mut rng = SmallRng::seed_from_u64(cfg.seed ^ (conn_id as u64 + 1).wrapping_mul(SPREAD));
+///
+/// Mid-run failures (the crash-recovery harness SIGKILLs the server
+/// under this loop) are tallied into `errors` rather than returned, so
+/// the journal and partial counts survive: sent-but-unanswered
+/// mutations keep their `Sent` status, which is exactly what the
+/// verifier needs.
+fn closed_loop(cfg: &LoadgenConfig, dist: &KeyDist, conn_id: usize) -> ConnResult {
     let mut res = ConnResult::new();
+    let mut stream = match TcpStream::connect(&cfg.addr).and_then(|s| {
+        s.set_nodelay(true)?;
+        Ok(s)
+    }) {
+        Ok(s) => s,
+        Err(_) => {
+            res.errors += 1;
+            return res;
+        }
+    };
+    let mut rng = SmallRng::seed_from_u64(cfg.seed ^ (conn_id as u64 + 1).wrapping_mul(SPREAD));
     let depth = cfg.pipeline.max(1);
     let deadline = Instant::now() + Duration::from_secs_f64(cfg.secs);
     let mut fr = FrameReader::new();
-    let mut pending: VecDeque<(Instant, usize)> = VecDeque::new();
+    // Intended instant, op class, and (journal runs) the index of the
+    // mutation's journal entry awaiting its ack status.
+    let mut pending: VecDeque<(Instant, usize, Option<usize>)> = VecDeque::new();
     let mut wbuf: Vec<u8> = Vec::new();
     let mut rbuf = [0u8; 16 * 1024];
     loop {
@@ -310,39 +352,94 @@ fn closed_loop(cfg: &LoadgenConfig, dist: &KeyDist, conn_id: usize) -> io::Resul
             wbuf.clear();
             while pending.len() < depth {
                 let (req, class) = gen_op(&mut rng, dist, cfg);
-                pending.push_back((Instant::now(), class));
+                let (req, jidx) = if cfg.journal {
+                    journalize(req, conn_id as u64, cfg.conns as u64, &mut res.journal)
+                } else {
+                    (req, None)
+                };
+                pending.push_back((Instant::now(), class, jidx));
                 req.encode_frame(&mut wbuf);
                 res.sent += 1;
                 if cfg.ops_per_conn > 0 && res.sent >= cfg.ops_per_conn {
                     break;
                 }
             }
-            stream.write_all(&wbuf)?;
+            if stream.write_all(&wbuf).is_err() {
+                res.errors += 1;
+                break;
+            }
         }
         // Drain at least one reply (blocking read, then whatever else
-        // arrived with it).
-        let n = stream.read(&mut rbuf)?;
-        if n == 0 {
-            return Err(io::Error::new(
-                io::ErrorKind::UnexpectedEof,
-                "server closed with replies outstanding",
-            ));
-        }
+        // arrived with it). A dead server (EOF, reset) ends the run
+        // with the outstanding window left as journal `Sent` entries.
+        let n = match stream.read(&mut rbuf) {
+            Ok(0) | Err(_) => {
+                res.errors += 1;
+                break;
+            }
+            Ok(n) => n,
+        };
         fr.extend(&rbuf[..n]);
-        while let Some(body) = fr
-            .next_frame()
-            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, format!("bad frame: {e}")))?
-        {
-            let (t0, class) = pending.pop_front().ok_or_else(|| {
-                io::Error::new(
-                    io::ErrorKind::InvalidData,
-                    "reply without a pending request",
-                )
-            })?;
-            res.account(&body, class, t0.elapsed().as_nanos() as u64);
+        loop {
+            let body = match fr.next_frame() {
+                Ok(Some(body)) => body,
+                Ok(None) => break,
+                Err(_) => {
+                    res.errors += 1;
+                    return res;
+                }
+            };
+            let Some((t0, class, jidx)) = pending.pop_front() else {
+                res.errors += 1;
+                return res;
+            };
+            res.account(&body, class, t0.elapsed().as_nanos() as u64, jidx);
         }
     }
-    Ok(res)
+    res
+}
+
+/// Rewrites a generated request for a journal run — mutations move onto
+/// this connection's key partition and PUTs get journal-unique values —
+/// and records the mutation as `Sent`. Reads are repartitioned too so
+/// the offered mix still touches the keys being mutated.
+fn journalize(
+    req: Request,
+    conn: u64,
+    conns: u64,
+    journal: &mut Vec<JournalEntry>,
+) -> (Request, Option<usize>) {
+    let seq = journal.len() as u64;
+    match req {
+        Request::Put { key, .. } => {
+            let key = partition_key(key, conn, conns);
+            let value = journal_value(conn, seq);
+            journal.push(JournalEntry {
+                conn,
+                seq,
+                op: JournalOp::Put { key, value },
+                status: JStatus::Sent,
+            });
+            (Request::Put { key, value }, Some(journal.len() - 1))
+        }
+        Request::Del { key } => {
+            let key = partition_key(key, conn, conns);
+            journal.push(JournalEntry {
+                conn,
+                seq,
+                op: JournalOp::Del { key },
+                status: JStatus::Sent,
+            });
+            (Request::Del { key }, Some(journal.len() - 1))
+        }
+        Request::Get { key } => (
+            Request::Get {
+                key: partition_key(key, conn, conns),
+            },
+            None,
+        ),
+        other => (other, None),
+    }
 }
 
 /// One open-loop connection: a paced sender plus a receiver matching
@@ -358,7 +455,7 @@ fn open_loop(cfg: &LoadgenConfig, dist: &KeyDist, conn_id: usize) -> io::Result<
             match read_frame(&mut rd) {
                 Ok(body) => {
                     let nanos = t_intended.elapsed().as_nanos() as u64;
-                    res.account(&body, class, nanos);
+                    res.account(&body, class, nanos, None);
                 }
                 Err(_) => {
                     res.errors += 1;
@@ -586,7 +683,12 @@ fn shared_receiver(
                                 Ok(Some(body)) => {
                                     if let Some((t, class)) = queues[i].lock().unwrap().pop_front()
                                     {
-                                        per[i].account(&body, class, t.elapsed().as_nanos() as u64);
+                                        per[i].account(
+                                            &body,
+                                            class,
+                                            t.elapsed().as_nanos() as u64,
+                                            None,
+                                        );
                                     } else {
                                         per[i].errors += 1;
                                     }
@@ -678,6 +780,13 @@ fn send_shutdown(addr: &str) -> io::Result<()> {
 /// tallied as errors instead.
 pub fn run(cfg: &LoadgenConfig) -> io::Result<LoadResult> {
     assert!(cfg.conns > 0, "need at least one connection");
+    // The journal's soundness argument leans on the closed loop's
+    // strict per-connection FIFO; the open-loop modes drop replies on
+    // the floor after their drain grace, which would fake lost acks.
+    assert!(
+        !cfg.journal || (cfg.open_rate == 0 && cfg.total_rate == 0),
+        "journaling requires the closed loop"
+    );
     // Probe before spawning so "server not running" is one clean error.
     drop(TcpStream::connect(&cfg.addr)?);
     let dist = KeyDist::new(cfg.key_range, cfg.zipf_theta);
@@ -694,7 +803,7 @@ pub fn run(cfg: &LoadgenConfig) -> io::Result<LoadResult> {
                     if cfg.open_rate > 0 {
                         open_loop(cfg, &dist, conn_id)
                     } else {
-                        closed_loop(cfg, &dist, conn_id)
+                        Ok(closed_loop(cfg, &dist, conn_id))
                     }
                 }));
             }
@@ -720,6 +829,7 @@ pub fn run(cfg: &LoadgenConfig) -> io::Result<LoadResult> {
         shed: 0,
         not_found: 0,
         server: None,
+        journal: Vec::new(),
     };
     for r in conn_results {
         match r {
@@ -729,6 +839,7 @@ pub fn run(cfg: &LoadgenConfig) -> io::Result<LoadResult> {
                 out.errors += c.errors;
                 out.shed += c.shed;
                 out.not_found += c.not_found;
+                out.journal.extend(c.journal);
                 for (merged, h) in out.hists.iter_mut().zip(c.hists.iter()) {
                     merged.merge(h);
                 }

@@ -27,7 +27,7 @@
 //! | Ok | `0x80` | — (PUT/DEL-hit/SHUTDOWN ack) |
 //! | Value | `0x81` | `value: u64` (GET hit) |
 //! | Pairs | `0x82` | `n: u32, n × (key: u64, value: u64)` (SCAN) |
-//! | Stats | `0x83` | 23 `u64` counters, `len: u8`, scheme label, `len: u8`, backend label |
+//! | Stats | `0x83` | 26 `u64` counters, then 3 × (`len: u8`, label): scheme, backend, durability |
 //! | NotFound | `0x90` | — |
 //! | BadRequest | `0x91` | — |
 //! | Busy | `0x92` | — (load shed: worker queue or conn limit full) |
@@ -137,6 +137,13 @@ pub struct ServerStats {
     /// Vectored reply writes issued (`writev` amortization:
     /// `replied / writev_calls` replies per syscall).
     pub writev_calls: u64,
+    /// WAL records appended (one per non-empty batch write-set); 0 when
+    /// running volatile.
+    pub wal_appends: u64,
+    /// WAL fsync calls completed (group commits + segment rotations).
+    pub wal_fsyncs: u64,
+    /// WAL bytes appended (record headers + payloads).
+    pub wal_bytes: u64,
     /// Batch-size histogram: bucket `i` counts batches of
     /// `2^i ..= 2^(i+1) - 1` requests (last bucket is open-ended).
     pub batch_hist: [u64; 8],
@@ -144,6 +151,9 @@ pub struct ServerStats {
     pub scheme: String,
     /// Label of the execution backend (`"sim"` / `"native"`).
     pub backend: String,
+    /// Durability mode: `"volatile"` when no WAL is attached, else the
+    /// fsync policy label (`"batch"`, `"interval:<ms>"`, `"off"`).
+    pub durability: String,
 }
 
 impl ServerStats {
@@ -373,13 +383,20 @@ impl Response {
                     s.barriers,
                     s.barriers_shared,
                     s.writev_calls,
+                    s.wal_appends,
+                    s.wal_fsyncs,
+                    s.wal_bytes,
                 ] {
                     out.extend_from_slice(&c.to_le_bytes());
                 }
                 for c in s.batch_hist {
                     out.extend_from_slice(&c.to_le_bytes());
                 }
-                for label in [s.scheme.as_bytes(), s.backend.as_bytes()] {
+                for label in [
+                    s.scheme.as_bytes(),
+                    s.backend.as_bytes(),
+                    s.durability.as_bytes(),
+                ] {
                     let n = label.len().min(255);
                     out.push(n as u8);
                     out.extend_from_slice(&label[..n]);
@@ -434,9 +451,10 @@ impl Response {
                 Ok(Response::Pairs(pairs))
             }
             0x83 => {
-                // 23 u64 counters (10 request/connection counters, 5 batch
-                // counters, 8 histogram buckets), then the two labels.
-                const COUNTERS: usize = 23 * 8;
+                // 26 u64 counters (10 request/connection counters, 5 batch
+                // counters, 3 WAL counters, 8 histogram buckets), then the
+                // three labels (scheme, backend, durability).
+                const COUNTERS: usize = 26 * 8;
                 if body.len() < 1 + COUNTERS + 1 {
                     return Err(ProtoError::Truncated {
                         need: COUNTERS + 1,
@@ -444,26 +462,32 @@ impl Response {
                     });
                 }
                 let c = |i: usize| get_u64(body, 1 + i * 8);
-                let label_len = body[1 + COUNTERS] as usize;
-                let backend_at = 2 + COUNTERS + label_len;
-                if body.len() < backend_at + 1 {
-                    return Err(ProtoError::Truncated {
-                        need: COUNTERS + 1 + label_len + 1,
-                        got: body.len() - 1,
-                    });
-                }
-                let backend_len = body[backend_at] as usize;
-                expect_len(body, COUNTERS + 1 + label_len + 1 + backend_len)?;
-                let scheme = std::str::from_utf8(&body[2 + COUNTERS..2 + COUNTERS + label_len])
-                    .map_err(|_| ProtoError::BadLabel)?
-                    .to_string();
-                let backend =
-                    std::str::from_utf8(&body[backend_at + 1..backend_at + 1 + backend_len])
+                let mut at = 1 + COUNTERS;
+                let mut labels: [String; 3] = Default::default();
+                for label in labels.iter_mut() {
+                    if body.len() < at + 1 {
+                        return Err(ProtoError::Truncated {
+                            need: at,
+                            got: body.len() - 1,
+                        });
+                    }
+                    let n = body[at] as usize;
+                    if body.len() < at + 1 + n {
+                        return Err(ProtoError::Truncated {
+                            need: at + n,
+                            got: body.len() - 1,
+                        });
+                    }
+                    *label = std::str::from_utf8(&body[at + 1..at + 1 + n])
                         .map_err(|_| ProtoError::BadLabel)?
                         .to_string();
+                    at += 1 + n;
+                }
+                expect_len(body, at - 1)?;
+                let [scheme, backend, durability] = labels;
                 let mut batch_hist = [0u64; 8];
                 for (i, b) in batch_hist.iter_mut().enumerate() {
-                    *b = c(15 + i);
+                    *b = c(18 + i);
                 }
                 Ok(Response::Stats(Box::new(ServerStats {
                     enqueued: c(0),
@@ -481,9 +505,13 @@ impl Response {
                     barriers: c(12),
                     barriers_shared: c(13),
                     writev_calls: c(14),
+                    wal_appends: c(15),
+                    wal_fsyncs: c(16),
+                    wal_bytes: c(17),
                     batch_hist,
                     scheme,
                     backend,
+                    durability,
                 })))
             }
             0x90 => {
@@ -758,9 +786,13 @@ mod tests {
                 barriers: 13,
                 barriers_shared: 14,
                 writev_calls: 15,
-                batch_hist: [16, 17, 18, 19, 20, 21, 22, 23],
+                wal_appends: 16,
+                wal_fsyncs: 17,
+                wal_bytes: 18,
+                batch_hist: [19, 20, 21, 22, 23, 24, 25, 26],
                 scheme: "RW-LE_OPT".to_string(),
                 backend: "sim".to_string(),
+                durability: "batch".to_string(),
             })),
             Response::NotFound,
             Response::BadRequest,

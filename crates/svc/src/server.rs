@@ -60,7 +60,8 @@ use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use stats::{StatsSummary, ThreadStats};
-use workloads::backend::{MutOp, MutReply, SimBackend};
+use wal::{FsyncPolicy, Wal};
+use workloads::backend::{MutOp, MutReply, SimBackend, NO_LSN};
 use workloads::native::{NativeBackend, SglBackend};
 use workloads::{BackendKind, SchemeKind, StoreBackend};
 
@@ -138,6 +139,17 @@ pub struct ServerConfig {
     pub reap_interval: Duration,
     /// Seed for the simulated-HTM engine.
     pub seed: u64,
+    /// Redo-log directory. `Some` makes every acked mutation durable:
+    /// existing segments are replayed into the store at bind (torn
+    /// final record truncated), and each batch's write-set is appended
+    /// inside the store pass's commit window. Restarts must keep the
+    /// same `prefill` — the log records mutations *over* the prefilled
+    /// state, not the prefill itself.
+    pub wal_dir: Option<std::path::PathBuf>,
+    /// When the log is fsynced relative to the ack (ignored without
+    /// `wal_dir`). `Batch` is the acked-⇒-durable mode the
+    /// crash-recovery gate runs.
+    pub fsync: FsyncPolicy,
 }
 
 impl Default for ServerConfig {
@@ -157,6 +169,8 @@ impl Default for ServerConfig {
             idle_timeout: Duration::from_secs(10),
             reap_interval: Duration::from_millis(100),
             seed: 1,
+            wal_dir: None,
+            fsync: FsyncPolicy::Batch,
         }
     }
 }
@@ -187,6 +201,12 @@ pub struct DrainReport {
     pub barriers_shared: u64,
     /// Vectored reply writes issued.
     pub writev_calls: u64,
+    /// WAL records appended (0 when running volatile).
+    pub wal_appends: u64,
+    /// WAL fsync calls completed.
+    pub wal_fsyncs: u64,
+    /// WAL bytes appended.
+    pub wal_bytes: u64,
     /// Merged worker-side protocol statistics (commit/abort mix).
     pub summary: StatsSummary,
 }
@@ -203,6 +223,8 @@ pub struct Server {
     cfg: ServerConfig,
     listener: TcpListener,
     backend: Box<dyn StoreBackend>,
+    wal: Option<Arc<Wal>>,
+    recovery: Option<wal::Replay>,
 }
 
 impl Server {
@@ -222,6 +244,10 @@ impl Server {
                 "reap interval must be at least 1ms (it is the event-loop tick)",
             ));
         }
+        // Recovery replays through one extra session before the workers
+        // claim theirs, so a durable server sizes the backend for
+        // `threads + 1`.
+        let sessions = cfg.threads + usize::from(cfg.wal_dir.is_some());
         let backend: Box<dyn StoreBackend> = match (cfg.backend, cfg.scheme) {
             (BackendKind::Sim, scheme) => Box::new(
                 SimBackend::create(
@@ -230,7 +256,7 @@ impl Server {
                     cfg.buckets_per_shard,
                     cfg.prefill,
                     cfg.extra_capacity,
-                    cfg.threads,
+                    sessions,
                     cfg.seed,
                 )
                 .map_err(|e| io::Error::new(io::ErrorKind::InvalidInput, e))?,
@@ -241,8 +267,27 @@ impl Server {
             // Plain memory needs no sizing: capacity is the process
             // heap, so extra_capacity and seed have nothing to govern.
             (BackendKind::Native, _) => {
-                Box::new(NativeBackend::create(cfg.shards, cfg.threads, cfg.prefill))
+                Box::new(NativeBackend::create(cfg.shards, sessions, cfg.prefill))
             }
+        };
+        // Durable path: replay whatever the previous incarnation acked
+        // (log order = commit order, so batch-at-a-time replay rebuilds
+        // exactly that state), then open a fresh segment for this one.
+        let (wal, recovery) = match &cfg.wal_dir {
+            Some(dir) => {
+                let bad_log = |e: wal::WalError| io::Error::other(format!("wal: {e}"));
+                let mut sess = backend.session();
+                let mut replies = Vec::new();
+                let report = wal::replay(dir, |_lsn, ops| {
+                    replies.clear();
+                    sess.apply_batch(ops, &mut replies);
+                })
+                .map_err(bad_log)?;
+                drop(sess);
+                let w = Wal::open(dir, cfg.fsync, report.next_lsn).map_err(bad_log)?;
+                (Some(Arc::new(w)), Some(report))
+            }
+            None => (None, None),
         };
         let listener = TcpListener::bind(("127.0.0.1", cfg.port))?;
         // std hardwires a backlog of 128; a load generator opening
@@ -258,12 +303,20 @@ impl Server {
             cfg,
             listener,
             backend,
+            wal,
+            recovery,
         })
     }
 
     /// The bound address (useful with port 0).
     pub fn local_addr(&self) -> io::Result<SocketAddr> {
         self.listener.local_addr()
+    }
+
+    /// The recovery replay report, when this server was bound with a
+    /// WAL directory (present even for an empty log).
+    pub fn recovery(&self) -> Option<&wal::Replay> {
+        self.recovery.as_ref()
     }
 
     /// Serves until a SHUTDOWN request arrives, then drains: stop
@@ -274,6 +327,8 @@ impl Server {
             cfg,
             listener,
             backend,
+            wal,
+            recovery: _,
         } = self;
         // Pollers and wakers are created up front so the waker handles
         // can live in `Shared` (any thread wakes any worker) while each
@@ -294,6 +349,11 @@ impl Server {
             shutdown_reply: Mutex::new(None),
             scheme_label: cfg.scheme.label(),
             backend_label: backend.label(),
+            durability_label: match &wal {
+                Some(w) => w.policy().label(),
+                None => "volatile".to_string(),
+            },
+            wal,
             idle_timeout: cfg.idle_timeout,
         });
         let backend = &*backend;
@@ -361,6 +421,7 @@ impl Server {
             }
         });
         let c = &shared.counters;
+        let ws = shared.wal.as_ref().map(|w| w.stats()).unwrap_or_default();
         Ok(DrainReport {
             enqueued: Counters::get(&c.enqueued),
             replied: Counters::get(&c.replied),
@@ -373,6 +434,9 @@ impl Server {
             barriers: Counters::get(&c.barriers),
             barriers_shared: Counters::get(&c.barriers_shared),
             writev_calls: Counters::get(&c.writev_calls),
+            wal_appends: ws.appends,
+            wal_fsyncs: ws.fsyncs,
+            wal_bytes: ws.bytes,
             summary: StatsSummary::from_threads(&worker_stats),
         })
     }
@@ -452,6 +516,11 @@ struct Shared {
     shutdown_reply: Mutex<Option<TcpStream>>,
     scheme_label: &'static str,
     backend_label: &'static str,
+    /// `"volatile"`, or the attached WAL's fsync-policy label.
+    durability_label: String,
+    /// The redo log every worker's store pass appends through, when
+    /// the server runs durable.
+    wal: Option<Arc<Wal>>,
     idle_timeout: Duration,
 }
 
@@ -513,6 +582,7 @@ impl Shared {
         for (out, bucket) in batch_hist.iter_mut().zip(&c.batch_hist) {
             *out = Counters::get(bucket);
         }
+        let ws = self.wal.as_ref().map(|w| w.stats()).unwrap_or_default();
         ServerStats {
             enqueued: Counters::get(&c.enqueued),
             replied: Counters::get(&c.replied),
@@ -529,9 +599,13 @@ impl Shared {
             barriers: Counters::get(&c.barriers),
             barriers_shared: Counters::get(&c.barriers_shared),
             writev_calls: Counters::get(&c.writev_calls),
+            wal_appends: ws.appends,
+            wal_fsyncs: ws.fsyncs,
+            wal_bytes: ws.bytes,
             batch_hist,
             scheme: self.scheme_label.to_string(),
             backend: self.backend_label.to_string(),
+            durability: self.durability_label.clone(),
         }
     }
 }
@@ -778,7 +852,14 @@ fn worker_loop(
                     },
                 }
             }
-            let outcome = sess.apply_batch(&mut_ops, &mut mut_replies);
+            // Durable servers append the batch's write-set inside the
+            // store pass's commit window (shard locks on native, the
+            // sink's order section elsewhere), so the flush rides the
+            // same per-batch amortization as the quiescence barrier.
+            let (outcome, lsn) = match shared.wal.as_deref() {
+                Some(w) => sess.apply_batch_durable(&mut_ops, &mut mut_replies, w),
+                None => (sess.apply_batch(&mut_ops, &mut mut_replies), NO_LSN),
+            };
             for (&i, reply) in mut_at.iter().zip(&mut_replies) {
                 replies[i] = Some(match *reply {
                     MutReply::Put(Ok(_)) => Response::Ok,
@@ -797,10 +878,19 @@ fn worker_loop(
             let bucket = (work.len().max(1).ilog2() as usize).min(7);
             Counters::inc(&c.batch_hist[bucket]);
 
+            // Durability gate: an ack must not leave before an fsync
+            // covers the batch's record (FsyncPolicy::Batch blocks
+            // here on the group commit; Interval/Off return at once).
+            if let Some(w) = shared.wal.as_deref() {
+                use workloads::backend::DurableSink;
+                w.wait_durable(lsn);
+            }
+
             // Queue replies in admitted (per-connection FIFO) order.
             // The batch's covering barrier completed inside
             // `apply_batch` above, so nothing queued here can reach a
-            // client before its mutation is quiesced.
+            // client before its mutation is quiesced (and, durable, not
+            // before its record is synced — see the gate above).
             let mut queued = 0u64;
             for ((slot, item), resp) in work.iter().zip(replies.drain(..)) {
                 let Some(conn) = conns.get_mut(*slot).and_then(|c| c.as_mut()) else {
@@ -1042,6 +1132,8 @@ mod tests {
             shutdown_reply: Mutex::new(None),
             scheme_label: "TEST",
             backend_label: "test",
+            durability_label: "volatile".to_string(),
+            wal: None,
             idle_timeout: Duration::from_secs(1),
         })
     }

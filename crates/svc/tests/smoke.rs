@@ -282,6 +282,7 @@ fn loadgen_closed_loop_end_to_end() {
         pipeline: 1,
         seed: 7,
         shutdown: false,
+        journal: false,
     };
     let res = svc::loadgen::run(&cfg).expect("loadgen run");
     assert_eq!(res.sent, 4 * 200);
@@ -315,6 +316,7 @@ fn loadgen_open_loop_receives_everything_sent() {
         pipeline: 1,
         seed: 9,
         shutdown: false,
+        journal: false,
     };
     let res = svc::loadgen::run(&cfg).expect("loadgen run");
     assert_eq!(res.sent, 2 * 100);
@@ -389,6 +391,7 @@ fn native_backend_serves_the_same_wire_protocol() {
         pipeline: 1,
         seed: 11,
         shutdown: false,
+        journal: false,
     };
     let res = svc::loadgen::run(&cfg).expect("loadgen run");
     assert_eq!(res.sent, 4 * 200);
@@ -415,6 +418,7 @@ fn loadgen_pipelined_closed_loop_receives_everything_sent() {
         pipeline: 8,
         seed: 13,
         shutdown: false,
+        journal: false,
     };
     let res = svc::loadgen::run(&cfg).expect("loadgen run");
     assert_eq!(res.sent, 3 * 300);
@@ -445,6 +449,7 @@ fn loadgen_shared_pacing_receives_everything_sent() {
         pipeline: 1,
         seed: 17,
         shutdown: false,
+        journal: false,
     };
     let res = svc::loadgen::run(&cfg).expect("loadgen run");
     assert_eq!(res.sent, 320, "shared pacing must honor the global op cap");
@@ -506,6 +511,7 @@ fn acknowledged_writes_are_visible_across_connections_on_both_backends() {
                 pipeline: 4,
                 seed: 23,
                 shutdown: false,
+                journal: false,
             };
             svc::loadgen::run(&cfg).expect("noise loadgen")
         });

@@ -46,9 +46,13 @@ fn all_responses() -> Vec<Response> {
             barriers: 13,
             barriers_shared: 14,
             writev_calls: 15,
-            batch_hist: [16, 17, 18, 19, 20, 21, 22, 23],
+            wal_appends: 16,
+            wal_fsyncs: 17,
+            wal_bytes: 18,
+            batch_hist: [19, 20, 21, 22, 23, 24, 25, 26],
             scheme: "RW-LE_OPT".to_string(),
             backend: "native".to_string(),
+            durability: "interval:50".to_string(),
         })),
         Response::NotFound,
         Response::BadRequest,

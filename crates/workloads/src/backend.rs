@@ -104,6 +104,52 @@ pub struct BatchOutcome {
     pub shared: u64,
 }
 
+/// Log sequence number handed out by a [`DurableSink`].
+pub type Lsn = u64;
+
+/// The LSN of "nothing appended" (an empty batch or an all-failed
+/// write-set): always already durable, [`DurableSink::wait_durable`]
+/// returns immediately for it. Real LSNs start at 1.
+pub const NO_LSN: Lsn = 0;
+
+/// Where a batch's write-set goes to become durable — implemented by
+/// `wal::Wal`, mocked in tests. The contract that makes replay agree
+/// with acked history: **log order must equal commit order** for every
+/// pair of conflicting batches. Two ways to get that ordering:
+///
+/// * [`DurableSink::append`] trusts the caller to hold the store-side
+///   serialization already (the native backend appends while it still
+///   holds every touched shard's writer lock, so conflicting batches
+///   serialize their appends through those locks);
+/// * [`DurableSink::append_ordered`] serializes execute + append under
+///   the sink's own global order lock, for backends whose `apply_batch`
+///   has no lock window spanning the whole batch (the simulated
+///   backend's per-op loop).
+///
+/// Only the *effective* write-set is appended: a PUT that failed with
+/// [`StoreFull`] had no effect and must not be replayed as if it had.
+pub trait DurableSink: Send + Sync {
+    /// Appends one batch's effective write-set as a single record and
+    /// returns its LSN (`NO_LSN` for an empty write-set). The caller
+    /// must already hold whatever store-side serialization orders this
+    /// batch against conflicting ones — see the trait docs.
+    fn append(&self, ops: &[MutOp]) -> Lsn;
+
+    /// Runs `exec` (which applies a batch and pushes its effective
+    /// write-set into the provided scratch buffer) and appends the
+    /// result, all under the sink's global order lock, so log order
+    /// equals execution order. Returns `exec`'s outcome plus the LSN.
+    fn append_ordered(
+        &self,
+        exec: &mut dyn FnMut(&mut Vec<MutOp>) -> BatchOutcome,
+    ) -> (BatchOutcome, Lsn);
+
+    /// Blocks until everything up to `lsn` is durable under the sink's
+    /// fsync policy (an interval/off policy may return immediately —
+    /// the acked ⇒ durable guarantee is the per-batch policy's).
+    fn wait_durable(&self, lsn: Lsn);
+}
+
 /// A store plus the substrate it executes on. Shared across worker
 /// threads; each thread gets its own [`StoreSession`].
 pub trait StoreBackend: Send + Sync {
@@ -156,6 +202,41 @@ pub trait StoreSession {
             barriers: ops.len() as u64,
             shared: 0,
         }
+    }
+
+    /// [`StoreSession::apply_batch`] with a redo-log stop: the batch's
+    /// effective write-set is appended to `sink` ordered consistently
+    /// with its commit, and the returned LSN names the record a caller
+    /// must [`DurableSink::wait_durable`] on before acknowledging any of
+    /// the batch's mutations (acked ⇒ durable).
+    ///
+    /// The default implementation serializes execute + append under the
+    /// sink's order lock — sound on any backend, but it adds a global
+    /// serialization point. The native backend overrides it to append
+    /// while holding its shard writer locks, between the publication
+    /// flips and the quiescence barrier, so the log write (and the
+    /// group-commit fsync it kicks off) overlaps the grace period the
+    /// batch already pays.
+    fn apply_batch_durable(
+        &mut self,
+        ops: &[MutOp],
+        replies: &mut Vec<MutReply>,
+        sink: &dyn DurableSink,
+    ) -> (BatchOutcome, Lsn) {
+        let mut out_replies = std::mem::take(replies);
+        let result = sink.append_ordered(&mut |wset| {
+            let out = self.apply_batch(ops, &mut out_replies);
+            for (op, rep) in ops.iter().zip(out_replies.iter()) {
+                // Failed PUTs had no effect; replaying them would
+                // resurrect a write the client was told was shed.
+                if !matches!(rep, MutReply::Put(Err(_))) {
+                    wset.push(*op);
+                }
+            }
+            out
+        });
+        *replies = out_replies;
+        result
     }
 
     /// Drains the accumulated per-thread statistics.
@@ -419,5 +500,156 @@ mod tests {
             assert_eq!(BackendKind::parse(k.name()), Some(k));
         }
         assert_eq!(BackendKind::parse("bogus"), None);
+    }
+
+    /// In-memory [`DurableSink`] recording every appended write-set.
+    #[derive(Default)]
+    struct MockSink {
+        records: std::sync::Mutex<Vec<Vec<MutOp>>>,
+    }
+
+    impl DurableSink for MockSink {
+        fn append(&self, ops: &[MutOp]) -> Lsn {
+            let mut g = self.records.lock().unwrap();
+            g.push(ops.to_vec());
+            g.len() as Lsn
+        }
+
+        fn append_ordered(
+            &self,
+            exec: &mut dyn FnMut(&mut Vec<MutOp>) -> BatchOutcome,
+        ) -> (BatchOutcome, Lsn) {
+            let mut wset = Vec::new();
+            let out = exec(&mut wset);
+            let lsn = if wset.is_empty() {
+                NO_LSN
+            } else {
+                self.append(&wset)
+            };
+            (out, lsn)
+        }
+
+        fn wait_durable(&self, _lsn: Lsn) {}
+    }
+
+    /// An empty batch is a no-op on every backend and every path:
+    /// stale reply contents are cleared, no barrier is paid, and the
+    /// durable path appends nothing (`NO_LSN`).
+    fn empty_batch(backend: &dyn StoreBackend) {
+        let mut s = backend.session();
+        let mut replies = vec![MutReply::Del(true)]; // stale, must clear
+        let out = s.apply_batch(&[], &mut replies);
+        assert!(replies.is_empty());
+        assert_eq!(out, BatchOutcome::default());
+        let sink = MockSink::default();
+        let (out, lsn) = s.apply_batch_durable(&[], &mut replies, &sink);
+        assert_eq!(out, BatchOutcome::default());
+        assert_eq!(lsn, NO_LSN);
+        assert!(replies.is_empty());
+        assert!(sink.records.lock().unwrap().is_empty());
+    }
+
+    #[test]
+    fn sim_backend_empty_batch() {
+        empty_batch(&sim());
+    }
+
+    #[test]
+    fn native_backend_empty_batch() {
+        empty_batch(&native());
+    }
+
+    #[test]
+    fn sgl_backend_empty_batch() {
+        empty_batch(&crate::native::SglBackend::create(200));
+    }
+
+    /// Replies are index-aligned with ops for every batch shape —
+    /// including duplicate keys and batches larger than the shard count.
+    fn replies_align(backend: &dyn StoreBackend) {
+        let mut s = backend.session();
+        for n in [1usize, 2, 7, 33] {
+            let ops: Vec<MutOp> = (0..n)
+                .map(|i| {
+                    if i % 3 == 2 {
+                        MutOp::Del {
+                            key: (i / 3) as u64,
+                        }
+                    } else {
+                        MutOp::Put {
+                            key: 10_000 + (i % 5) as u64,
+                            value: i as u64,
+                        }
+                    }
+                })
+                .collect();
+            let mut replies = Vec::new();
+            s.apply_batch(&ops, &mut replies);
+            assert_eq!(replies.len(), ops.len(), "batch of {n}");
+        }
+    }
+
+    #[test]
+    fn sim_backend_replies_align() {
+        replies_align(&sim());
+    }
+
+    #[test]
+    fn native_backend_replies_align() {
+        replies_align(&native());
+    }
+
+    /// A PUT that hits `StoreFull` mid-batch sheds only itself: the
+    /// batch keeps going, replies stay index-aligned, and the durable
+    /// filter drops the failed PUT from the logged write-set while
+    /// keeping the ops after it.
+    #[test]
+    fn sim_store_full_mid_batch_sheds_only_the_failed_put() {
+        // Tiny arena so fresh-key PUTs exhaust it quickly (the allocator
+        // adds fixed slack, so shedding starts after some number of
+        // batches rather than immediately).
+        let backend = SimBackend::create(SchemeKind::RwLeOpt, 1, 16, 10, 0, 1, 1).unwrap();
+        let sink = MockSink::default();
+        let mut s = backend.session();
+        let mut replies = Vec::new();
+        let mut fresh = 1_000_000u64;
+        for _ in 0..10_000 {
+            let a = fresh;
+            let b = fresh + 1;
+            fresh += 2;
+            let ops = [
+                MutOp::Put { key: a, value: 1 },
+                MutOp::Put { key: b, value: 2 },
+                MutOp::Del { key: a },
+            ];
+            let (_out, lsn) = s.apply_batch_durable(&ops, &mut replies, &sink);
+            assert_eq!(replies.len(), ops.len());
+            let failed: Vec<usize> = replies
+                .iter()
+                .enumerate()
+                .filter(|(_, r)| matches!(r, MutReply::Put(Err(_))))
+                .map(|(i, _)| i)
+                .collect();
+            if failed.is_empty() {
+                assert_ne!(lsn, NO_LSN, "effective writes must be logged");
+                continue;
+            }
+            // The batch survived the failure: the trailing DEL was
+            // still executed and answered.
+            assert!(matches!(replies[2], MutReply::Del(_)));
+            // The logged record holds exactly the effective write-set.
+            let records = sink.records.lock().unwrap();
+            let logged = records.last().expect("record for the shedding batch");
+            assert_eq!(logged.len(), ops.len() - failed.len());
+            for (i, op) in ops.iter().enumerate() {
+                assert_eq!(
+                    logged.contains(op),
+                    !failed.contains(&i),
+                    "op {i} in batch {ops:?} vs logged {logged:?}"
+                );
+            }
+            return;
+        }
+        panic!("arena never filled — no StoreFull to exercise");
     }
 }

@@ -42,7 +42,9 @@ use std::sync::Mutex;
 use epoch::EpochSet;
 use stats::{CommitKind, ThreadStats};
 
-use crate::backend::{BatchOutcome, MutOp, MutReply, StoreBackend, StoreFull, StoreSession};
+use crate::backend::{
+    BatchOutcome, DurableSink, Lsn, MutOp, MutReply, StoreBackend, StoreFull, StoreSession, NO_LSN,
+};
 use crate::sharded::PutOutcome;
 
 /// Fibonacci multiplier for the shard spreader (same as [`crate::sharded`]).
@@ -330,9 +332,44 @@ impl StoreSession for NativeSession<'_> {
     /// makes one barrier cover every retired copy; see the module docs
     /// for why an earlier snapshot would be unsound.
     fn apply_batch(&mut self, ops: &[MutOp], replies: &mut Vec<MutReply>) -> BatchOutcome {
+        let (out, _lsn) = self.apply_batch_inner(ops, replies, None);
+        out
+    }
+
+    /// The durable override: the write-set is appended *between* the
+    /// publication flips and the quiescence barrier, while every touched
+    /// shard's writer lock is still held. Two batches that conflict on
+    /// any shard serialize their appends through that shard's lock, so
+    /// log order equals commit order without a global order lock — and
+    /// the group-commit fsync the append kicks off runs concurrently
+    /// with the grace period the batch pays anyway.
+    fn apply_batch_durable(
+        &mut self,
+        ops: &[MutOp],
+        replies: &mut Vec<MutReply>,
+        sink: &dyn DurableSink,
+    ) -> (BatchOutcome, Lsn) {
+        self.apply_batch_inner(ops, replies, Some(sink))
+    }
+
+    fn take_stats(&mut self) -> ThreadStats {
+        std::mem::take(&mut self.st)
+    }
+}
+
+impl NativeSession<'_> {
+    /// The batch path shared by the volatile and durable entry points;
+    /// see [`StoreSession::apply_batch`] on `NativeSession` for the
+    /// phase structure.
+    fn apply_batch_inner(
+        &mut self,
+        ops: &[MutOp],
+        replies: &mut Vec<MutReply>,
+        sink: Option<&dyn DurableSink>,
+    ) -> (BatchOutcome, Lsn) {
         replies.clear();
         if ops.is_empty() {
-            return BatchOutcome::default();
+            return (BatchOutcome::default(), NO_LSN);
         }
         let n_shards = self.backend.shards.len();
         if self.groups.len() < n_shards {
@@ -366,6 +403,17 @@ impl StoreSession for NativeSession<'_> {
             locked.push((s, guard, active));
         }
 
+        // Phase 1.5 (durable only): append the write-set while the
+        // shard locks are held — the commit-order window — so the log
+        // flush rides the barrier below instead of extending the batch.
+        // Native PUTs are infallible (process heap), so `ops` *is* the
+        // effective write-set. The wal lock nests strictly inside the
+        // shard locks on every path, so lock order is acyclic.
+        let lsn = match sink {
+            Some(sink) => sink.append(ops),
+            None => NO_LSN,
+        };
+
         // Phase 2: one barrier retires every copy the batch just
         // flipped away from (snapshot taken after the final flip).
         let barrier = self
@@ -394,14 +442,13 @@ impl StoreSession for NativeSession<'_> {
         for _ in ops {
             self.st.commit(CommitKind::Rot);
         }
-        BatchOutcome {
-            barriers: (!barrier.shared) as u64,
-            shared: barrier.shared as u64,
-        }
-    }
-
-    fn take_stats(&mut self) -> ThreadStats {
-        std::mem::take(&mut self.st)
+        (
+            BatchOutcome {
+                barriers: (!barrier.shared) as u64,
+                shared: barrier.shared as u64,
+            },
+            lsn,
+        )
     }
 }
 

@@ -25,8 +25,10 @@ use std::path::{Path, PathBuf};
 /// hardware memory, so its orderings are protocol, not hygiene.
 /// `rind` joined with the reader-indicator layer: its bias word and
 /// visible-readers table are the read-side half of the NS fallback
-/// protocol.
-pub const LINT_CRATES: [&str; 10] = [
+/// protocol. `wal` joined with the durability layer: its durable
+/// frontier is the publication edge that lets an acked reply imply a
+/// synced record.
+pub const LINT_CRATES: [&str; 11] = [
     "epoch",
     "htm",
     "rwle",
@@ -36,6 +38,7 @@ pub const LINT_CRATES: [&str; 10] = [
     "rlu",
     "sched",
     "svc",
+    "wal",
     "workloads",
 ];
 
